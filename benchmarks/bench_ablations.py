@@ -1,0 +1,25 @@
+"""Ablations of PBS design choices (split arity, Procedure 3, gamma)."""
+
+from repro.evaluation import ablations
+
+
+def test_ablations(run_driver):
+    table = run_driver(ablations.run, "ablations")
+    rows = {(r["ablation"], r["variant"]): r for r in table.rows}
+    # Three-way splits should converge at least as fast as two-way under
+    # overload (§3.2's argument).
+    assert (
+        rows[("split-arity (under-provisioned)", "3-way")]["mean_rounds"]
+        <= rows[("split-arity (under-provisioned)", "2-way")]["mean_rounds"] + 0.5
+    )
+    # The Procedure-3 check never hurts; disabling it must not *improve*
+    # within-3-rounds success.
+    assert (
+        rows[("procedure-3 check", "on")]["success_r3"]
+        >= rows[("procedure-3 check", "off")]["success_r3"] - 1e-9
+    )
+    # gamma = 1.38 must beat gamma = 1.0 on within-3-rounds success.
+    assert (
+        rows[("estimator inflation", "gamma=1.38")]["success_r3"]
+        >= rows[("estimator inflation", "gamma=1.0")]["success_r3"]
+    )

@@ -1,0 +1,18 @@
+"""§6 / Appendix B: estimator accuracy vs wire cost."""
+
+from repro.evaluation import estimators_bench
+
+
+def test_estimators_comparison(run_driver):
+    table = run_driver(estimators_bench.run, "estimators_comparison")
+    by_key = {(r["d"], r["estimator"]): r for r in table.rows}
+    ds = sorted({r["d"] for r in table.rows})
+    for d in ds:
+        tow = by_key[(d, "tow-128")]
+        strata = by_key[(d, "strata-32x80")]
+        # Appendix B: ToW is far more space-efficient at comparable accuracy.
+        assert tow["wire_bytes"] * 20 < strata["wire_bytes"]
+        assert tow["mean_rel_err"] < 1.0
+    # §6.2 calibration: 1.38 inflation covers the true d ~99% of the time.
+    coverages = [by_key[(d, "tow-128")]["coverage_1.38"] for d in ds]
+    assert all(c >= 0.9 for c in coverages)

@@ -1,0 +1,21 @@
+"""Figure 1 (a-d): PBS vs PinSketch vs D.Digest — success rate,
+communication, encoding time, decoding time over a d sweep (§8.1)."""
+
+from repro.evaluation import fig1
+
+
+def test_fig1_pbs_vs_pinsketch_ddigest(run_driver):
+    table = run_driver(fig1.run, "fig1_pbs_vs_pinsketch_ddigest")
+    pbs_rows = [r for r in table.rows if r["algorithm"] == "pbs"]
+    dd_rows = [r for r in table.rows if r["algorithm"] == "d.digest"]
+    ps_rows = [r for r in table.rows if r["algorithm"] == "pinsketch"]
+    # Shape assertions from the paper:
+    # PBS communication sits at ~2-3x the minimum...
+    assert all(1.5 < r["kb/min"] < 3.5 for r in pbs_rows)
+    # ... D.Digest at ~6x ...
+    assert all(4.5 < r["kb/min"] < 9.0 for r in dd_rows if r["d"] >= 100)
+    # ... PinSketch lowest (1.38x of the estimate).
+    assert all(r["kb/min"] < 2.3 for r in ps_rows)
+    # PinSketch's decode blows up with d; PBS stays linear-ish.
+    if len(ps_rows) >= 3:
+        assert ps_rows[-1]["decode_s"] > 5 * ps_rows[0]["decode_s"]

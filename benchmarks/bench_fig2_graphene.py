@@ -1,0 +1,20 @@
+"""Figure 2 (a-d): PBS vs Graphene at p0 = 239/240 (§8.2)."""
+
+from repro.evaluation import fig2
+
+
+def test_fig2_pbs_vs_graphene(run_driver):
+    table = run_driver(fig2.run, "fig2_pbs_vs_graphene")
+    by_d: dict[int, dict[str, dict]] = {}
+    for row in table.rows:
+        by_d.setdefault(row["d"], {})[row["algorithm"]] = row
+    # PBS transmits less than Graphene for small/medium d (paper: 1.2-7.4x).
+    small_d = [d for d in by_d if d <= 1000]
+    for d in small_d:
+        assert by_d[d]["pbs"]["kb"] < by_d[d]["graphene"]["kb"]
+    # Graphene's per-difference overhead falls as d approaches |A|.
+    ds = sorted(by_d)
+    if len(ds) >= 3:
+        g_first = by_d[ds[0]]["graphene"]["kb/min"]
+        g_last = by_d[ds[-1]]["graphene"]["kb/min"]
+        assert g_last < g_first

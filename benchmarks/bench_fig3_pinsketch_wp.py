@@ -1,0 +1,13 @@
+"""Figure 3 (a-d): PBS vs PinSketch-with-partition (§8.3)."""
+
+from repro.evaluation import fig3
+
+
+def test_fig3_pbs_vs_pinsketch_wp(run_driver):
+    table = run_driver(fig3.run, "fig3_pbs_vs_pinsketch_wp")
+    by_d: dict[int, dict[str, dict]] = {}
+    for row in table.rows:
+        by_d.setdefault(row["d"], {})[row["algorithm"]] = row
+    # PBS must transmit less at every d — the §8.3 symbol-width argument.
+    for d, rows in by_d.items():
+        assert rows["pbs"]["kb"] < rows["pinsketch/wp"]["kb"]

@@ -1,0 +1,12 @@
+"""Figure 4 / Appendix J.2: PBS under varying delta."""
+
+from repro.evaluation import fig4
+
+
+def test_fig4_delta_sweep(run_driver):
+    table = run_driver(fig4.run, "fig4_delta_sweep")
+    rows = sorted(table.rows, key=lambda r: r["delta"])
+    # Communication falls as delta grows...
+    assert rows[-1]["kb"] < rows[0]["kb"]
+    # ... and decoding gets more expensive (O(t^2) per group, t ~ delta).
+    assert rows[-1]["decode_s"] > rows[0]["decode_s"]

@@ -1,0 +1,14 @@
+"""Figure 5 / Appendix J.3: 256-bit signatures (analytic accounting)."""
+
+from repro.evaluation import fig5
+
+
+def test_fig5_256bit_signatures(run_driver):
+    table = run_driver(fig5.run, "fig5_256bit_signatures")
+    # PinSketch/WP-to-PBS ratio must exceed the 32-bit ratio everywhere
+    # (the whole point of Fig. 5): compute the 32-bit analytic ratios too.
+    table32 = fig5.run(log_u=32)
+    for row256, row32 in zip(table.rows, table32.rows):
+        assert row256["ratio"] > row32["ratio"]
+    # And PBS stays within a small factor of the 256-bit minimum.
+    assert all(r["pbs/min"] < 2.5 for r in table.rows)

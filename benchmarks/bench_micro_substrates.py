@@ -1,0 +1,98 @@
+"""Micro-benchmarks of the substrates backing every protocol.
+
+These are classic pytest-benchmark timings (many rounds) rather than
+experiment drivers: GF multiplication in all three backends, BCH sketch
+encode/decode, IBF insertion/peeling, and bulk hashing throughput.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.ibf import IBF
+from repro.bch.codec import BCHCodec
+from repro.core.partition import bin_indices, bin_tables
+from repro.gf import CarrylessField, TableField, TowerField32
+from repro.hashing.families import SaltedHash
+
+
+@pytest.fixture(scope="module")
+def values_100k():
+    rng = np.random.default_rng(1)
+    return np.unique(rng.integers(1, 1 << 32, size=100_000, dtype=np.uint64))
+
+
+class TestFieldMultiply:
+    def test_table_field_mul(self, benchmark):
+        field = TableField(11)
+        benchmark(lambda: [field.mul(1234, 987) for _ in range(1000)])
+
+    def test_tower_field_mul(self, benchmark):
+        field = TowerField32()
+        benchmark(lambda: [field.mul(0xDEADBEEF, 0xCAFE1234) for _ in range(1000)])
+
+    def test_carryless_field_mul(self, benchmark):
+        field = CarrylessField(32)
+        benchmark(lambda: [field.mul(0xDEADBEEF, 0xCAFE1234) for _ in range(1000)])
+
+    def test_tower_field_mul_vec_100k(self, benchmark, values_100k):
+        field = TowerField32()
+        a = values_100k.astype(np.int64)
+        benchmark(lambda: field.mul_vec(a, a))
+
+
+class TestBCH:
+    def test_sketch_bitmap_positions(self, benchmark):
+        field = TableField(7)
+        codec = BCHCodec(field, 13)
+        rng = np.random.default_rng(2)
+        positions = np.unique(rng.integers(1, 128, size=40, dtype=np.int64))
+        benchmark(lambda: codec.sketch(positions))
+
+    def test_decode_five_errors(self, benchmark):
+        field = TableField(7)
+        codec = BCHCodec(field, 13)
+        sketch = codec.sketch([3, 17, 44, 99, 120])
+        benchmark(lambda: codec.decode(sketch))
+
+    def test_pinsketch_syndromes_10k(self, benchmark, values_100k):
+        field = TowerField32()
+        codec = BCHCodec(field, 14)
+        subset = values_100k[:10_000].astype(np.int64)
+        benchmark(lambda: codec.sketch(subset))
+
+
+class TestIBF:
+    def test_insert_10k(self, benchmark, values_100k):
+        subset = values_100k[:10_000]
+
+        def insert():
+            ibf = IBF(n_cells=2000, n_hashes=3, seed=3)
+            ibf.insert_many(subset)
+            return ibf
+
+        benchmark(insert)
+
+    def test_peel_200_differences(self, benchmark, values_100k):
+        diff = values_100k[:200]
+
+        def build_and_peel():
+            ibf = IBF(n_cells=400, n_hashes=4, seed=4)
+            ibf.insert_many(diff)
+            return ibf.decode()
+
+        benchmark(build_and_peel)
+
+
+class TestHashingAndPartition:
+    def test_bulk_hash_100k(self, benchmark, values_100k):
+        h = SaltedHash(7)
+        benchmark(lambda: h.hash_vec(values_100k))
+
+    def test_partition_and_parity_100k(self, benchmark, values_100k):
+        def partition():
+            idx = bin_indices(values_100k, salt=9, n=127)
+            return bin_tables(values_100k, idx, 127)
+
+        benchmark(partition)

@@ -1,0 +1,20 @@
+"""§5.2: optimal overhead per group for target rounds r = 1..4."""
+
+from repro.evaluation import sec52
+
+
+def test_sec52_round_target_sweep(run_driver):
+    table = run_driver(sec52.run, "sec52_round_target_sweep")
+    for model in ("three-way", "none"):
+        rows = sorted(
+            (r for r in table.rows if r["model"] == model),
+            key=lambda r: r["r"],
+        )
+        bits = [r["bits_per_group"] for r in rows]
+        # sharp drop then flattening; r = 3 is the sweet spot
+        assert bits == sorted(bits, reverse=True)
+        assert (bits[0] - bits[1]) > 3 * (bits[2] - bits[3])
+    # r = 1: no split can finish, so the two models coincide and should be
+    # in the ballpark of the paper's 591 bits.
+    r1 = [r for r in table.rows if r["r"] == 1]
+    assert all(500 <= r["bits_per_group"] <= 700 for r in r1)

@@ -1,0 +1,19 @@
+"""§5.3 / Appendix G: per-round reconciled fractions, analytic vs simulated."""
+
+import pytest
+
+from repro.evaluation import sec53
+
+
+def test_sec53_piecewise(run_driver):
+    table = run_driver(sec53.run, "sec53_piecewise")
+    rows = {r["round"]: r for r in table.rows}
+    # Analytic values must match the paper's quadruple.
+    assert rows[1]["analytic"] == pytest.approx(0.962, abs=0.01)
+    assert rows[2]["analytic"] == pytest.approx(0.0380, rel=0.05)
+    assert rows[3]["analytic"] == pytest.approx(3.61e-4, rel=0.05)
+    # Simulation should agree with the analytic first two rounds.
+    assert rows[1]["simulated"] == pytest.approx(rows[1]["analytic"], abs=0.02)
+    assert rows[2]["simulated"] == pytest.approx(rows[2]["analytic"], abs=0.02)
+    # First round carries > 95% of the work (the Formula (1) justification).
+    assert rows[1]["simulated"] > 0.9

@@ -1,0 +1,18 @@
+"""Table 1 / Appendix H: the (n, t) success-probability grid."""
+
+from repro.evaluation import table1
+
+
+def test_table1_lower_bounds(run_driver):
+    table = run_driver(table1.run, "table1_lower_bounds")
+    rows = {(r["n"], r["t"]): r for r in table.rows}
+    # The paper's darkened optimum (127, 13) must be feasible under both
+    # models' published-value neighborhood...
+    assert rows[(127, 13)]["split_model"] >= 0.99
+    assert rows[(127, 13)]["paper"] >= 0.99
+    # ...and the infeasible corners stay infeasible.
+    assert rows[(63, 8)]["split_model"] < 0.99 or rows[(63, 8)]["paper"] == 0.0
+    # Monotonicity in n at fixed t (both models).
+    for t in (9, 13, 17):
+        seq = [rows[(n, t)]["split_model"] for n in (63, 127, 255, 511)]
+        assert seq == sorted(seq)

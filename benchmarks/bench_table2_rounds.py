@@ -1,0 +1,15 @@
+"""Table 2 / Appendix J.1: empirical rounds-to-completion PMF."""
+
+from repro.evaluation import table2
+
+
+def test_table2_rounds_pmf(run_driver):
+    table = run_driver(table2.run, "table2_rounds_pmf")
+    rows = {r["d"]: r for r in table.rows}
+    # Paper shape: mass concentrated on rounds 1-3; mean rounds grow with d
+    # (1.20 / 1.81 / 2.04 for d = 10 / 100 / 1000) and stay close to 2.
+    means = [rows[d]["mean"] for d in sorted(rows)]
+    assert means == sorted(means)
+    assert all(1.0 <= m <= 3.5 for m in means)
+    for row in table.rows:
+        assert row["r=1"] + row["r=2"] + row["r=3"] + row["r>=4"] == 1.0

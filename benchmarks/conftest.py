@@ -1,0 +1,30 @@
+"""Benchmark-suite configuration.
+
+Every benchmark wraps one evaluation driver (``repro.evaluation.*``) in a
+single pytest-benchmark round, prints the resulting table, and saves
+markdown + JSON artifacts under ``benchmarks/results/``.
+
+Scale with ``REPRO_SCALE`` (e.g. ``REPRO_SCALE=0.2 pytest benchmarks/``
+for a quick pass, ``REPRO_SCALE=5`` to approach paper scale).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def run_driver(benchmark):
+    """Run an evaluation driver once under pytest-benchmark and archive it."""
+
+    def _run(driver_fn, stem: str, **kwargs):
+        table = benchmark.pedantic(
+            lambda: driver_fn(**kwargs), rounds=1, iterations=1
+        )
+        table.print()
+        path = table.save(stem)
+        benchmark.extra_info["rows"] = len(table.rows)
+        benchmark.extra_info["artifact"] = str(path)
+        return table
+
+    return _run

@@ -1,0 +1,63 @@
+"""Parity Bitmap Sketch (PBS) set reconciliation — paper reproduction.
+
+This package is a from-scratch Python implementation of
+
+    Gong, Liu, Liu, Xu, Ogihara, Yang.
+    "Space- and Computationally-Efficient Set Reconciliation via
+    Parity Bitmap Sketch (PBS)."  PVLDB 14, VLDB 2020.  arXiv:2007.14569.
+
+It contains the PBS protocol itself (:mod:`repro.core`), the paper's
+Markov-chain analytical framework (:mod:`repro.analysis`), the Tug-of-War
+set-difference estimator (:mod:`repro.estimators`), every baseline the paper
+evaluates against (:mod:`repro.baselines`), and all the substrates those
+need: finite fields (:mod:`repro.gf`), BCH syndrome coding (:mod:`repro.bch`),
+hash families (:mod:`repro.hashing`), a byte-accounting transport
+(:mod:`repro.transport`) and workload generation (:mod:`repro.workloads`).
+
+Quickstart
+----------
+>>> from repro import reconcile_pbs
+>>> from repro.workloads import SetPairGenerator
+>>> pair = SetPairGenerator(universe_bits=32, seed=1).generate(size_a=10_000, d=50)
+>>> result = reconcile_pbs(pair.a, pair.b, seed=7)
+>>> result.success and result.difference == pair.difference
+True
+"""
+
+from repro.errors import DecodeFailure, ReconciliationFailure, ReproError
+
+# The heavyweight protocol symbols are re-exported lazily so that importing
+# a substrate subpackage (repro.gf, repro.hashing, ...) does not pull in the
+# whole protocol stack.
+_LAZY_EXPORTS = {
+    "PBSProtocol": ("repro.core.protocol", "PBSProtocol"),
+    "reconcile_pbs": ("repro.core.protocol", "reconcile_pbs"),
+    "PBSParams": ("repro.core.params", "PBSParams"),
+    "ReconciliationResult": ("repro.transport.runner", "ReconciliationResult"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attr)
+    globals()[name] = value
+    return value
+
+
+__all__ = [
+    "PBSProtocol",
+    "PBSParams",
+    "ReconciliationResult",
+    "reconcile_pbs",
+    "ReproError",
+    "DecodeFailure",
+    "ReconciliationFailure",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,103 @@
+"""Exact balls-into-bins probabilities used throughout the paper.
+
+Hash-partitioning d distinct elements into n subset pairs is exactly
+throwing d balls uniformly into n bins (§2.2.1).  This module provides the
+closed forms the paper quotes:
+
+* the *ideal case* — all balls in distinct bins — with probability
+  ``prod_{k=1}^{d-1} (1 - k/n)`` (= 0.96 for d=5, n=255);
+* the probability of a *type (I)* exception — some bin holding a nonzero
+  even number of balls (≈ 0.04 for d=5, n=255);
+* the probability of a *type (II)* exception — some bin holding an odd
+  number ≥ 3 of balls (≈ 1.52e-4 for d=5, n=255).
+
+The exception probabilities are computed *exactly* by summing over integer
+partitions of d (occupancy patterns), which is cheap for the small per-group
+d values PBS cares about (d ≲ 40).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator
+from functools import lru_cache
+
+
+def prob_ideal(d: int, n: int) -> float:
+    """Probability that d balls land in d distinct bins of n."""
+    if d > n:
+        return 0.0
+    p = 1.0
+    for k in range(1, d):
+        p *= 1.0 - k / n
+    return p
+
+
+def _partitions(d: int, max_part: int | None = None) -> Iterator[tuple[int, ...]]:
+    """All integer partitions of d in weakly decreasing order."""
+    if d == 0:
+        yield ()
+        return
+    if max_part is None or max_part > d:
+        max_part = d
+    for first in range(max_part, 0, -1):
+        for rest in _partitions(d - first, first):
+            yield (first, *rest)
+
+
+@lru_cache(maxsize=None)
+def _occupancy_probability(pattern: tuple[int, ...], n: int) -> float:
+    """Probability that the occupancy multiset of d balls in n bins equals
+    ``pattern`` (the nonzero bin counts, sorted decreasingly).
+
+    P = [ways to pick/label the occupied bins] * [ways to assign balls]
+        / n^d
+      = ( n! / ((n-len)! * prod_c mult_c!) ) * ( d! / prod_i pattern_i! )
+        / n^d
+    """
+    d = sum(pattern)
+    k = len(pattern)
+    if k > n:
+        return 0.0
+    log_p = 0.0
+    # falling factorial n * (n-1) * ... * (n-k+1)
+    for i in range(k):
+        log_p += math.log(n - i)
+    # multiplicities of equal parts
+    mult: dict[int, int] = {}
+    for part in pattern:
+        mult[part] = mult.get(part, 0) + 1
+    for c in mult.values():
+        log_p -= math.lgamma(c + 1)
+    log_p += math.lgamma(d + 1)
+    for part in pattern:
+        log_p -= math.lgamma(part + 1)
+    log_p -= d * math.log(n)
+    return math.exp(log_p)
+
+
+def prob_some_even_bin(d: int, n: int) -> float:
+    """Probability that some bin holds a nonzero *even* number of balls.
+
+    This is the paper's type (I) exception (§2.3): the parities of the two
+    subset cardinalities agree, so the BCH codeword cannot see the bin.
+    """
+    total = 0.0
+    for pattern in _partitions(d):
+        if any(part >= 2 and part % 2 == 0 for part in pattern):
+            total += _occupancy_probability(pattern, n)
+    return total
+
+
+def prob_some_odd_bin_ge3(d: int, n: int) -> float:
+    """Probability that some bin holds an odd number >= 3 of balls.
+
+    The paper's type (II) exception (§2.3): the recovered "element" is the
+    XOR of several distinct elements — a fake distinct element, caught with
+    probability 1 - 1/n by the sub-universe check (Procedure 3).
+    """
+    total = 0.0
+    for pattern in _partitions(d):
+        if any(part >= 3 and part % 2 == 1 for part in pattern):
+            total += _occupancy_probability(pattern, n)
+    return total

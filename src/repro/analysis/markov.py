@@ -1,0 +1,73 @@
+"""Transition matrix of the PBS Markov chain (§4, Appendix E).
+
+State i = number of yet-unreconciled distinct elements ("bad balls") at the
+start of a round; one round throws them uniformly into n bins and a ball is
+"good" (reconciled) iff it lands alone.  ``M(i, j)`` is the probability
+that throwing i balls leaves j of them bad.
+
+Direct summation over occupancy configurations explodes combinatorially
+(Appendix E quotes 2.47e12 atom states at j = 13), so the paper decomposes
+each state j into sub-states (j, k) — j bad balls occupying exactly k bad
+bins — and derives a recurrence by throwing the i-th ball "in slow motion":
+
+  Mt(i, j, k) = (i-j+1)/n       * Mt(i-1, j-2, k-1)   # lands on a good ball
+              + k/n             * Mt(i-1, j-1, k)     # lands in a bad bin
+              + (1-(i-1-j+k)/n) * Mt(i-1, j, k)       # lands in an empty bin
+
+with Mt(0, 0, 0) = 1.  The full (t+1)^3 table costs O(t^3) — trivial for
+the t <= ~35 used anywhere in the paper.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+
+@lru_cache(maxsize=256)
+def _substate_table(n: int, i_max: int) -> np.ndarray:
+    """The Mt(i, j, k) table for i, j, k in [0, i_max]."""
+    size = i_max + 1
+    table = np.zeros((size, size, size), dtype=np.float64)
+    table[0, 0, 0] = 1.0
+    for i in range(1, size):
+        for j in range(0, i + 1):
+            # j bad balls occupy k bad bins, each holding >= 2 of them.
+            for k in range(0, j // 2 + 1):
+                if j == 1:
+                    continue  # a lone ball in a bin is good, never bad
+                acc = 0.0
+                if j >= 2 and k >= 1:
+                    acc += (i - j + 1) / n * table[i - 1, j - 2, k - 1]
+                if j >= 1:
+                    acc += k / n * table[i - 1, j - 1, k]
+                empty_frac = 1.0 - (i - 1 - j + k) / n
+                if empty_frac > 0:
+                    acc += empty_frac * table[i - 1, j, k]
+                table[i, j, k] = acc
+    return table
+
+
+@lru_cache(maxsize=256)
+def transition_matrix(n: int, t: int) -> np.ndarray:
+    """The (t+1) x (t+1) transition matrix ``M`` for bitmap size n.
+
+    ``M[i, j] = Pr[j balls remain bad | i balls thrown into n bins]``.
+    Row sums are exactly 1 (the chain is honest on states 0..t because a
+    round never *increases* the number of bad balls).
+    """
+    if t < 0:
+        raise ParameterError(f"t must be >= 0, got {t}")
+    if n < 1:
+        raise ParameterError(f"n must be >= 1, got {n}")
+    table = _substate_table(n, t)
+    matrix = table.sum(axis=2)
+    return matrix
+
+
+def chain_power(n: int, t: int, r: int) -> np.ndarray:
+    """``M^r`` — r rounds of the chain."""
+    return np.linalg.matrix_power(transition_matrix(n, t), r)

@@ -1,0 +1,153 @@
+"""Success probabilities: ``Pr[x ->r 0]``, alpha, and the rigorous bound.
+
+Appendix F of the paper: with sets hash-partitioned into g groups, the
+per-group difference counts are Binomial(d, 1/g) but *not* independent
+(they sum to d).  The per-group success probability is estimated by
+
+    alpha(n, t) = sum_x Pr[X = x] * Pr[x ->r 0],
+
+and the overall probability that all g groups finish within r rounds is
+rigorously lower-bounded by ``1 - 2 (1 - alpha^g)`` via the
+negative-association argument (Corollary 5.11 of [29]).
+
+Two models for the over-capacity case ``x > t`` are provided:
+
+* ``split_model="none"`` — the paper's *stated* convention (Appendix D):
+  ``Pr[x ->r 0] = 0`` for x > t.  Note that this convention cannot
+  reproduce the paper's own Table 1: with d=1000, g=200, t=13 the Binomial
+  tail P[X > 13] ≈ 6.7e-4 (a value §3.2 itself quotes) alone caps the
+  bound at ≈ 0.75, far below the 0.991 the table reports for (127, 13).
+* ``split_model="three-way"`` (default) — models what the protocol
+  actually does on a BCH decoding failure (§3.2): the group is split into
+  three sub-group-pairs, consuming the round, and each sub-pair must then
+  reconcile within the remaining rounds (recursively).  This matches the
+  implemented protocol and is validated against simulation in the test
+  suite; it is mildly more optimistic than Table 1's entries.
+
+See EXPERIMENTS.md for the full discrepancy discussion.
+
+The split model is evaluated bottom-up as a table ``F_r[x]`` for
+x = 0..X_MAX with vectorized Multinomial(x; 1/3, 1/3, 1/3) convolutions,
+so a full optimizer grid costs milliseconds per (n, t).
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+import numpy as np
+from scipy import stats
+
+from repro.analysis.markov import chain_power
+from repro.errors import ParameterError
+
+#: Per-group difference counts beyond this value carry negligible Binomial
+#: mass for every configuration the paper considers (delta <= 30); they are
+#: pessimistically treated as failures.
+_X_MAX = 96
+
+
+@lru_cache(maxsize=4)
+def _binom_pmf_matrix(p_num: int, p_den: int) -> np.ndarray:
+    """``B[x, k] = Binomial(x, p).pmf(k)`` for x, k in [0, X_MAX]."""
+    size = _X_MAX + 1
+    out = np.zeros((size, size))
+    ks = np.arange(size)
+    for x in range(size):
+        out[x, : x + 1] = stats.binom.pmf(ks[: x + 1], x, p_num / p_den)
+    return out
+
+
+@lru_cache(maxsize=512)
+def _success_table(n: int, t: int, r: int) -> np.ndarray:
+    """``F[x] = Pr[x ->r 0]`` under the three-way-split model, x <= X_MAX."""
+    size = _X_MAX + 1
+    if r == 0:
+        out = np.zeros(size)
+        out[0] = 1.0
+        return out
+    prev = _success_table(n, t, r - 1)
+    out = np.zeros(size)
+    # In-capacity groups follow the Markov chain directly.
+    powered = chain_power(n, t, r)
+    top = min(t, _X_MAX)
+    out[: top + 1] = powered[: top + 1, 0]
+    out[0] = 1.0
+    if r == 1:
+        return out  # a split consumes the round; x > t cannot finish
+    # Over-capacity groups split three ways, each sub-pair then has r - 1
+    # rounds.  Multinomial(x; 1/3,1/3,1/3) factored as Binomial(x, 1/3)
+    # then Binomial(x - x1, 1/2).
+    b13 = _binom_pmf_matrix(1, 3)
+    b12 = _binom_pmf_matrix(1, 2)
+    # inner[rem] = sum_{x2} B12[rem, x2] * prev[x2] * prev[rem - x2]
+    inner = np.array(
+        [
+            float((b12[rem, : rem + 1] * prev[: rem + 1] * prev[rem::-1]).sum())
+            for rem in range(size)
+        ]
+    )
+    for x in range(t + 1, size):
+        # sum_{x1} B13[x, x1] * prev[x1] * inner[x - x1]
+        out[x] = float((b13[x, : x + 1] * prev[: x + 1] * inner[x::-1]).sum())
+    return out
+
+
+def prob_reconcile_within(
+    x: int, r: int, n: int, t: int, split_model: str = "three-way"
+) -> float:
+    """``Pr[x ->r 0]``: x differences fully reconciled within r rounds.
+
+    For x <= t this is Formula (2) of the paper, ``(M^r)(x, 0)``; the
+    ``split_model`` governs x > t (see module docstring).
+    """
+    if x < 0 or r < 0:
+        raise ParameterError("x and r must be nonnegative")
+    if x == 0:
+        return 1.0
+    if r == 0:
+        return 0.0
+    if split_model == "three-way":
+        if x > _X_MAX:
+            return 0.0
+        return float(_success_table(n, t, r)[x])
+    if split_model == "none":
+        if x > t:
+            return 0.0
+        return float(chain_power(n, t, r)[x, 0])
+    raise ParameterError(f"unknown split_model {split_model!r}")
+
+
+def group_success_probability(
+    n: int, t: int, d: int, g: int, r: int, split_model: str = "three-way"
+) -> float:
+    """``alpha(n, t)``: per-group success probability, X ~ Binomial(d, 1/g)."""
+    x_max = min(d, _X_MAX)
+    xs = np.arange(x_max + 1)
+    pmf = stats.binom.pmf(xs, d, 1.0 / g)
+    if split_model == "three-way":
+        table = _success_table(n, t, r)
+        return float((pmf * table[: x_max + 1]).sum())
+    powered = chain_power(n, t, r)
+    vals = np.zeros(x_max + 1)
+    top = min(t, x_max)
+    vals[: top + 1] = powered[: top + 1, 0]
+    vals[0] = 1.0
+    return float((pmf * vals).sum())
+
+
+def overall_lower_bound(
+    n: int, t: int, d: int, g: int, r: int, split_model: str = "three-way"
+) -> float:
+    """Rigorous lower bound ``1 - 2(1 - alpha^g)`` on ``Pr[R <= r]``.
+
+    May be negative for hopeless parameter choices; callers compare it
+    against the target p0 directly, as the optimizer does.
+    """
+    alpha = group_success_probability(n, t, d, g, r, split_model)
+    if alpha <= 0.0:
+        return -1.0
+    # alpha^g with g in the hundreds: go through logs for stability.
+    alpha_g = math.exp(g * math.log(alpha))
+    return 1.0 - 2.0 * (1.0 - alpha_g)

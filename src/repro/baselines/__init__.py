@@ -1,0 +1,29 @@
+"""Baseline set-reconciliation schemes the paper evaluates against (§7, §8).
+
+* :mod:`repro.baselines.ibf` — invertible Bloom filters (IBF / IBLT), the
+  substrate of Difference Digest and Graphene;
+* :mod:`repro.baselines.ddigest` — Difference Digest [15];
+* :mod:`repro.baselines.bloom` — plain Bloom filters;
+* :mod:`repro.baselines.graphene` — Graphene Protocol I [32];
+* :mod:`repro.baselines.pinsketch` — PinSketch [13] over GF(2^32);
+* :mod:`repro.baselines.pinsketch_wp` — PinSketch with PBS's partitioning
+  (§8.3).
+"""
+
+from repro.baselines.bf_recon import BFReconProtocol
+from repro.baselines.bloom import BloomFilter
+from repro.baselines.ddigest import DifferenceDigestProtocol
+from repro.baselines.graphene import GrapheneProtocol
+from repro.baselines.ibf import IBF
+from repro.baselines.pinsketch import PinSketchProtocol
+from repro.baselines.pinsketch_wp import PinSketchWPProtocol
+
+__all__ = [
+    "IBF",
+    "BFReconProtocol",
+    "BloomFilter",
+    "DifferenceDigestProtocol",
+    "GrapheneProtocol",
+    "PinSketchProtocol",
+    "PinSketchWPProtocol",
+]

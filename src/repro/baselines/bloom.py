@@ -1,0 +1,79 @@
+"""Plain Bloom filter (vectorized), the helper structure of Graphene.
+
+Standard construction: ``m = -n ln(fpr) / ln(2)^2`` bits and
+``k = (m/n) ln 2`` hash functions give the requested false-positive rate
+at capacity n [Bloom, 1970].
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.hashing.families import SaltedHash
+from repro.utils.seeds import derive_seed
+
+
+@dataclass
+class BloomFilter:
+    """Fixed-size Bloom filter over integer elements.
+
+    >>> import numpy as np
+    >>> bf = BloomFilter.for_capacity(100, fpr=0.01, seed=1)
+    >>> bf.insert_many(np.array([5, 6], dtype=np.uint64))
+    >>> bool(bf.contains_many(np.array([5], dtype=np.uint64))[0])
+    True
+    """
+
+    n_bits: int
+    n_hashes: int
+    seed: int = 0
+    bits: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_bits < 1 or self.n_hashes < 1:
+            raise ParameterError("BloomFilter needs >= 1 bit and >= 1 hash")
+        self.bits = np.zeros(self.n_bits, dtype=bool)
+        self._hashes = [
+            SaltedHash(derive_seed(self.seed, "bloom", i))
+            for i in range(self.n_hashes)
+        ]
+
+    @classmethod
+    def for_capacity(cls, capacity: int, fpr: float, seed: int = 0) -> "BloomFilter":
+        """Size the filter for ``capacity`` items at false-positive rate ``fpr``."""
+        if not 0.0 < fpr < 1.0:
+            raise ParameterError(f"fpr must be in (0, 1), got {fpr}")
+        capacity = max(1, capacity)
+        n_bits = max(8, math.ceil(-capacity * math.log(fpr) / (math.log(2) ** 2)))
+        n_hashes = max(1, round(n_bits / capacity * math.log(2)))
+        return cls(n_bits=n_bits, n_hashes=n_hashes, seed=seed)
+
+    def insert_many(self, values: np.ndarray) -> None:
+        """Set the k bits of every element."""
+        values = np.asarray(values, dtype=np.uint64)
+        if len(values) == 0:
+            return
+        for h in self._hashes:
+            self.bits[h.bucket_vec(values, self.n_bits)] = True
+
+    def contains_many(self, values: np.ndarray) -> np.ndarray:
+        """Membership test for a batch; boolean array (may have false positives)."""
+        values = np.asarray(values, dtype=np.uint64)
+        if len(values) == 0:
+            return np.zeros(0, dtype=bool)
+        out = np.ones(len(values), dtype=bool)
+        for h in self._hashes:
+            out &= self.bits[h.bucket_vec(values, self.n_bits)]
+        return out
+
+    def wire_bytes(self) -> int:
+        """Serialized size: the bit array."""
+        return (self.n_bits + 7) // 8
+
+    def serialize(self) -> bytes:
+        """Pack the bit array."""
+        return np.packbits(self.bits).tobytes()

@@ -1,0 +1,172 @@
+"""Invertible Bloom filter (IBF / invertible Bloom lookup table).
+
+Each element is inserted into k cells — one per subtable, guaranteeing the
+k cells are distinct — and each cell keeps three fields (§7):
+
+* ``count``  — signed number of insertions minus deletions,
+* ``id_sum`` — XOR of the inserted element values,
+* ``hash_sum`` — XOR of a check hash of the values.
+
+Subtracting two IBFs cellwise yields the IBF of the symmetric difference
+with signs: elements only in A have net count +1, only in B have -1.  The
+*peeling* decoder repeatedly consumes "pure" cells (|count| = 1 and the
+check hash matches the id), exactly like the erasure-peeling of Tornado
+codes [24].  Decoding succeeds w.h.p. when the cell count is ~1.5x-2x the
+difference size; Difference Digest uses 2 * d_hat cells (§8.1.1).
+
+Wire size is ``cells * (32 + log|U| + log|U|)`` bits, matching the paper's
+``6 d log|U|`` accounting for D.Digest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DecodeFailure, ParameterError
+from repro.hashing.families import SaltedHash
+from repro.utils.seeds import derive_seed
+
+#: Width of the signed count field on the wire (one machine word, matching
+#: the 3-words-per-cell accounting of [15]).
+_COUNT_BITS = 32
+
+
+@dataclass
+class IBF:
+    """An invertible Bloom filter with k subtables.
+
+    >>> import numpy as np
+    >>> f = IBF(n_cells=40, n_hashes=4, seed=1)
+    >>> f.insert_many(np.array([10, 20, 30], dtype=np.uint64))
+    >>> g = IBF(n_cells=40, n_hashes=4, seed=1)
+    >>> g.insert_many(np.array([20, 40], dtype=np.uint64))
+    >>> a_only, b_only = f.subtract(g).decode()
+    >>> (sorted(a_only), sorted(b_only))
+    ([10, 30], [40])
+    """
+
+    n_cells: int
+    n_hashes: int
+    seed: int = 0
+    log_u: int = 32
+    counts: np.ndarray = field(init=False, repr=False)
+    id_sums: np.ndarray = field(init=False, repr=False)
+    hash_sums: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_hashes < 2:
+            raise ParameterError("IBF needs at least 2 hashes")
+        if self.n_cells < self.n_hashes:
+            raise ParameterError(
+                f"{self.n_cells} cells cannot host {self.n_hashes} subtables"
+            )
+        self.counts = np.zeros(self.n_cells, dtype=np.int64)
+        self.id_sums = np.zeros(self.n_cells, dtype=np.uint64)
+        self.hash_sums = np.zeros(self.n_cells, dtype=np.uint64)
+        base, extra = divmod(self.n_cells, self.n_hashes)
+        sizes = [base + (1 if i < extra else 0) for i in range(self.n_hashes)]
+        self._offsets = np.concatenate([[0], np.cumsum(sizes)])[:-1]
+        self._sizes = np.array(sizes)
+        self._hashes = [
+            SaltedHash(derive_seed(self.seed, "ibf", i))
+            for i in range(self.n_hashes)
+        ]
+        self._check = SaltedHash(derive_seed(self.seed, "ibf-check"))
+        self._check_mask = np.uint64((1 << self.log_u) - 1)
+
+    # -- construction --------------------------------------------------------
+    def _cells_of_vec(self, values: np.ndarray, j: int) -> np.ndarray:
+        return self._offsets[j] + self._hashes[j].bucket_vec(
+            values, int(self._sizes[j])
+        )
+
+    def _check_of_vec(self, values: np.ndarray) -> np.ndarray:
+        return self._check.hash_vec(values) & self._check_mask
+
+    def insert_many(self, values: np.ndarray, sign: int = 1) -> None:
+        """Insert (sign=+1) or delete (sign=-1) a batch of elements."""
+        values = np.asarray(values, dtype=np.uint64)
+        if len(values) == 0:
+            return
+        checks = self._check_of_vec(values)
+        for j in range(self.n_hashes):
+            idx = self._cells_of_vec(values, j)
+            np.add.at(self.counts, idx, sign)
+            np.bitwise_xor.at(self.id_sums, idx, values)
+            np.bitwise_xor.at(self.hash_sums, idx, checks)
+
+    # -- algebra ---------------------------------------------------------------
+    def subtract(self, other: "IBF") -> "IBF":
+        """Cellwise difference; decodes to (mine \\ theirs, theirs \\ mine)."""
+        if (
+            self.n_cells != other.n_cells
+            or self.n_hashes != other.n_hashes
+            or self.seed != other.seed
+        ):
+            raise ParameterError("cannot subtract incompatible IBFs")
+        out = IBF(self.n_cells, self.n_hashes, self.seed, self.log_u)
+        out.counts = self.counts - other.counts
+        out.id_sums = self.id_sums ^ other.id_sums
+        out.hash_sums = self.hash_sums ^ other.hash_sums
+        return out
+
+    # -- decoding ----------------------------------------------------------------
+    def _is_pure(self, cell: int) -> bool:
+        if self.counts[cell] not in (1, -1):
+            return False
+        value = self.id_sums[cell]
+        check = self._check.hash_vec(np.array([value], dtype=np.uint64))[0]
+        return bool((check & self._check_mask) == self.hash_sums[cell])
+
+    def decode(self) -> tuple[list[int], list[int]]:
+        """Peel the difference IBF; returns (positive side, negative side).
+
+        Raises :class:`DecodeFailure` if peeling stalls before the filter
+        empties (too many differences for the cell count).
+        """
+        positive: list[int] = []
+        negative: list[int] = []
+        queue = [c for c in range(self.n_cells) if self._is_pure(c)]
+        while queue:
+            cell = queue.pop()
+            if not self._is_pure(cell):
+                continue
+            sign = int(self.counts[cell])
+            value = np.uint64(self.id_sums[cell])
+            (positive if sign == 1 else negative).append(int(value))
+            arr = np.array([value], dtype=np.uint64)
+            check = self._check_of_vec(arr)[0]
+            for j in range(self.n_hashes):
+                idx = int(self._cells_of_vec(arr, j)[0])
+                self.counts[idx] -= sign
+                self.id_sums[idx] ^= value
+                self.hash_sums[idx] ^= check
+                if self._is_pure(idx):
+                    queue.append(idx)
+        if self.counts.any() or self.id_sums.any() or self.hash_sums.any():
+            raise DecodeFailure("IBF peeling stalled before emptying")
+        return positive, negative
+
+    # -- accounting --------------------------------------------------------------
+    @staticmethod
+    def cell_bits(log_u: int = 32) -> int:
+        """Wire bits per cell: count word + id sum + hash sum."""
+        return _COUNT_BITS + 2 * log_u
+
+    def wire_bytes(self) -> int:
+        """Serialized size of this IBF."""
+        return (self.n_cells * self.cell_bits(self.log_u) + 7) // 8
+
+    def serialize(self) -> bytes:
+        """Pack cells as (count, id_sum, hash_sum) records."""
+        from repro.utils.bitio import BitWriter
+
+        writer = BitWriter()
+        bias = 1 << (_COUNT_BITS - 1)
+        for c, i, h in zip(self.counts, self.id_sums, self.hash_sums):
+            writer.write(int(c) + bias, _COUNT_BITS)
+            writer.write(int(i), self.log_u)
+            writer.write(int(h), self.log_u)
+        return writer.getvalue()

@@ -1,0 +1,200 @@
+"""PinSketch with partition ("PinSketch/WP", §8.3).
+
+The same hash-partitioning trick as PBS — g = d/delta groups, a uniform
+capacity t per group — applied to PinSketch.  Each group pair exchanges a
+t-syndrome sketch over GF(2^32) plus a checksum; decoding a group costs
+O(t^2) = O(1), so the total decode cost drops to O(d), but every sketch
+symbol costs ``log|U|`` bits instead of PBS's ``log n``.  The safety
+margin ``t - delta`` therefore costs 3-4x more than in PBS, which is the
+§8.3 communication-overhead argument (and the entire point of the parity
+*bitmap* indirection in PBS).
+
+Multi-round behaviour mirrors PBS §3.2: a group whose decode or checksum
+verification fails is hash-split three ways into fresh sub-group-pairs in
+the next round (re-sketching an unchanged group cannot help, because
+unlike PBS there is no per-round re-binning randomness).  Alice sends one
+continuation bit per pending unit; Bob answers with sub-group sketches.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field as dc_field
+
+import numpy as np
+
+from repro.analysis.optimizer import optimize_params
+from repro.bch.codec import BCHCodec
+from repro.core.checksum import set_checksum
+from repro.core.partition import split_by_hash
+from repro.core.sessions import _as_element_array, _partition_by_group
+from repro.core.units import SPLIT_WAYS
+from repro.errors import DecodeFailure
+from repro.gf import field_for
+from repro.transport.channel import Channel, Direction
+from repro.transport.runner import ReconciliationResult
+from repro.utils.bitio import BitWriter
+from repro.utils.seeds import derive_seed
+
+
+@dataclass
+class _WPUnit:
+    """One group pair (or split descendant) tracked by both sides."""
+
+    a_values: np.ndarray
+    b_values: np.ndarray
+    path: tuple = ()
+    diff: frozenset = dc_field(default_factory=frozenset)
+
+
+class PinSketchWPProtocol:
+    """Partitioned PinSketch with PBS-style three-way split recovery.
+
+    >>> proto = PinSketchWPProtocol(seed=1)
+    >>> r = proto.run({1, 2, 3, 9}, {2, 3, 4}, true_d=3)
+    >>> (r.success, sorted(r.difference))
+    (True, [1, 4, 9])
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        log_u: int = 32,
+        delta: int = 5,
+        r: int = 3,
+        p0: float = 0.99,
+        gamma: float = 1.38,
+        assume_subset: bool = True,
+        split_model: str = "three-way",
+    ) -> None:
+        self.seed = seed
+        self.log_u = log_u
+        self.delta = delta
+        self.r = r
+        self.p0 = p0
+        self.gamma = gamma
+        self.assume_subset = assume_subset
+        self.split_model = split_model
+
+    def run(
+        self,
+        set_a,
+        set_b,
+        channel: Channel | None = None,
+        true_d: int | None = None,
+        estimated_d: int | None = None,
+        max_rounds: int | None = None,
+    ) -> ReconciliationResult:
+        """Unidirectional reconciliation; Alice learns A xor B."""
+        channel = channel if channel is not None else Channel()
+        if estimated_d is not None:
+            # §6.2 inflation of a raw estimate, same policy as PBS (§8.3).
+            design_d = max(1, math.ceil(self.gamma * estimated_d))
+        else:
+            design_d = max(1, true_d or 1)
+        # Same (delta, t) as PBS (§8.3); only the symbol width differs.
+        best = optimize_params(
+            design_d, delta=self.delta, r=self.r, p0=self.p0,
+            split_model=self.split_model,
+        )
+        t, g = best.t, best.g
+        field = field_for(self.log_u)
+        codec = BCHCodec(field, t)
+        budget = max_rounds if max_rounds is not None else self.r
+
+        arr_a = _as_element_array(set_a, self.log_u)
+        arr_b = _as_element_array(set_b, self.log_u)
+        group_salt = derive_seed(self.seed, "wp-group")
+        groups_a = _partition_by_group(arr_a, group_salt, g)
+        groups_b = _partition_by_group(arr_b, group_salt, g)
+        pending = [_WPUnit(groups_a[i], groups_b[i]) for i in range(g)]
+        resolved: list[frozenset[int]] = []
+
+        encode_s = 0.0
+        decode_s = 0.0
+        rounds_used = 0
+        for round_no in range(1, budget + 1):
+            if not pending:
+                break
+            rounds_used = round_no
+            # Alice -> Bob: continuation notice (1 bit per pending unit in
+            # rounds >= 2; round 1 is implicit).
+            if round_no > 1:
+                channel.send(
+                    Direction.ALICE_TO_BOB,
+                    bytes((len(pending) + 7) // 8),
+                    round_no=round_no,
+                    label="control",
+                )
+            # Bob -> Alice: per-unit sketch + checksum.
+            encode_start = time.perf_counter()
+            writer = BitWriter()
+            sketches_b = []
+            for unit in pending:
+                sk = codec.sketch(unit.b_values)
+                sketches_b.append(sk)
+                for s in sk:
+                    writer.write(s, self.log_u)
+                writer.write(set_checksum(unit.b_values, self.log_u), self.log_u)
+            wire = writer.getvalue()
+            encode_s += time.perf_counter() - encode_start
+            channel.send(
+                Direction.BOB_TO_ALICE, wire, round_no=round_no, label="syndromes"
+            )
+
+            next_pending: list[_WPUnit] = []
+            for unit, sketch_b in zip(pending, sketches_b):
+                encode_start = time.perf_counter()
+                sketch_a = codec.sketch(unit.a_values)
+                encode_s += time.perf_counter() - encode_start
+
+                decode_start = time.perf_counter()
+                delta_sketch = codec.sketch_xor(sketch_a, sketch_b)
+                ok = False
+                diff: frozenset[int] = frozenset()
+                try:
+                    candidates = unit.a_values if self.assume_subset else None
+                    elements = codec.decode(
+                        delta_sketch, candidates=candidates, seed=self.seed
+                    )
+                    diff = frozenset(elements)
+                    recovered = np.setxor1d(
+                        unit.a_values, np.array(sorted(diff), dtype=np.uint64)
+                    )
+                    ok = set_checksum(recovered, self.log_u) == set_checksum(
+                        unit.b_values, self.log_u
+                    )
+                except DecodeFailure:
+                    ok = False
+                decode_s += time.perf_counter() - decode_start
+
+                if ok:
+                    unit.diff = diff
+                    resolved.append(diff)
+                else:
+                    next_pending.extend(self._split(unit, round_no))
+            pending = next_pending
+
+        success = not pending
+        difference: set[int] = set()
+        for diff in resolved:
+            difference |= diff
+        return ReconciliationResult(
+            success=success,
+            difference=frozenset(difference),
+            rounds=rounds_used,
+            channel=channel,
+            encode_s=encode_s,
+            decode_s=decode_s,
+            extra={"t": t, "g": g},
+        )
+
+    def _split(self, unit: _WPUnit, round_no: int) -> list[_WPUnit]:
+        salt = derive_seed(self.seed, "wp-split", unit.path, round_no)
+        parts_a = split_by_hash(unit.a_values, salt, SPLIT_WAYS)
+        parts_b = split_by_hash(unit.b_values, salt, SPLIT_WAYS)
+        return [
+            _WPUnit(parts_a[b], parts_b[b], path=unit.path + (round_no, b))
+            for b in range(SPLIT_WAYS)
+        ]

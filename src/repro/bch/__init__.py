@@ -1,0 +1,28 @@
+"""BCH syndrome sketches and decoding.
+
+PBS and PinSketch both "sketch" a set of nonzero field elements as the
+vector of odd power sums ``s_k = sum v^k`` (k = 1, 3, ..., 2t-1) over
+GF(2^m) — exactly the syndromes of a binary BCH code of designed distance
+2t+1 evaluated on the characteristic vector of the set (§2.5, [13], [36]).
+Two sketches XOR to the sketch of the symmetric difference, and decoding a
+sketch of at most t elements recovers those elements:
+
+1. reconstruct the even syndromes via ``s_{2k} = s_k^2`` (Frobenius),
+2. Berlekamp–Massey for the error-locator polynomial,
+3. root finding (vectorized Chien search over table fields; the Berlekamp
+   trace algorithm, or candidate evaluation, over GF(2^32)).
+"""
+
+from repro.bch.berlekamp_massey import berlekamp_massey
+from repro.bch.codec import BCHCodec
+from repro.bch.roots import chien_roots, trace_roots
+from repro.bch.syndromes import expand_syndromes, syndromes_of
+
+__all__ = [
+    "BCHCodec",
+    "berlekamp_massey",
+    "chien_roots",
+    "trace_roots",
+    "syndromes_of",
+    "expand_syndromes",
+]

@@ -1,0 +1,64 @@
+"""Berlekamp–Massey over GF(2^m).
+
+Finds the shortest linear-feedback shift register — equivalently the
+error-locator polynomial ``C(x) = prod (1 - e_i x)`` — generating a syndrome
+sequence.  For a syndrome sequence of length 2t produced by at most t
+errors, the output locator has degree exactly the number of errors.
+
+This is the O(d^2) finite-field step the paper's complexity statements refer
+to: PinSketch runs it once with d = |A xor B| (hence O(d^2) total), PBS runs
+it once per group with d <= t = O(1) (hence O(d) total, §1.3.2).
+"""
+
+from __future__ import annotations
+
+from repro.gf.base import GF2mField
+
+
+def berlekamp_massey(syndromes: list[int], field: GF2mField) -> tuple[list[int], int]:
+    """Return ``(locator, L)`` for the given full syndrome sequence.
+
+    ``locator`` is in ascending-degree order with ``locator[0] == 1``;
+    ``L`` is the LFSR length (the claimed number of errors).  The caller is
+    responsible for sanity checks (``degree == L``, ``L <= t``, root count).
+    """
+    locator = [1]
+    prev = [1]  # B(x): copy of locator before the last length change
+    length = 0
+    gap = 1  # number of iterations since the last length change
+    prev_disc = 1  # discrepancy at the last length change
+
+    for i, s_i in enumerate(syndromes):
+        # discrepancy d = s_i + sum_{j=1..L} C_j * s_{i-j}
+        disc = s_i
+        for j in range(1, length + 1):
+            if j < len(locator) and locator[j] and i - j >= 0:
+                disc ^= field.mul(locator[j], syndromes[i - j])
+        if disc == 0:
+            gap += 1
+            continue
+        coef = field.div(disc, prev_disc)
+        # candidate = locator - coef * x^gap * prev
+        adjust = [0] * gap + [field.mul(coef, c) for c in prev]
+        if len(adjust) > len(locator):
+            candidate = list(adjust)
+            for k, c in enumerate(locator):
+                candidate[k] ^= c
+        else:
+            candidate = list(locator)
+            for k, c in enumerate(adjust):
+                candidate[k] ^= c
+        if 2 * length <= i:
+            prev = locator
+            prev_disc = disc
+            length = i + 1 - length
+            gap = 1
+            locator = candidate
+        else:
+            locator = candidate
+            gap += 1
+
+    # normalize: drop trailing zeros (degree may be < L on bad input)
+    while len(locator) > 1 and locator[-1] == 0:
+        locator.pop()
+    return locator, length

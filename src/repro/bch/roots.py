@@ -1,0 +1,97 @@
+"""Root finding for error-locator polynomials.
+
+Three strategies, matching the field sizes at play:
+
+* :func:`chien_roots` — evaluate at every nonzero element (vectorized via
+  the table field's log/antilog arrays).  O(deg * 2^m) table lookups; ideal
+  for PBS's small fields (m = 6..11).
+* :func:`trace_roots` — the Berlekamp trace algorithm: restrict to roots in
+  the field via ``gcd(f, x^(2^m) - x)``, then recursively split with
+  ``gcd(f, Tr(beta x))`` for random beta.  Works for any field, including
+  GF(2^32), with cost polynomial in the degree only.
+* :func:`candidate_roots` — evaluate at a caller-supplied candidate array
+  (vectorized Horner).  Used by PinSketch when the host set contains the
+  symmetric difference (e.g. the paper's B ⊂ A evaluation workload), where
+  it is much faster than the trace algorithm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gf import polynomial as P
+from repro.gf.base import GF2mField
+from repro.gf.table_field import TableField
+from repro.utils.seeds import spawn_rng
+
+
+def chien_roots(locator: list[int], field: TableField) -> list[int]:
+    """All nonzero roots of ``locator`` by exhaustive vectorized evaluation."""
+    coeffs = P.trim(list(locator))
+    if not coeffs:
+        return []
+    vals = field.eval_poly_all(coeffs)
+    hits = np.nonzero(vals == 0)[0]
+    return [int(field.exp_table[i]) for i in hits]
+
+
+def candidate_roots(
+    locator: list[int], candidates: np.ndarray, field: GF2mField
+) -> list[int]:
+    """Roots of ``locator`` among ``candidates`` (vectorized Horner)."""
+    coeffs = P.trim(list(locator))
+    if not coeffs:
+        return []
+    xs = np.asarray(candidates, dtype=np.int64)
+    acc = np.zeros_like(xs)
+    for c in reversed(coeffs):
+        acc = field.mul_vec(acc, xs)
+        if c:
+            acc ^= np.int64(c)
+    roots = xs[acc == 0]
+    return [int(r) for r in np.unique(roots)]
+
+
+def trace_roots(locator: list[int], field: GF2mField, seed: int = 0) -> list[int]:
+    """All roots of ``locator`` lying in the field, via Berlekamp traces.
+
+    Returns the distinct roots only.  If ``locator`` has irreducible factors
+    of degree > 1 they are silently dropped (the caller detects this as a
+    root-count mismatch and declares a decoding failure).
+    """
+    f = P.monic(list(locator), field)
+    if P.degree(f) <= 0:
+        return []
+    # Keep only the part of f that splits into distinct linear factors
+    # over the field: gcd(f, x^(2^m) - x).
+    xq = P.pow_x_mod(field.m, f, field)
+    linear_part = P.gcd(f, P.add(xq, [0, 1]), field)
+    roots: list[int] = []
+    rng = spawn_rng(seed, "trace-roots")
+    _split(linear_part, field, rng, roots)
+    return sorted(roots)
+
+
+def _split(
+    f: list[int], field: GF2mField, rng: np.random.Generator, out: list[int]
+) -> None:
+    deg = P.degree(f)
+    if deg <= 0:
+        return
+    if deg == 1:
+        # monic x + c has root c (characteristic 2)
+        out.append(f[0])
+        return
+    # Random trace splits: each beta separates the roots into those with
+    # Tr(beta * root) = 0 (collected by the gcd) and the rest; two distinct
+    # roots are separated by at least half of all beta, so the expected
+    # number of attempts is O(1).
+    while True:
+        beta = int(rng.integers(1, field.order + 1))
+        tr = P.trace_poly_mod(beta, f, field)
+        g = P.gcd(f, tr, field)
+        dg = P.degree(g)
+        if 0 < dg < deg:
+            _split(g, field, rng, out)
+            _split(P.divmod_poly(f, g, field)[0], field, rng, out)
+            return

@@ -1,0 +1,73 @@
+"""Syndrome (odd power sum) computation.
+
+``syndromes_of(values, t, field)`` returns ``[s_1, s_3, ..., s_{2t-1}]``
+with ``s_k = XOR-sum of v^k``.  The XOR (field addition) structure is what
+gives the sketch its homomorphism: ``sketch(A) xor sketch(B) =
+sketch(A xor-diff B)``, since elements common to both sides cancel.
+
+Fields that expose ``mul_vec`` (the table and tower backends) get a
+vectorized path: one elementwise squaring up front, then one vector multiply
+per syndrome, i.e. ``t + 1`` numpy passes regardless of set size.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.gf.base import GF2mField
+
+
+def syndromes_of(values: Iterable[int], t: int, field: GF2mField) -> list[int]:
+    """Odd power-sum syndromes ``[s_1, s_3, ..., s_{2t-1}]`` of ``values``.
+
+    Values must be nonzero field elements (0 has no discrete log and is
+    excluded from the universe by the paper's convention, §2.1).
+    """
+    arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values)
+    if arr.size == 0:
+        return [0] * t
+    if hasattr(field, "mul_vec"):
+        return _syndromes_vec(arr.astype(np.int64), t, field)
+    return _syndromes_scalar(arr.tolist(), t, field)
+
+
+def _syndromes_vec(arr: np.ndarray, t: int, field: GF2mField) -> list[int]:
+    v_sq = field.mul_vec(arr, arr)
+    powers = arr
+    out: list[int] = []
+    for _ in range(t):
+        out.append(int(np.bitwise_xor.reduce(powers)))
+        powers = field.mul_vec(powers, v_sq)
+    return out
+
+
+def _syndromes_scalar(values: list[int], t: int, field: GF2mField) -> list[int]:
+    out = [0] * t
+    for v in values:
+        v_sq = field.mul(v, v)
+        power = v
+        for k in range(t):
+            out[k] ^= power
+            power = field.mul(power, v_sq)
+    return out
+
+
+def expand_syndromes(odd: list[int], field: GF2mField) -> list[int]:
+    """Full syndrome sequence ``s_1 .. s_{2t}`` from the odd half.
+
+    Valid whenever the sketched set has at most t elements: binary BCH
+    syndromes satisfy ``s_{2k} = s_k^2`` (Frobenius on power sums), so the
+    even syndromes are redundant and never transmitted — that redundancy is
+    why a capacity-t sketch is only ``t*m`` bits (§2.5).
+    """
+    t = len(odd)
+    full = [0] * (2 * t)
+    for k in range(1, 2 * t + 1):
+        if k % 2 == 1:
+            full[k - 1] = odd[(k - 1) // 2]
+        else:
+            half = full[k // 2 - 1]
+            full[k - 1] = field.mul(half, half)
+    return full

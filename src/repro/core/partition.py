@@ -1,0 +1,66 @@
+"""Vectorized hash-partitioning and parity-bitmap construction.
+
+Three consistent partitions appear in PBS:
+
+* *groups* (§3): ``h'`` splits each set into g groups, fixed for the whole
+  reconciliation;
+* *bins* (§2.2.1): a per-round hash ``h_k`` splits a unit's elements into
+  the n subsets whose cardinality parities form the parity bitmap;
+* *split branches* (§3.2): a three-way hash splits a group that suffered a
+  BCH decoding failure.
+
+All paths operate on numpy ``uint64`` arrays; the per-bin XOR sums that
+Procedure 1 needs are accumulated with ``np.bitwise_xor.at``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing.families import SaltedHash
+
+
+def group_indices(values: np.ndarray, salt: int, g: int) -> np.ndarray:
+    """Group index in [0, g) for every element."""
+    return SaltedHash(salt).bucket_vec(values, g)
+
+
+def bin_indices(values: np.ndarray, salt: int, n: int) -> np.ndarray:
+    """Bin index in [0, n) for every element (per-round hash)."""
+    return SaltedHash(salt).bucket_vec(values, n)
+
+
+def split_indices(values: np.ndarray, salt: int, ways: int = 3) -> np.ndarray:
+    """Split-branch index in [0, ways) for every element (§3.2)."""
+    return SaltedHash(salt).bucket_vec(values, ways)
+
+
+def bin_tables(
+    values: np.ndarray, idx: np.ndarray, n: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-bin parity bitmap and XOR sums for one unit.
+
+    Returns ``(parity, xors)`` with ``parity[i] = |bin i| mod 2`` (uint8)
+    and ``xors[i]`` the XOR of the elements in bin i (uint64).
+    """
+    counts = np.bincount(idx, minlength=n)
+    parity = (counts & 1).astype(np.uint8)
+    xors = np.zeros(n, dtype=np.uint64)
+    if len(values):
+        np.bitwise_xor.at(xors, idx, values.astype(np.uint64))
+    return parity, xors
+
+
+def parity_positions(parity: np.ndarray) -> np.ndarray:
+    """Field-element encodings (1-based bin positions) of the set bits.
+
+    Bin i (0-based) maps to the nonzero field element i + 1 of GF(2^m),
+    so a parity bitmap of length n = 2^m - 1 injects into the field.
+    """
+    return np.nonzero(parity)[0].astype(np.int64) + 1
+
+
+def split_by_hash(values: np.ndarray, salt: int, ways: int = 3) -> list[np.ndarray]:
+    """Partition an element array into ``ways`` branches by hash value."""
+    branch = split_indices(values, salt, ways)
+    return [values[branch == b] for b in range(ways)]

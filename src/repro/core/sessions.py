@@ -1,0 +1,369 @@
+"""Alice's and Bob's PBS state machines.
+
+One *round* (§2.4, §3.3) is a single exchange:
+
+1. Alice partitions each pending unit's working set into n bins with a
+   fresh per-round hash, builds the parity bitmap, and sends its BCH
+   sketch (:class:`~repro.core.messages.SketchMessage`).
+2. Bob does the same over his (static) set, XORs the sketches, BCH-decodes the
+   difference positions, and replies with positions + his bin XOR sums
+   (+ the unit checksum on first contact); on a decoding failure he flags
+   the unit, which both sides then split three ways (§3.2).
+3. Alice recovers candidate elements (Procedure 1 per position), applies
+   Procedure 3's sub-universe check plus the unit-membership constraints,
+   folds survivors into her working set, and verifies the §2.2.3 checksum.
+   Verified units retire; the rest continue into the next round.
+
+Alice's working set evolves as ``A -> A xor D_hat_1 -> ...`` (§2.4); the
+final per-unit difference is ``original xor working`` once the checksum
+certifies ``working == B_u``, so fake elements that sneaked in are
+automatically corrected by later rounds.
+
+Both sides keep their pending-unit lists in lockstep: failed units are
+deterministically replaced by their three split children; surviving OK
+units continue iff Alice's continuation bit says the checksum still
+mismatches.  No unit identities travel on the wire.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.checksum import set_checksum
+from repro.core.messages import ReplyMessage, SketchMessage, UnitReply
+from repro.core.params import PBSParams
+from repro.core.partition import (
+    bin_indices,
+    bin_tables,
+    group_indices,
+    parity_positions,
+    split_by_hash,
+)
+from repro.core.units import SPLIT_WAYS, MembershipConstraint, UnitId
+from repro.errors import DecodeFailure, ParameterError, SerializationError
+from repro.hashing.families import SaltedHash
+from repro.utils.seeds import derive_seed
+
+
+def _as_element_array(values, log_u: int) -> np.ndarray:
+    """Validate and convert an element iterable to a uint64 array."""
+    arr = np.fromiter((int(v) for v in values), dtype=np.uint64)
+    if len(arr) == 0:
+        return arr
+    if int(arr.min()) < 1 or int(arr.max()) >= (1 << log_u):
+        raise ParameterError(
+            f"elements must be in [1, 2^{log_u}) — the all-zero element is "
+            "excluded from the universe (§2.1)"
+        )
+    return np.unique(arr)
+
+
+def _partition_by_group(arr: np.ndarray, salt: int, g: int) -> list[np.ndarray]:
+    """Split a set into its g group arrays with one vectorized pass."""
+    if len(arr) == 0:
+        return [arr.copy() for _ in range(g)]
+    gidx = group_indices(arr, salt, g)
+    order = np.argsort(gidx, kind="stable")
+    sorted_arr = arr[order]
+    sorted_gidx = gidx[order]
+    bounds = np.searchsorted(sorted_gidx, np.arange(g + 1))
+    return [sorted_arr[bounds[i] : bounds[i + 1]] for i in range(g)]
+
+
+@dataclass
+class _AliceUnit:
+    uid: UnitId
+    constraints: list[MembershipConstraint]
+    original: np.ndarray
+    working: np.ndarray
+    b_checksum: int | None = None
+    # per-round scratch (bin XOR table for candidate recovery)
+    xors: np.ndarray | None = field(default=None, repr=False)
+
+
+@dataclass
+class _BobUnit:
+    uid: UnitId
+    constraints: list[MembershipConstraint]
+    values: np.ndarray
+    fresh: bool = True
+    last_failed: bool = False
+    split_salt: int = 0
+
+
+class AliceSession:
+    """Alice's side: holds A, learns A xor B.
+
+    ``split_ways`` and ``membership_check`` exist for the ablation studies
+    (§3.2's three-way-vs-two-way argument and Procedure 3's fake-element
+    defense); production use keeps the defaults.
+    """
+
+    def __init__(
+        self,
+        values,
+        params: PBSParams,
+        seed: int,
+        split_ways: int = SPLIT_WAYS,
+        membership_check: bool = True,
+    ) -> None:
+        self.params = params
+        self.seed = seed
+        self.split_ways = split_ways
+        self.membership_check = membership_check
+        self.encode_s = 0.0
+        self.decode_s = 0.0
+        #: elements of verified units per round (checksum-certified)
+        self.resolved_by_round: dict[int, int] = {}
+        #: candidate elements recovered per round — the empirical
+        #: counterpart of the §5.3 "good balls" piecewise analysis
+        self.recovered_by_round: dict[int, int] = {}
+        arr = _as_element_array(values, params.log_u)
+        group_salt = derive_seed(seed, "group")
+        groups = _partition_by_group(arr, group_salt, params.g)
+        self.pending: list[_AliceUnit] = [
+            _AliceUnit(
+                uid=UnitId(i),
+                constraints=[MembershipConstraint(group_salt, params.g, i)],
+                original=groups[i],
+                working=groups[i],
+            )
+            for i in range(params.g)
+        ]
+        self._resolved_diffs: list[np.ndarray] = []
+        self._next_mask: list[bool] = []
+        self._round_salt: int = 0
+
+    # -- round driver --------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return not self.pending
+
+    def build_sketch_message(self, round_no: int) -> SketchMessage:
+        """Step 1: per-unit parity bitmaps and their BCH sketches."""
+        start = time.perf_counter()
+        params = self.params
+        self._round_salt = derive_seed(self.seed, "bin", round_no)
+        sketches: list[list[int]] = []
+        for unit in self.pending:
+            idx = bin_indices(unit.working, self._round_salt, params.n)
+            parity, xors = bin_tables(unit.working, idx, params.n)
+            unit.xors = xors
+            sketches.append(params.codec.sketch(parity_positions(parity)))
+        message = SketchMessage(
+            round_no=round_no,
+            continue_mask=self._next_mask,
+            sketches=sketches,
+        )
+        self._next_mask = []
+        self.encode_s += time.perf_counter() - start
+        return message
+
+    def handle_reply(self, reply: ReplyMessage, round_no: int) -> None:
+        """Step 3: recover, verify, retire/split/continue units."""
+        start = time.perf_counter()
+        params = self.params
+        if len(reply.replies) != len(self.pending):
+            raise SerializationError(
+                f"reply covers {len(reply.replies)} units, "
+                f"{len(self.pending)} pending"
+            )
+        bin_hash = SaltedHash(self._round_salt)
+        next_pending: list[_AliceUnit] = []
+        mask: list[bool] = []
+        for unit, unit_reply in zip(self.pending, reply.replies):
+            if unit_reply.decode_failed:
+                next_pending.extend(self._split(unit, round_no))
+                continue
+            if unit_reply.checksum is not None and unit.b_checksum is None:
+                unit.b_checksum = unit_reply.checksum
+            if unit.b_checksum is None:
+                raise SerializationError(
+                    f"no checksum ever received for unit {unit.uid.label()}"
+                )
+            candidates = self._recover(unit, unit_reply, bin_hash)
+            if candidates:
+                self.recovered_by_round[round_no] = (
+                    self.recovered_by_round.get(round_no, 0) + len(candidates)
+                )
+                unit.working = np.setxor1d(
+                    unit.working, np.array(sorted(candidates), dtype=np.uint64)
+                )
+            if set_checksum(unit.working, params.log_u) == unit.b_checksum:
+                diff = np.setxor1d(unit.original, unit.working)
+                self._resolved_diffs.append(diff)
+                self.resolved_by_round[round_no] = (
+                    self.resolved_by_round.get(round_no, 0) + len(diff)
+                )
+                mask.append(False)
+            else:
+                next_pending.append(unit)
+                mask.append(True)
+            unit.xors = None
+        self.pending = next_pending
+        self._next_mask = mask
+        self.decode_s += time.perf_counter() - start
+
+    # -- internals -------------------------------------------------------------
+    def _recover(
+        self, unit: _AliceUnit, unit_reply: UnitReply, bin_hash: SaltedHash
+    ) -> set[int]:
+        """Procedure 1 per position + Procedure 3 checks (§2.2.2, §2.3)."""
+        params = self.params
+        assert unit.xors is not None
+        candidates: set[int] = set()
+        for pos, bob_xor in zip(unit_reply.positions, unit_reply.xor_sums):
+            if not 1 <= pos <= params.n:
+                continue
+            s = int(unit.xors[pos - 1]) ^ bob_xor
+            if s == 0 or s >= (1 << params.log_u):
+                continue  # exceptions; cannot be a real element
+            if self.membership_check:
+                if bin_hash.bucket(s, params.n) != pos - 1:
+                    continue  # fake distinct element caught by Procedure 3
+                if not all(c.accepts(s) for c in unit.constraints):
+                    continue  # not in this unit's sub-universe
+            candidates.add(s)
+        return candidates
+
+    def _split(self, unit: _AliceUnit, round_no: int) -> list[_AliceUnit]:
+        """Three-way split after a BCH decoding failure (§3.2)."""
+        ways = self.split_ways
+        salt = derive_seed(self.seed, "split", unit.uid.group, unit.uid.path, round_no)
+        working_parts = split_by_hash(unit.working, salt, ways)
+        original_parts = split_by_hash(unit.original, salt, ways)
+        children = []
+        for b in range(ways):
+            children.append(
+                _AliceUnit(
+                    uid=unit.uid.child(b),
+                    constraints=unit.constraints
+                    + [MembershipConstraint(salt, ways, b)],
+                    original=original_parts[b],
+                    working=working_parts[b],
+                )
+            )
+        return children
+
+    # -- results -----------------------------------------------------------------
+    def difference(self) -> frozenset[int]:
+        """Alice's current view of A xor B (exact iff :attr:`done`)."""
+        parts = list(self._resolved_diffs)
+        parts.extend(
+            np.setxor1d(u.original, u.working) for u in self.pending
+        )
+        if not parts:
+            return frozenset()
+        return frozenset(int(v) for v in np.concatenate(parts))
+
+
+class BobSession:
+    """Bob's side: holds B, answers sketches."""
+
+    def __init__(
+        self,
+        values,
+        params: PBSParams,
+        seed: int,
+        split_ways: int = SPLIT_WAYS,
+    ) -> None:
+        self.params = params
+        self.seed = seed
+        self.split_ways = split_ways
+        self.encode_s = 0.0
+        self.decode_s = 0.0
+        arr = _as_element_array(values, params.log_u)
+        group_salt = derive_seed(seed, "group")
+        groups = _partition_by_group(arr, group_salt, params.g)
+        self.pending: list[_BobUnit] = [
+            _BobUnit(
+                uid=UnitId(i),
+                constraints=[MembershipConstraint(group_salt, params.g, i)],
+                values=groups[i],
+            )
+            for i in range(params.g)
+        ]
+
+    def handle_sketch_message(self, message: SketchMessage) -> ReplyMessage:
+        """Step 2: advance the pending list, decode every sketch."""
+        params = self.params
+        self._advance_pending(message)
+        if len(message.sketches) != len(self.pending):
+            raise SerializationError(
+                f"sketch message covers {len(message.sketches)} units, "
+                f"{len(self.pending)} pending"
+            )
+        round_salt = derive_seed(self.seed, "bin", message.round_no)
+        replies: list[UnitReply] = []
+        for unit, alice_sketch in zip(self.pending, message.sketches):
+            encode_start = time.perf_counter()
+            idx = bin_indices(unit.values, round_salt, params.n)
+            parity, xors = bin_tables(unit.values, idx, params.n)
+            sketch_b = params.codec.sketch(parity_positions(parity))
+            self.encode_s += time.perf_counter() - encode_start
+
+            decode_start = time.perf_counter()
+            delta_sketch = params.codec.sketch_xor(alice_sketch, sketch_b)
+            checksum = (
+                set_checksum(unit.values, params.log_u) if unit.fresh else None
+            )
+            try:
+                positions = params.codec.decode(delta_sketch)
+            except DecodeFailure:
+                unit.last_failed = True
+                unit.split_salt = derive_seed(
+                    self.seed, "split", unit.uid.group, unit.uid.path,
+                    message.round_no,
+                )
+                replies.append(
+                    UnitReply(
+                        decode_failed=True, positions=[], xor_sums=[],
+                        checksum=None,
+                    )
+                )
+            else:
+                unit.fresh = False
+                replies.append(
+                    UnitReply(
+                        decode_failed=False,
+                        positions=positions,
+                        xor_sums=[int(xors[p - 1]) for p in positions],
+                        checksum=checksum,
+                    )
+                )
+            self.decode_s += time.perf_counter() - decode_start
+        return ReplyMessage(round_no=message.round_no, replies=replies)
+
+    def _advance_pending(self, message: SketchMessage) -> None:
+        """Mirror Alice's pending-list evolution (splits + continuation mask)."""
+        if message.round_no == 1:
+            return
+        mask = iter(message.continue_mask)
+        next_pending: list[_BobUnit] = []
+        for unit in self.pending:
+            if unit.last_failed:
+                next_pending.extend(self._split(unit))
+                continue
+            try:
+                keep = next(mask)
+            except StopIteration:
+                raise SerializationError("continuation mask shorter than pending list")
+            if keep:
+                next_pending.append(unit)
+        self.pending = next_pending
+
+    def _split(self, unit: _BobUnit) -> list[_BobUnit]:
+        ways = self.split_ways
+        parts = split_by_hash(unit.values, unit.split_salt, ways)
+        return [
+            _BobUnit(
+                uid=unit.uid.child(b),
+                constraints=unit.constraints
+                + [MembershipConstraint(unit.split_salt, ways, b)],
+                values=parts[b],
+            )
+            for b in range(ways)
+        ]

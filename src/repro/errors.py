@@ -1,0 +1,35 @@
+"""Exception hierarchy for the PBS reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A parameter is outside its valid domain (e.g. ``n`` not ``2^m - 1``)."""
+
+
+class DecodeFailure(ReproError):
+    """A sketch could not be decoded.
+
+    For BCH sketches this corresponds to the paper's third exception type
+    (§3.2): the number of "bit errors" exceeds the error-correction
+    capacity ``t``.  For IBFs it means the peeling process stalled.
+    Protocols catch this and fall back (PBS splits the group three-way;
+    D.Digest reports failure).
+    """
+
+
+class ReconciliationFailure(ReproError):
+    """A reconciliation protocol exhausted its round budget without the
+    checksum verification succeeding."""
+
+
+class SerializationError(ReproError):
+    """A message could not be encoded to, or decoded from, bytes."""

@@ -1,0 +1,67 @@
+"""Min-wise set-difference estimator (Appendix B).
+
+Min-wise hashing [Broder et al.] estimates the Jaccard similarity
+``J = |A ∩ B| / |A ∪ B|`` as the fraction of k independent min-hashes that
+agree.  The difference cardinality follows from the identity
+
+    d = |A xor B| = (1 - J) * |A ∪ B|,   |A ∪ B| = (|A| + |B|) / (1 + J).
+
+The paper compares against this estimator (and Strata) in Appendix B and
+finds ToW more space-efficient at equal accuracy; the estimator benchmark
+reproduces that comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.hashing.families import SaltedHash
+from repro.utils.seeds import derive_seed
+
+
+class MinWiseEstimator:
+    """k-permutation min-wise estimator.
+
+    >>> import numpy as np
+    >>> est = MinWiseEstimator(n_hashes=256, seed=3)
+    >>> a = np.arange(1, 2001, dtype=np.uint64)
+    >>> sig_a = est.signature(a)
+    >>> est.estimate(sig_a, sig_a, size_a=2000, size_b=2000)
+    0.0
+    """
+
+    def __init__(self, n_hashes: int = 128, seed: int = 0) -> None:
+        if n_hashes < 1:
+            raise ParameterError(f"need at least one hash, got {n_hashes}")
+        self.n_hashes = n_hashes
+        self._hashes = [
+            SaltedHash(derive_seed(seed, "minwise", i)) for i in range(n_hashes)
+        ]
+
+    def signature(self, values: np.ndarray) -> np.ndarray:
+        """Vector of per-hash minima (uint64), the min-wise signature."""
+        values = np.asarray(values, dtype=np.uint64)
+        out = np.empty(self.n_hashes, dtype=np.uint64)
+        if len(values) == 0:
+            out[:] = np.iinfo(np.uint64).max
+            return out
+        for i, h in enumerate(self._hashes):
+            out[i] = h.hash_vec(values).min()
+        return out
+
+    def estimate(
+        self,
+        signature_a: np.ndarray,
+        signature_b: np.ndarray,
+        size_a: int,
+        size_b: int,
+    ) -> float:
+        """``d_hat`` from two signatures and the (known) set sizes."""
+        matches = float((signature_a == signature_b).mean())
+        union = (size_a + size_b) / (1.0 + matches)
+        return (1.0 - matches) * union
+
+    def signature_bytes(self) -> int:
+        """Wire size: 64 bits per min-hash."""
+        return self.n_hashes * 8

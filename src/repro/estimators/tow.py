@@ -1,0 +1,125 @@
+"""The Tug-of-War set-difference estimator (§6, Appendix A).
+
+One sketch of a set S under a ±1 four-wise independent hash f is
+``Y_f(S) = sum_{s in S} f(s)``; the paper proves
+``(Y_f(A) - Y_f(B))^2`` is an unbiased estimator of ``d = |A xor B|``
+with variance ``2d^2 - 2d``.  Averaging ``l`` independent sketches divides
+the variance by ``l``; PBS uses ``l = 128`` (336 bytes for 10^6-element
+sets) and then conservatively takes ``1.38 * d_hat`` as the design d,
+which covers the true d with probability >= 99% (§6.2).
+
+Two hash families are offered: ``"fourwise"`` (degree-3 polynomials over
+GF(2^61 - 1); matches the paper's independence requirement exactly) and
+``"fast"`` (salted splitmix64 mixing; ~10x faster and empirically
+indistinguishable — used by the large benchmark sweeps).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.hashing.families import SaltedHash
+from repro.hashing.fourwise import FourWiseHash
+from repro.utils.bitio import BitReader, BitWriter
+from repro.utils.seeds import derive_seed
+
+#: The paper's recommended (l, gamma): 128 sketches, 1.38 inflation for a
+#: >= 99% one-sided coverage of the true d.
+DEFAULT_SKETCHES = 128
+DEFAULT_GAMMA = 1.38
+
+
+class ToWEstimator:
+    """Tug-of-War estimator with ``l`` independent ±1 sketches.
+
+    >>> import numpy as np
+    >>> est = ToWEstimator(seed=1)
+    >>> a = np.arange(1, 1001, dtype=np.uint64)
+    >>> b = np.arange(1, 951, dtype=np.uint64)   # d = 50
+    >>> ya, yb = est.sketch(a), est.sketch(b)
+    >>> 10 < est.estimate(ya, yb) < 150
+    True
+    """
+
+    def __init__(
+        self,
+        n_sketches: int = DEFAULT_SKETCHES,
+        seed: int = 0,
+        family: str = "fourwise",
+    ) -> None:
+        if n_sketches < 1:
+            raise ParameterError(f"need at least one sketch, got {n_sketches}")
+        if family not in ("fourwise", "fast"):
+            raise ParameterError(f"unknown hash family {family!r}")
+        self.n_sketches = n_sketches
+        self.seed = seed
+        self.family = family
+        if family == "fourwise":
+            self._hashes = [
+                FourWiseHash(derive_seed(seed, "tow", i)) for i in range(n_sketches)
+            ]
+        else:
+            self._hashes = [
+                SaltedHash(derive_seed(seed, "tow-fast", i))
+                for i in range(n_sketches)
+            ]
+
+    # -- sketching -----------------------------------------------------------
+    def sketch(self, values: np.ndarray) -> np.ndarray:
+        """The ``l`` sketch values ``Y_1(S) .. Y_l(S)`` (int64 array)."""
+        values = np.asarray(values, dtype=np.uint64)
+        out = np.empty(self.n_sketches, dtype=np.int64)
+        if len(values) == 0:
+            out[:] = 0
+            return out
+        for i, h in enumerate(self._hashes):
+            if self.family == "fourwise":
+                signs = h.signs(values)
+            else:
+                bits = h.hash_vec(values) & np.uint64(1)
+                signs = np.where(bits == 1, np.int64(1), np.int64(-1))
+            out[i] = int(signs.sum())
+        return out
+
+    # -- estimation ----------------------------------------------------------
+    def estimate(self, sketch_a: np.ndarray, sketch_b: np.ndarray) -> float:
+        """``d_hat``: mean of squared sketch differences."""
+        diff = np.asarray(sketch_a, dtype=np.int64) - np.asarray(
+            sketch_b, dtype=np.int64
+        )
+        return float((diff.astype(np.float64) ** 2).mean())
+
+    @staticmethod
+    def conservative(d_hat: float, gamma: float = DEFAULT_GAMMA) -> int:
+        """The design value ``ceil(gamma * d_hat)``, at least 1 (§6.2)."""
+        return max(1, math.ceil(gamma * d_hat))
+
+    # -- wire format -----------------------------------------------------------
+    @staticmethod
+    def value_bits(set_size: int) -> int:
+        """Bits per sketch value: ``ceil(log2(2|S| + 1))`` (§6.1)."""
+        return max(1, math.ceil(math.log2(2 * set_size + 1)))
+
+    def sketch_bytes(self, set_size: int) -> int:
+        """Total wire size of one sketch vector."""
+        return (self.n_sketches * self.value_bits(set_size) + 7) // 8
+
+    def serialize(self, sketch: np.ndarray, set_size: int) -> bytes:
+        """Pack sketch values (offset by |S| to make them nonnegative)."""
+        width = self.value_bits(set_size)
+        writer = BitWriter()
+        for y in sketch:
+            writer.write(int(y) + set_size, width)
+        return writer.getvalue()
+
+    def deserialize(self, data: bytes, set_size: int) -> np.ndarray:
+        """Inverse of :meth:`serialize`."""
+        width = self.value_bits(set_size)
+        reader = BitReader(data)
+        return np.array(
+            [reader.read(width) - set_size for _ in range(self.n_sketches)],
+            dtype=np.int64,
+        )

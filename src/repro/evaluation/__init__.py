@@ -1,0 +1,26 @@
+"""Experiment drivers: one module per figure/table of the paper's §8.
+
+The benchmark files under ``benchmarks/`` are thin pytest-benchmark
+wrappers around these drivers; running a driver directly (e.g.
+``python -m repro.evaluation.fig1``) prints the same table.
+
+All drivers honor the ``REPRO_SCALE`` environment variable (default 1.0):
+values below 1 shrink set sizes / d grids / trial counts proportionally
+for quick runs, values above 1 push toward the paper's full scale.
+"""
+
+from repro.evaluation.harness import (
+    ExperimentTable,
+    instances,
+    scale_factor,
+    scaled,
+    shared_estimates,
+)
+
+__all__ = [
+    "ExperimentTable",
+    "instances",
+    "scale_factor",
+    "scaled",
+    "shared_estimates",
+]

@@ -1,0 +1,79 @@
+"""Figure 2: PBS vs Graphene at target success rate 239/240 (§8.2).
+
+The workload is Graphene's best case (B ⊂ A, Alice learns A \\ B).  The
+paper's qualitative findings: PBS transmits 1.2-7.4x less until d gets
+within an order of magnitude of |A|, where Graphene's BF+IBLT regime
+kicks in (the Fig. 2b slope change) and eventually undercuts PBS; PBS
+encodes faster throughout; Graphene decodes somewhat faster.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.graphene import GrapheneProtocol
+from repro.core.protocol import PBSProtocol
+from repro.evaluation.harness import (
+    ExperimentTable,
+    aggregate_runs,
+    instances,
+    scaled,
+    shared_estimates,
+)
+
+DEFAULT_D_VALUES = (10, 100, 1000, 3000, 10_000)
+DEFAULT_SIZE_A = 20_000
+DEFAULT_TRIALS = 10
+TARGET_P0 = 239.0 / 240.0
+
+
+def run(
+    d_values: tuple[int, ...] = DEFAULT_D_VALUES,
+    size_a: int = DEFAULT_SIZE_A,
+    trials: int = DEFAULT_TRIALS,
+    seed: int = 2,
+) -> ExperimentTable:
+    trials = scaled(trials, minimum=3)
+    table = ExperimentTable(
+        name="Fig. 2 — PBS vs Graphene (p0 = 239/240, B ⊂ A best case)",
+        columns=[
+            "d", "algorithm", "success", "kb", "kb/min", "encode_s", "decode_s",
+        ],
+    )
+    for d in d_values:
+        if d > size_a:
+            continue
+        pairs = instances(size_a, d, trials, seed=seed)
+        estimates = shared_estimates(pairs, seed=seed)
+        minimum_kb = d * 32 / 8 / 1000.0
+        schemes = {
+            "pbs": lambda s: PBSProtocol(seed=s, p0=TARGET_P0, r=3),
+            "graphene": lambda s: GrapheneProtocol(seed=s),
+        }
+        for name, factory in schemes.items():
+            results = [
+                factory(seed + i).run(p.a, p.b, estimated_d=e)
+                for i, (p, e) in enumerate(zip(pairs, estimates))
+            ]
+            for r, p in zip(results, pairs):
+                if r.success and r.difference != p.difference:
+                    r.success = False
+            agg = aggregate_runs(results)
+            table.add_row(
+                d=d,
+                algorithm=name,
+                success=agg["success"],
+                kb=agg["kb"],
+                **{"kb/min": agg["kb"] / minimum_kb},
+                encode_s=agg["encode_s"],
+                decode_s=agg["decode_s"],
+            )
+    table.note(
+        f"|A| = {size_a}, {trials} trials/point.  Expect Graphene's kb/min to "
+        "*fall* as d approaches |A| (BF regime) and eventually undercut PBS."
+    )
+    return table
+
+
+if __name__ == "__main__":
+    table = run()
+    table.print()
+    table.save("fig2_pbs_vs_graphene")

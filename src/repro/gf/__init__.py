@@ -1,0 +1,53 @@
+"""Finite fields GF(2^m) and polynomial arithmetic over them.
+
+Three interchangeable field backends implement the :class:`GF2mField`
+interface:
+
+* :class:`~repro.gf.table_field.TableField` — log/antilog tables, m <= 16.
+  Powers the PBS parity-bitmap sketches (n = 2^m - 1, m in 6..11) and offers
+  vectorized bulk multiplication for fast syndrome computation and Chien
+  search.
+* :class:`~repro.gf.tower_field.TowerField32` — GF(2^32) represented as a
+  degree-2 extension of GF(2^16).  One multiply costs three table multiplies,
+  which is what makes a pure-Python PinSketch over a 32-bit universe viable.
+* :class:`~repro.gf.carryless_field.CarrylessField` — generic, any m, via
+  carry-less multiplication and explicit modular reduction.  Slow; used as
+  the cross-validation reference and for odd sizes (e.g. m = 64).
+"""
+
+from repro.gf.base import GF2mField, PRIMITIVE_POLYS
+from repro.gf.carryless_field import CarrylessField
+from repro.gf.table_field import TableField
+from repro.gf.tower_field import TowerField32
+from repro.gf import polynomial
+
+__all__ = [
+    "GF2mField",
+    "PRIMITIVE_POLYS",
+    "TableField",
+    "TowerField32",
+    "CarrylessField",
+    "polynomial",
+    "field_for",
+]
+
+_FIELD_CACHE: dict[int, GF2mField] = {}
+
+
+def field_for(m: int) -> GF2mField:
+    """Return a cached field instance of GF(2^m), picking the best backend.
+
+    Table fields for m <= 16, the tower field for m = 32, carry-less
+    otherwise.  Field construction (table building) is amortized across the
+    whole process via this cache.
+    """
+    field = _FIELD_CACHE.get(m)
+    if field is None:
+        if m <= 16:
+            field = TableField(m)
+        elif m == 32:
+            field = TowerField32()
+        else:
+            field = CarrylessField(m)
+        _FIELD_CACHE[m] = field
+    return field

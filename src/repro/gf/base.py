@@ -1,0 +1,124 @@
+"""Common interface for GF(2^m) backends and standard primitive polynomials.
+
+Field elements are plain Python ints in ``[0, 2^m)`` interpreted as
+polynomials over GF(2) (bit i = coefficient of x^i).  Addition is XOR for
+every backend, so it is provided here once.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.errors import ParameterError
+
+#: Standard primitive (or at least irreducible-and-primitive for m <= 16,
+#: irreducible for the large sizes) polynomials, written as integers with the
+#: leading x^m bit included.  Small-m entries are the classical minimal-weight
+#: primitive trinomials/pentanomials; tests verify primitivity exhaustively
+#: for every m <= 16.
+PRIMITIVE_POLYS: dict[int, int] = {
+    2: 0b111,                # x^2+x+1
+    3: 0b1011,               # x^3+x+1
+    4: 0b10011,              # x^4+x+1
+    5: 0b100101,             # x^5+x^2+1
+    6: 0b1000011,            # x^6+x+1
+    7: 0b10001001,           # x^7+x^3+1
+    8: 0b100011101,          # x^8+x^4+x^3+x^2+1
+    9: 0b1000010001,         # x^9+x^4+1
+    10: 0b10000001001,       # x^10+x^3+1
+    11: 0b100000000101,      # x^11+x^2+1
+    12: 0b1000001010011,     # x^12+x^6+x^4+x+1
+    13: 0b10000000011011,    # x^13+x^4+x^3+x+1
+    14: 0b100010001000011,   # x^14+x^10+x^6+x+1
+    15: 0b1000000000000011,  # x^15+x+1
+    16: 0b10001000000001011,  # x^16+x^12+x^3+x+1
+    24: (1 << 24) | 0b10000111,            # x^24+x^7+x^2+x+1
+    32: (1 << 32) | (1 << 22) | 0b111,     # x^32+x^22+x^2+x+1
+    64: (1 << 64) | 0b11011,               # x^64+x^4+x^3+x+1
+}
+
+
+class GF2mField(abc.ABC):
+    """Abstract GF(2^m).  Elements are ints in ``[0, 2^m)``."""
+
+    #: extension degree m
+    m: int
+    #: multiplicative group order, 2^m - 1
+    order: int
+
+    def __init__(self, m: int) -> None:
+        if m < 2:
+            raise ParameterError(f"GF(2^m) needs m >= 2, got {m}")
+        self.m = m
+        self.order = (1 << m) - 1
+
+    # -- structure ---------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of field elements, 2^m."""
+        return self.order + 1
+
+    def check(self, a: int) -> int:
+        """Validate that ``a`` is an element; returns it unchanged."""
+        if not 0 <= a <= self.order:
+            raise ParameterError(f"{a} is not an element of GF(2^{self.m})")
+        return a
+
+    # -- arithmetic --------------------------------------------------------
+    @staticmethod
+    def add(a: int, b: int) -> int:
+        """Field addition (characteristic 2): XOR."""
+        return a ^ b
+
+    sub = add  # subtraction coincides with addition in characteristic 2
+
+    @abc.abstractmethod
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication."""
+
+    @abc.abstractmethod
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse of a nonzero element."""
+
+    def div(self, a: int, b: int) -> int:
+        """``a / b`` for nonzero ``b``."""
+        return self.mul(a, self.inv(b))
+
+    def pow(self, a: int, k: int) -> int:
+        """``a ** k`` by square-and-multiply (k may be any integer >= 0)."""
+        if a == 0:
+            if k == 0:
+                return 1
+            return 0
+        k %= self.order  # a^(2^m - 1) = 1 for nonzero a
+        result = 1
+        base = a
+        while k:
+            if k & 1:
+                result = self.mul(result, base)
+            base = self.mul(base, base)
+            k >>= 1
+        return result
+
+    def sqr(self, a: int) -> int:
+        """``a^2`` (the Frobenius map)."""
+        return self.mul(a, a)
+
+    def sqrt(self, a: int) -> int:
+        """The unique square root in characteristic 2: ``a^(2^(m-1))``."""
+        result = a
+        for _ in range(self.m - 1):
+            result = self.mul(result, result)
+        return result
+
+    def trace(self, a: int) -> int:
+        """Absolute trace ``Tr(a) = a + a^2 + a^4 + ... + a^(2^(m-1))`` in GF(2)."""
+        acc = 0
+        cur = a
+        for _ in range(self.m):
+            acc ^= cur
+            cur = self.mul(cur, cur)
+        return acc
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(m={self.m})"

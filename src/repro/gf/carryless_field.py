@@ -1,0 +1,79 @@
+"""Generic GF(2^m) via carry-less multiplication (any m).
+
+This is the straightforward, backend-agnostic implementation: multiply the
+two operand polynomials with shift/XOR, then reduce modulo the field
+polynomial.  It is O(m) per multiplication and therefore slow, but works for
+any extension degree, including GF(2^64).  It serves as the reference
+implementation that the table and tower backends are cross-validated
+against in the property-based tests.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+from repro.gf.base import GF2mField, PRIMITIVE_POLYS
+
+
+def clmul(a: int, b: int) -> int:
+    """Carry-less (GF(2)[x]) product of two nonnegative integers."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        b >>= 1
+    return result
+
+
+def poly_mod_int(value: int, poly: int, m: int) -> int:
+    """Reduce a GF(2)[x] polynomial (as int) modulo ``poly`` of degree m."""
+    for i in range(value.bit_length() - 1, m - 1, -1):
+        if (value >> i) & 1:
+            value ^= poly << (i - m)
+    return value
+
+
+class CarrylessField(GF2mField):
+    """Reference GF(2^m) backend for arbitrary m.
+
+    >>> f = CarrylessField(64)
+    >>> a = 0xDEADBEEFCAFEF00D
+    >>> f.mul(a, f.inv(a))
+    1
+    """
+
+    def __init__(self, m: int, poly: int | None = None) -> None:
+        super().__init__(m)
+        if poly is None:
+            try:
+                poly = PRIMITIVE_POLYS[m]
+            except KeyError:
+                raise ParameterError(
+                    f"no stock polynomial for m={m}; pass one explicitly"
+                )
+        if poly >> m != 1:
+            raise ParameterError(f"polynomial {poly:#x} does not have degree {m}")
+        self.poly = poly
+
+    def mul(self, a: int, b: int) -> int:
+        if a == 0 or b == 0:
+            return 0
+        return poly_mod_int(clmul(a, b), self.poly, self.m)
+
+    def inv(self, a: int) -> int:
+        """Inverse via the extended Euclidean algorithm on GF(2)[x]."""
+        if a == 0:
+            raise ZeroDivisionError("inverse of 0 in GF(2^m)")
+        # Invariants: r0 = s0 * a (mod poly), r1 = s1 * a (mod poly)
+        r0, r1 = self.poly, a
+        s0, s1 = 0, 1
+        while r1 != 0:
+            d = r0.bit_length() - r1.bit_length()
+            if d < 0:
+                r0, r1 = r1, r0
+                s0, s1 = s1, s0
+                continue
+            r0 ^= r1 << d
+            s0 ^= s1 << d
+        # r0 is now gcd = 1 (poly is irreducible), s0 the Bezout coefficient.
+        return poly_mod_int(s0, self.poly, self.m)

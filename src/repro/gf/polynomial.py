@@ -1,0 +1,148 @@
+"""Polynomial arithmetic over GF(2^m).
+
+Polynomials are plain Python lists of field elements in *ascending* degree
+order (``coeffs[i]`` multiplies x^i), normalized so the last entry is
+nonzero (the zero polynomial is ``[]``).  The BCH decoder needs multiply,
+divmod, gcd, modular exponentiation of x, and evaluation; the Berlekamp
+trace root-finder additionally needs the trace polynomial ``Tr(beta x)``
+modulo the locator.
+"""
+
+from __future__ import annotations
+
+from repro.gf.base import GF2mField
+
+Poly = list[int]
+
+
+def trim(p: Poly) -> Poly:
+    """Strip trailing zero coefficients (normal form)."""
+    end = len(p)
+    while end and p[end - 1] == 0:
+        end -= 1
+    return p[:end]
+
+
+def degree(p: Poly) -> int:
+    """Degree of a normalized polynomial; -1 for the zero polynomial."""
+    return len(p) - 1
+
+
+def add(p: Poly, q: Poly) -> Poly:
+    """Coefficientwise XOR (characteristic 2 addition)."""
+    if len(p) < len(q):
+        p, q = q, p
+    out = list(p)
+    for i, c in enumerate(q):
+        out[i] ^= c
+    return trim(out)
+
+
+def scale(p: Poly, c: int, field: GF2mField) -> Poly:
+    """Multiply every coefficient by the scalar ``c``."""
+    if c == 0:
+        return []
+    return [field.mul(coef, c) for coef in p]
+
+
+def mul(p: Poly, q: Poly, field: GF2mField) -> Poly:
+    """Product of two polynomials."""
+    if not p or not q:
+        return []
+    out = [0] * (len(p) + len(q) - 1)
+    for i, a in enumerate(p):
+        if a == 0:
+            continue
+        for j, b in enumerate(q):
+            if b:
+                out[i + j] ^= field.mul(a, b)
+    return trim(out)
+
+
+def divmod_poly(num: Poly, den: Poly, field: GF2mField) -> tuple[Poly, Poly]:
+    """Quotient and remainder of polynomial division."""
+    num = trim(list(num))
+    den = trim(list(den))
+    if not den:
+        raise ZeroDivisionError("polynomial division by zero")
+    if len(num) < len(den):
+        return [], num
+    inv_lead = field.inv(den[-1])
+    quot = [0] * (len(num) - len(den) + 1)
+    rem = list(num)
+    for shift in range(len(num) - len(den), -1, -1):
+        coef = rem[shift + len(den) - 1]
+        if coef == 0:
+            continue
+        factor = field.mul(coef, inv_lead)
+        quot[shift] = factor
+        for i, d in enumerate(den):
+            if d:
+                rem[shift + i] ^= field.mul(factor, d)
+    return trim(quot), trim(rem)
+
+
+def mod(num: Poly, den: Poly, field: GF2mField) -> Poly:
+    """Remainder of polynomial division."""
+    return divmod_poly(num, den, field)[1]
+
+
+def monic(p: Poly, field: GF2mField) -> Poly:
+    """Scale so the leading coefficient is 1."""
+    p = trim(list(p))
+    if not p or p[-1] == 1:
+        return p
+    return scale(p, field.inv(p[-1]), field)
+
+
+def gcd(p: Poly, q: Poly, field: GF2mField) -> Poly:
+    """Monic greatest common divisor."""
+    a, b = trim(list(p)), trim(list(q))
+    while b:
+        a, b = b, mod(a, b, field)
+    return monic(a, field)
+
+
+def evaluate(p: Poly, x: int, field: GF2mField) -> int:
+    """Evaluate via Horner's rule."""
+    acc = 0
+    for c in reversed(p):
+        acc = field.mul(acc, x) ^ c
+    return acc
+
+
+def mul_mod(p: Poly, q: Poly, f: Poly, field: GF2mField) -> Poly:
+    """``p * q mod f``."""
+    return mod(mul(p, q, field), f, field)
+
+
+def pow_x_mod(exponent_log2: int, f: Poly, field: GF2mField) -> Poly:
+    """``x^(2^exponent_log2) mod f`` by repeated squaring of x."""
+    result = mod([0, 1], f, field)
+    for _ in range(exponent_log2):
+        result = mul_mod(result, result, f, field)
+    return result
+
+
+def trace_poly_mod(beta: int, f: Poly, field: GF2mField) -> Poly:
+    """``Tr(beta x) mod f = sum_{i=0}^{m-1} (beta x)^(2^i) mod f``.
+
+    This is the splitting polynomial of the Berlekamp trace algorithm: for
+    any field element e, ``Tr(beta e)`` is 0 or 1, so gcd(f, Tr(beta x))
+    collects exactly the roots of f whose trace (against beta) vanishes.
+    """
+    term = mod([0, beta], f, field)  # (beta x)^(2^0)
+    acc = term
+    for _ in range(field.m - 1):
+        # square the *previous power term*: ((beta x)^(2^i))^2 = (beta x)^(2^(i+1))
+        term = mul_mod(term, term, f, field)
+        acc = add(acc, term)
+    return acc
+
+
+def from_roots(roots: list[int], field: GF2mField) -> Poly:
+    """Monic polynomial with the given roots: prod (x - r)."""
+    p: Poly = [1]
+    for r in roots:
+        p = mul(p, [r, 1], field)
+    return p

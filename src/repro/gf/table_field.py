@@ -1,0 +1,133 @@
+"""GF(2^m) via log/antilog tables (m <= 16).
+
+Construction walks the powers of the generator alpha = x (the class of x in
+GF(2)[x]/(p)), recording ``exp[i] = alpha^i`` and ``log[alpha^i] = i``.  The
+walk doubles as a primitivity check: if the supplied polynomial were not
+primitive the orbit of alpha would repeat before covering all 2^m - 1
+nonzero elements, which we detect and reject.
+
+The tables are numpy arrays, which enables the vectorized bulk operations
+(:meth:`TableField.mul_vec`, :meth:`TableField.eval_poly_all`) that make
+syndrome computation and Chien search fast enough for pure Python.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.gf.base import GF2mField, PRIMITIVE_POLYS
+
+
+class TableField(GF2mField):
+    """Table-based GF(2^m) for m <= 16.
+
+    >>> f = TableField(8)
+    >>> f.mul(f.inv(7), 7)
+    1
+    """
+
+    def __init__(self, m: int, poly: int | None = None) -> None:
+        super().__init__(m)
+        if m > 16:
+            raise ParameterError(
+                f"TableField supports m <= 16 (2^{m} table would be huge); "
+                "use TowerField32 or CarrylessField"
+            )
+        if poly is None:
+            try:
+                poly = PRIMITIVE_POLYS[m]
+            except KeyError:
+                raise ParameterError(f"no stock primitive polynomial for m={m}")
+        self.poly = poly
+
+        order = self.order
+        exp = np.zeros(2 * order, dtype=np.int64)
+        log = np.full(order + 1, -1, dtype=np.int64)
+        x = 1
+        for i in range(order):
+            if log[x] != -1:
+                raise ParameterError(
+                    f"polynomial {poly:#x} is not primitive for m={m}: "
+                    f"alpha has order {i}"
+                )
+            exp[i] = x
+            log[x] = i
+            x <<= 1
+            if x >> m:
+                x ^= poly
+        if x != 1:
+            raise ParameterError(f"polynomial {poly:#x} is not primitive for m={m}")
+        # Double the exp table so mul can skip the `mod order` on index sums.
+        exp[order : 2 * order] = exp[:order]
+        #: antilog table, exp_table[i] = alpha^i, length 2*(2^m - 1)
+        self.exp_table = exp
+        #: log table, log_table[a] = discrete log of a (log_table[0] = -1)
+        self.log_table = log
+
+    # -- scalar ops --------------------------------------------------------
+    def mul(self, a: int, b: int) -> int:
+        if a == 0 or b == 0:
+            return 0
+        return int(self.exp_table[self.log_table[a] + self.log_table[b]])
+
+    def inv(self, a: int) -> int:
+        if a == 0:
+            raise ZeroDivisionError("inverse of 0 in GF(2^m)")
+        if a == 1:
+            return 1
+        return int(self.exp_table[self.order - self.log_table[a]])
+
+    def pow(self, a: int, k: int) -> int:
+        if a == 0:
+            return 1 if k == 0 else 0
+        idx = (int(self.log_table[a]) * k) % self.order
+        return int(self.exp_table[idx])
+
+    def alpha_pow(self, i: int) -> int:
+        """``alpha^i`` for any integer i (alpha = the generator, element 2)."""
+        return int(self.exp_table[i % self.order])
+
+    # -- vectorized ops ----------------------------------------------------
+    def mul_vec(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise product of two arrays of field elements."""
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        out = self.exp_table[self.log_table[a] + self.log_table[b]]
+        zero = (a == 0) | (b == 0)
+        if zero.any():
+            out = np.where(zero, 0, out)
+        return out
+
+    def pow_vec(self, a: np.ndarray, k: int) -> np.ndarray:
+        """Elementwise ``a ** k`` for an array of field elements."""
+        a = np.asarray(a, dtype=np.int64)
+        logs = self.log_table[a]
+        out = self.exp_table[(logs * k) % self.order]
+        zero = a == 0
+        if zero.any():
+            out = np.where(zero, 1 if k == 0 else 0, out)
+        return out
+
+    def power_sum(self, values: np.ndarray, k: int) -> int:
+        """XOR-sum of ``v ** k`` over all (nonzero) values — one syndrome."""
+        if len(values) == 0:
+            return 0
+        return int(np.bitwise_xor.reduce(self.pow_vec(values, k)))
+
+    def eval_poly_all(self, coeffs: list[int]) -> np.ndarray:
+        """Evaluate a polynomial at *every* nonzero field element at once.
+
+        Returns an array ``vals`` of length ``order`` with
+        ``vals[i] = poly(alpha^i)``.  This is the vectorized Chien search
+        primitive: the roots are the ``alpha^i`` with ``vals[i] == 0``.
+        """
+        order = self.order
+        idx = np.arange(order, dtype=np.int64)
+        acc = np.zeros(order, dtype=np.int64)
+        for j, c in enumerate(coeffs):
+            if c == 0:
+                continue
+            log_c = int(self.log_table[c])
+            acc ^= self.exp_table[(log_c + j * idx) % order]
+        return acc

@@ -1,0 +1,133 @@
+"""GF(2^32) as a tower: GF(2^16)[y] / (y^2 + y + beta).
+
+PinSketch over the paper's 32-bit universe needs GF(2^32) arithmetic, but a
+log table of 2^32 entries is out of the question and the generic carry-less
+backend costs ~m loop iterations per product.  The classical remedy is a
+*tower field*: represent each 32-bit element as ``hi * y + lo`` with
+``hi, lo`` in GF(2^16), where ``y^2 = y + beta`` for a constant ``beta``
+with absolute trace 1 (that trace condition makes ``y^2 + y + beta``
+irreducible over GF(2^16)).
+
+One GF(2^32) product then costs three GF(2^16) table products (Karatsuba)
+plus one multiply-by-constant, and inversion reduces to one GF(2^16)
+inversion via the norm map — about two orders of magnitude faster than the
+carry-less loop.  All operations also come in numpy-vectorized form so that
+PinSketch syndromes of 10^5-element sets stay fast.
+
+Note: any field of order 2^32 is isomorphic to any other, and PinSketch only
+needs *a* field containing the (nonzero) 32-bit signatures, so this
+representation change is transparent to the protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gf.base import GF2mField
+from repro.gf.table_field import TableField
+
+_M16 = 0xFFFF
+
+
+def _find_beta(base: TableField) -> int:
+    """Smallest GF(2^16) element with absolute trace 1.
+
+    ``y^2 + y + beta`` is irreducible over GF(2^k) iff Tr(beta) = 1.
+    """
+    for candidate in range(1, base.order + 1):
+        if base.trace(candidate) == 1:
+            return candidate
+    raise AssertionError("no trace-1 element found (impossible)")
+
+
+class TowerField32(GF2mField):
+    """GF(2^32) built on top of GF(2^16).
+
+    >>> f = TowerField32()
+    >>> a = 0xDEADBEEF
+    >>> f.mul(a, f.inv(a))
+    1
+    """
+
+    def __init__(self) -> None:
+        super().__init__(32)
+        self.base = TableField(16)
+        self.beta = _find_beta(self.base)
+        # Cache for the constant multiply by beta in the vector path.
+        base = self.base
+        self._log_beta = int(base.log_table[self.beta])
+
+    # -- scalar ops --------------------------------------------------------
+    def mul(self, a: int, b: int) -> int:
+        base = self.base
+        a_hi, a_lo = a >> 16, a & _M16
+        b_hi, b_lo = b >> 16, b & _M16
+        hh = base.mul(a_hi, b_hi)
+        ll = base.mul(a_lo, b_lo)
+        # Karatsuba: (a_hi + a_lo)(b_hi + b_lo) = hh + cross + ll
+        k = base.mul(a_hi ^ a_lo, b_hi ^ b_lo)
+        hi = k ^ ll  # = hh + cross; with the y^2 = y + beta reduction folded in
+        lo = self._mul_beta(hh) ^ ll
+        return (hi << 16) | lo
+
+    def _mul_beta(self, x: int) -> int:
+        if x == 0:
+            return 0
+        base = self.base
+        return int(base.exp_table[self._log_beta + base.log_table[x]])
+
+    def inv(self, a: int) -> int:
+        if a == 0:
+            raise ZeroDivisionError("inverse of 0 in GF(2^32)")
+        base = self.base
+        hi, lo = a >> 16, a & _M16
+        # Conjugate of (hi*y + lo) under Frobenius^16 is (hi*y + hi + lo);
+        # norm = a * conj(a) = beta*hi^2 + hi*lo + lo^2 lies in GF(2^16).
+        norm = (
+            self._mul_beta(base.mul(hi, hi))
+            ^ base.mul(hi, lo)
+            ^ base.mul(lo, lo)
+        )
+        inv_norm = base.inv(norm)
+        out_hi = base.mul(hi, inv_norm)
+        out_lo = base.mul(hi ^ lo, inv_norm)
+        return (out_hi << 16) | out_lo
+
+    # -- vectorized ops ----------------------------------------------------
+    def mul_vec(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise GF(2^32) product of two int64 arrays."""
+        base = self.base
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        a_hi, a_lo = a >> 16, a & _M16
+        b_hi, b_lo = b >> 16, b & _M16
+        hh = base.mul_vec(a_hi, b_hi)
+        ll = base.mul_vec(a_lo, b_lo)
+        k = base.mul_vec(a_hi ^ a_lo, b_hi ^ b_lo)
+        hi = k ^ ll
+        lo = base.mul_vec(hh, np.full_like(hh, self.beta)) ^ ll
+        return (hi << 16) | lo
+
+    def pow_vec(self, a: np.ndarray, k: int) -> np.ndarray:
+        """Elementwise ``a ** k`` by square-and-multiply on arrays."""
+        a = np.asarray(a, dtype=np.int64)
+        result = np.ones_like(a)
+        base_arr = a.copy()
+        kk = k % self.order if k else 0
+        if k and kk == 0:
+            # a^(order) = 1 for nonzero a; keep zeros mapped to 0 below.
+            kk = self.order
+        while kk:
+            if kk & 1:
+                result = self.mul_vec(result, base_arr)
+            base_arr = self.mul_vec(base_arr, base_arr)
+            kk >>= 1
+        if k != 0:
+            result = np.where(a == 0, 0, result)
+        return result
+
+    def power_sum(self, values: np.ndarray, k: int) -> int:
+        """XOR-sum of ``v ** k`` over all values — one PinSketch syndrome."""
+        if len(values) == 0:
+            return 0
+        return int(np.bitwise_xor.reduce(self.pow_vec(values, k)))

@@ -1,0 +1,104 @@
+"""Four-wise independent hash family over GF(p), p = 2^61 - 1.
+
+The Tug-of-War estimator's unbiasedness and variance proofs (paper §6.1,
+Appendix A, Fact 1) require a *four-wise independent* ±1 family.  The
+classical construction is a uniformly random degree-3 polynomial over a
+prime field, mapped to ±1 by one output bit [Wegman & Carter].
+
+We use the Mersenne prime p = 2^61 - 1, which admits fast modular reduction
+(``2^61 ≡ 1``), and evaluate the polynomial with numpy using 32-bit limb
+decomposition so that no intermediate exceeds 64 bits.  A scalar pure-int
+reference (:func:`mulmod_p61`) backs the hypothesis cross-validation tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.seeds import spawn_rng
+
+P61 = (1 << 61) - 1
+_MASK29 = (1 << 29) - 1
+_MASK61 = (1 << 61) - 1
+
+
+def mulmod_p61(a: int, b: int) -> int:
+    """``(a * b) mod (2^61 - 1)`` — scalar reference implementation."""
+    return (a * b) % P61
+
+
+def _fold61(x: np.ndarray) -> np.ndarray:
+    """Fold a (< 2^64) value mod 2^61-1 using 2^61 ≡ 1."""
+    x = (x >> np.uint64(61)) + (x & np.uint64(_MASK61))
+    x = (x >> np.uint64(61)) + (x & np.uint64(_MASK61))
+    return np.where(x >= np.uint64(P61), x - np.uint64(P61), x)
+
+
+def mulmod_p61_vec(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Vectorized ``(a * b) mod (2^61 - 1)`` for ``uint64`` arrays ``< p``.
+
+    Decomposes ``a = aH * 2^32 + aL`` and ``b = bH * 2^32 + bL`` with
+    ``aH, bH < 2^29``; every partial product then fits in 64 bits:
+
+    * ``aH*bH < 2^58``   — contributes ``aH*bH * 2^64 ≡ aH*bH * 8 (mod p)``
+    * ``aH*bL + aL*bH < 2^62`` — contributes ``mid * 2^32``
+    * ``aL*bL < 2^64``   — folded directly.
+    """
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    a_hi = a >> np.uint64(32)
+    a_lo = a & np.uint64(0xFFFFFFFF)
+    b_hi = b >> np.uint64(32)
+    b_lo = b & np.uint64(0xFFFFFFFF)
+
+    top = _fold61(a_hi * b_hi) << np.uint64(3)  # * 2^64 ≡ * 8, < 2^64
+    mid = a_hi * b_lo + a_lo * b_hi  # < 2^62, no overflow
+    # mid * 2^32 = (mid >> 29) * 2^61 + (mid & MASK29) * 2^32
+    #            ≡ (mid >> 29)        + (mid & MASK29) << 32   (mod p)
+    mid_red = (mid >> np.uint64(29)) + ((mid & np.uint64(_MASK29)) << np.uint64(32))
+    lo = a_lo * b_lo  # < 2^64, wraps are impossible
+
+    total = _fold61(top) + _fold61(mid_red)  # each < p, sum < 2^62
+    total = _fold61(total + _fold61(lo))
+    return total
+
+
+class FourWiseHash:
+    """A four-wise independent hash ``U -> {0, .., p-1}`` and its ±1 view.
+
+    ``h(x) = ((c3*x + c2)*x + c1)*x + c0 mod p`` with uniformly random
+    coefficients; :meth:`signs` maps to ±1 via the low output bit.
+
+    >>> f = FourWiseHash(seed=3)
+    >>> int(f.signs(np.array([1, 2, 3], dtype=np.uint64)).sum()) in (-3, -1, 1, 3)
+    True
+    """
+
+    __slots__ = ("c0", "c1", "c2", "c3")
+
+    def __init__(self, seed: int) -> None:
+        rng = spawn_rng(seed, "fourwise")
+        c = rng.integers(0, P61, size=4, dtype=np.uint64)
+        self.c0, self.c1, self.c2, self.c3 = (int(v) for v in c)
+
+    def __call__(self, x: int) -> int:
+        """Scalar evaluation (reference path)."""
+        x %= P61
+        acc = self.c3
+        for c in (self.c2, self.c1, self.c0):
+            acc = (acc * x + c) % P61
+        return acc
+
+    def hash_vec(self, xs: np.ndarray) -> np.ndarray:
+        """Vectorized evaluation over a ``uint64`` array (values ``< p``)."""
+        xs = np.asarray(xs, dtype=np.uint64)
+        acc = np.full(xs.shape, self.c3, dtype=np.uint64)
+        for c in (self.c2, self.c1, self.c0):
+            acc = mulmod_p61_vec(acc, xs)
+            acc = _fold61(acc + np.uint64(c))
+        return acc
+
+    def signs(self, xs: np.ndarray) -> np.ndarray:
+        """±1 values (``int64``) for an array of keys."""
+        bits = self.hash_vec(xs) & np.uint64(1)
+        return np.where(bits == 1, np.int64(1), np.int64(-1))

@@ -1,0 +1,144 @@
+"""Pure-Python port of xxHash (32- and 64-bit variants).
+
+The reference PBS implementation uses the xxHash C library [Collet] for all
+hashing.  This is a from-scratch port of the algorithm operating on
+``bytes``; it is used where a single high-quality seedable hash of an
+arbitrary byte string is needed (and as a specification reference for the
+fast vectorized family in :mod:`repro.hashing.families`).
+
+The implementation follows the published algorithm: stripe accumulation,
+merge, length injection, tail processing, and the final avalanche.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_MASK32 = 0xFFFFFFFF
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+_P32_1 = 2654435761
+_P32_2 = 2246822519
+_P32_3 = 3266489917
+_P32_4 = 668265263
+_P32_5 = 374761393
+
+_P64_1 = 11400714785074694791
+_P64_2 = 14029467366897019727
+_P64_3 = 1609587929392839161
+_P64_4 = 9650029242287828579
+_P64_5 = 2870177450012600261
+
+
+def _rotl32(x: int, r: int) -> int:
+    return ((x << r) | (x >> (32 - r))) & _MASK32
+
+
+def _rotl64(x: int, r: int) -> int:
+    return ((x << r) | (x >> (64 - r))) & _MASK64
+
+
+def _round32(acc: int, lane: int) -> int:
+    acc = (acc + lane * _P32_2) & _MASK32
+    return (_rotl32(acc, 13) * _P32_1) & _MASK32
+
+
+def _round64(acc: int, lane: int) -> int:
+    acc = (acc + lane * _P64_2) & _MASK64
+    return (_rotl64(acc, 31) * _P64_1) & _MASK64
+
+
+def _merge64(acc: int, val: int) -> int:
+    acc ^= _round64(0, val)
+    return (acc * _P64_1 + _P64_4) & _MASK64
+
+
+def xxh32(data: bytes, seed: int = 0) -> int:
+    """xxHash32 of ``data`` with ``seed``; returns a 32-bit integer."""
+    seed &= _MASK32
+    n = len(data)
+    pos = 0
+    if n >= 16:
+        v1 = (seed + _P32_1 + _P32_2) & _MASK32
+        v2 = (seed + _P32_2) & _MASK32
+        v3 = seed
+        v4 = (seed - _P32_1) & _MASK32
+        limit = n - 16
+        while pos <= limit:
+            l1, l2, l3, l4 = struct.unpack_from("<IIII", data, pos)
+            v1 = _round32(v1, l1)
+            v2 = _round32(v2, l2)
+            v3 = _round32(v3, l3)
+            v4 = _round32(v4, l4)
+            pos += 16
+        h = (
+            _rotl32(v1, 1) + _rotl32(v2, 7) + _rotl32(v3, 12) + _rotl32(v4, 18)
+        ) & _MASK32
+    else:
+        h = (seed + _P32_5) & _MASK32
+    h = (h + n) & _MASK32
+    while pos + 4 <= n:
+        (lane,) = struct.unpack_from("<I", data, pos)
+        h = (h + lane * _P32_3) & _MASK32
+        h = (_rotl32(h, 17) * _P32_4) & _MASK32
+        pos += 4
+    while pos < n:
+        h = (h + data[pos] * _P32_5) & _MASK32
+        h = (_rotl32(h, 11) * _P32_1) & _MASK32
+        pos += 1
+    h ^= h >> 15
+    h = (h * _P32_2) & _MASK32
+    h ^= h >> 13
+    h = (h * _P32_3) & _MASK32
+    h ^= h >> 16
+    return h
+
+
+def xxh64(data: bytes, seed: int = 0) -> int:
+    """xxHash64 of ``data`` with ``seed``; returns a 64-bit integer."""
+    seed &= _MASK64
+    n = len(data)
+    pos = 0
+    if n >= 32:
+        v1 = (seed + _P64_1 + _P64_2) & _MASK64
+        v2 = (seed + _P64_2) & _MASK64
+        v3 = seed
+        v4 = (seed - _P64_1) & _MASK64
+        limit = n - 32
+        while pos <= limit:
+            l1, l2, l3, l4 = struct.unpack_from("<QQQQ", data, pos)
+            v1 = _round64(v1, l1)
+            v2 = _round64(v2, l2)
+            v3 = _round64(v3, l3)
+            v4 = _round64(v4, l4)
+            pos += 32
+        h = (
+            _rotl64(v1, 1) + _rotl64(v2, 7) + _rotl64(v3, 12) + _rotl64(v4, 18)
+        ) & _MASK64
+        h = _merge64(h, v1)
+        h = _merge64(h, v2)
+        h = _merge64(h, v3)
+        h = _merge64(h, v4)
+    else:
+        h = (seed + _P64_5) & _MASK64
+    h = (h + n) & _MASK64
+    while pos + 8 <= n:
+        (lane,) = struct.unpack_from("<Q", data, pos)
+        h ^= _round64(0, lane)
+        h = (_rotl64(h, 27) * _P64_1 + _P64_4) & _MASK64
+        pos += 8
+    if pos + 4 <= n:
+        (lane,) = struct.unpack_from("<I", data, pos)
+        h ^= (lane * _P64_1) & _MASK64
+        h = (_rotl64(h, 23) * _P64_2 + _P64_3) & _MASK64
+        pos += 4
+    while pos < n:
+        h ^= (data[pos] * _P64_5) & _MASK64
+        h = (_rotl64(h, 11) * _P64_1) & _MASK64
+        pos += 1
+    h ^= h >> 33
+    h = (h * _P64_2) & _MASK64
+    h ^= h >> 29
+    h = (h * _P64_3) & _MASK64
+    h ^= h >> 32
+    return h

@@ -1,0 +1,83 @@
+"""A duplex channel between Alice and Bob that accounts every byte.
+
+All protocols in this package exchange *real serialized bytes* through a
+:class:`Channel`; the communication-overhead numbers in the benchmarks are
+the sum of these payload bytes (tight bit-packing, no transport framing),
+which is the same accounting the paper uses for "data transmitted".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Direction(enum.Enum):
+    """Who sent a message."""
+
+    ALICE_TO_BOB = "alice->bob"
+    BOB_TO_ALICE = "bob->alice"
+
+
+@dataclass
+class MessageRecord:
+    """One transmitted message."""
+
+    direction: Direction
+    round_no: int
+    label: str
+    n_bytes: int
+
+
+@dataclass
+class Channel:
+    """Byte and round accounting for one protocol execution.
+
+    >>> ch = Channel()
+    >>> ch.send(Direction.ALICE_TO_BOB, b"abc", round_no=1, label="sketch")
+    >>> ch.total_bytes
+    3
+    """
+
+    messages: list[MessageRecord] = field(default_factory=list)
+
+    def send(
+        self,
+        direction: Direction,
+        payload: bytes,
+        round_no: int = 0,
+        label: str = "",
+    ) -> bytes:
+        """Record a message; returns the payload for convenient chaining."""
+        self.messages.append(
+            MessageRecord(direction, round_no, label, len(payload))
+        )
+        return payload
+
+    @property
+    def total_bytes(self) -> int:
+        """Total payload bytes in both directions."""
+        return sum(m.n_bytes for m in self.messages)
+
+    @property
+    def rounds(self) -> int:
+        """Highest round number seen."""
+        return max((m.round_no for m in self.messages), default=0)
+
+    def bytes_in(self, direction: Direction) -> int:
+        """Total payload bytes in one direction."""
+        return sum(m.n_bytes for m in self.messages if m.direction == direction)
+
+    def bytes_by_label(self) -> dict[str, int]:
+        """Byte totals grouped by message label (sketches, sums, ...)."""
+        out: dict[str, int] = {}
+        for m in self.messages:
+            out[m.label] = out.get(m.label, 0) + m.n_bytes
+        return out
+
+    def bytes_by_round(self) -> dict[int, int]:
+        """Byte totals grouped by round."""
+        out: dict[int, int] = {}
+        for m in self.messages:
+            out[m.round_no] = out.get(m.round_no, 0) + m.n_bytes
+        return out

@@ -1,0 +1,48 @@
+"""Uniform result record for every reconciliation protocol.
+
+All protocols (PBS, PinSketch, PinSketch/WP, D.Digest, Graphene) return a
+:class:`ReconciliationResult`, so the evaluation harness can sweep them
+interchangeably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.transport.channel import Channel
+
+
+@dataclass
+class ReconciliationResult:
+    """Outcome of one unidirectional reconciliation (Alice learns A xor B).
+
+    ``difference`` is Alice's view of the symmetric difference; ``success``
+    is True when the protocol's own verification accepted it (for PBS:
+    every group checksum matched within the round budget).  ``encode_s`` /
+    ``decode_s`` aggregate the paper's two computational metrics across both
+    hosts and all rounds.
+    """
+
+    success: bool
+    difference: frozenset[int]
+    rounds: int
+    channel: Channel = field(repr=False)
+    encode_s: float = 0.0
+    decode_s: float = 0.0
+    extra: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def total_bytes(self) -> int:
+        """Payload bytes transmitted (both directions, all rounds)."""
+        return self.channel.total_bytes
+
+    @property
+    def total_kb(self) -> float:
+        """Payload kilobytes (1 KB = 1000 bytes, matching the paper's axes)."""
+        return self.channel.total_bytes / 1000.0
+
+    def overhead_ratio(self, d: int, log_u: int = 32) -> float:
+        """Transmitted bits as a multiple of the d * log|U| minimum."""
+        if d == 0:
+            return float("inf")
+        return (8.0 * self.channel.total_bytes) / (d * log_u)

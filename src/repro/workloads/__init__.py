@@ -1,0 +1,5 @@
+"""Workload generation for set-reconciliation experiments."""
+
+from repro.workloads.generator import SetPair, SetPairGenerator
+
+__all__ = ["SetPair", "SetPairGenerator"]

@@ -1,0 +1,103 @@
+"""Set-pair workloads following the paper's experiment setup (§8).
+
+The paper's procedure: draw ``|A|`` elements of a 32-bit universe uniformly
+without replacement, then sample ``|A| - d`` of them to form B, so that
+``B ⊂ A`` and ``|A xor B| = d`` exactly.  The all-zero element is excluded
+from the universe (§2.1).  A general two-sided mode (elements private to
+each side) is also provided for tests and the file-sync example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.utils.seeds import spawn_rng
+
+
+@dataclass(frozen=True)
+class SetPair:
+    """One reconciliation instance."""
+
+    a: frozenset[int]
+    b: frozenset[int]
+
+    @property
+    def difference(self) -> frozenset[int]:
+        """The ground-truth symmetric difference A xor B."""
+        return self.a ^ self.b
+
+    @property
+    def d(self) -> int:
+        """|A xor B|."""
+        return len(self.a ^ self.b)
+
+
+class SetPairGenerator:
+    """Reproducible generator of reconciliation instances.
+
+    >>> gen = SetPairGenerator(universe_bits=32, seed=7)
+    >>> pair = gen.generate(size_a=1000, d=10)
+    >>> (len(pair.a), pair.d, pair.b < pair.a)
+    (1000, 10, True)
+    """
+
+    def __init__(self, universe_bits: int = 32, seed: int = 0) -> None:
+        if universe_bits < 8 or universe_bits > 64:
+            raise ParameterError(f"universe_bits must be in [8, 64], got {universe_bits}")
+        self.universe_bits = universe_bits
+        self.seed = seed
+        self._counter = 0
+
+    def _sample_universe(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """``count`` distinct nonzero universe elements."""
+        hi = 1 << self.universe_bits
+        if count > hi // 2:
+            raise ParameterError(f"cannot sample {count} elements from 2^{self.universe_bits}")
+        out = np.empty(0, dtype=np.uint64)
+        while len(out) < count:
+            need = count - len(out)
+            batch = rng.integers(1, hi, size=int(need * 1.1) + 16, dtype=np.uint64)
+            out = np.unique(np.concatenate([out, batch]))
+        rng.shuffle(out)
+        return out[:count]
+
+    def generate(self, size_a: int, d: int, seed: int | None = None) -> SetPair:
+        """Paper workload: ``B ⊂ A`` with ``|A| = size_a``, ``|A xor B| = d``."""
+        if d > size_a:
+            raise ParameterError(f"d={d} cannot exceed |A|={size_a} when B ⊂ A")
+        if seed is None:
+            seed = self._counter
+            self._counter += 1
+        rng = spawn_rng(self.seed, "pair", seed)
+        a = self._sample_universe(size_a, rng)
+        keep = rng.permutation(size_a)[: size_a - d]
+        b = a[keep]
+        return SetPair(a=frozenset(int(v) for v in a), b=frozenset(int(v) for v in b))
+
+    def generate_two_sided(
+        self,
+        common: int,
+        only_a: int,
+        only_b: int,
+        seed: int | None = None,
+    ) -> SetPair:
+        """General workload with elements private to both sides.
+
+        ``d = only_a + only_b``; exercises the protocols on differences
+        that are *not* subsets of Alice's set.
+        """
+        if seed is None:
+            seed = self._counter
+            self._counter += 1
+        rng = spawn_rng(self.seed, "two-sided", seed)
+        total = common + only_a + only_b
+        pool = self._sample_universe(total, rng)
+        shared = pool[:common]
+        priv_a = pool[common : common + only_a]
+        priv_b = pool[common + only_a :]
+        a = frozenset(int(v) for v in np.concatenate([shared, priv_a]))
+        b = frozenset(int(v) for v in np.concatenate([shared, priv_b]))
+        return SetPair(a=a, b=b)

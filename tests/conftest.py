@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gf import CarrylessField, TableField, TowerField32
+
+
+@pytest.fixture(scope="session")
+def gf8() -> TableField:
+    return TableField(8)
+
+
+@pytest.fixture(scope="session")
+def gf7() -> TableField:
+    """The paper's workhorse field (n = 127)."""
+    return TableField(7)
+
+
+@pytest.fixture(scope="session")
+def gf32() -> TowerField32:
+    return TowerField32()
+
+
+@pytest.fixture(scope="session")
+def gf32_ref() -> CarrylessField:
+    return CarrylessField(32)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xC0FFEE)

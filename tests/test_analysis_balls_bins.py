@@ -1,0 +1,87 @@
+"""Balls-into-bins closed forms vs the paper's quoted numbers and Monte Carlo."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.balls_bins import (
+    prob_ideal,
+    prob_some_even_bin,
+    prob_some_odd_bin_ge3,
+)
+
+
+class TestIdealCase:
+    def test_paper_example_d5_n255(self):
+        """§1.3.1: 'when d = 5 and n is set to 255, the probability for the
+        ideal situation to occur is 0.96'."""
+        assert prob_ideal(5, 255) == pytest.approx(0.961, abs=0.001)
+
+    def test_trivial_cases(self):
+        assert prob_ideal(0, 10) == 1.0
+        assert prob_ideal(1, 10) == 1.0
+        assert prob_ideal(11, 10) == 0.0
+
+    def test_monotone_in_n(self):
+        probs = [prob_ideal(5, n) for n in (63, 127, 255, 511)]
+        assert probs == sorted(probs)
+
+    def test_monotone_decreasing_in_d(self):
+        probs = [prob_ideal(d, 255) for d in range(1, 10)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_birthday_bound_shape(self):
+        # 1 - prob_ideal ~ d^2 / (2n) for d << n
+        n = 10_000
+        approx = 1 - prob_ideal(10, n)
+        assert approx == pytest.approx(45 / n, rel=0.05)
+
+
+class TestExceptionProbabilities:
+    def test_paper_type1_example(self):
+        """§2.3: d=5, n=255 -> P[some even bin] ≈ 0.04."""
+        assert prob_some_even_bin(5, 255) == pytest.approx(0.0385, abs=0.002)
+
+    def test_paper_type2_example(self):
+        """§2.3: d=5, n=255 -> P[some odd >= 3 bin] ≈ 1.52e-4."""
+        assert prob_some_odd_bin_ge3(5, 255) == pytest.approx(1.52e-4, rel=0.05)
+
+    def test_partition_of_probability_space(self):
+        """Ideal + type-I-free decomposition: the three events (ideal,
+        some-even-bin, some-odd>=3-bin) cover everything, with overlap
+        between the two exception types."""
+        d, n = 5, 255
+        p_ideal = prob_ideal(d, n)
+        p1 = prob_some_even_bin(d, n)
+        p2 = prob_some_odd_bin_ge3(d, n)
+        # inclusion-exclusion: P(exceptions) >= max(p1, p2); = p1+p2-overlap
+        assert 1 - p_ideal <= p1 + p2 + 1e-12
+        assert 1 - p_ideal >= max(p1, p2) - 1e-12
+
+    def test_small_d_has_no_odd_ge3(self):
+        assert prob_some_odd_bin_ge3(2, 100) == 0.0
+
+    def test_d2_even_bin_is_collision_probability(self):
+        # with 2 balls the only non-ideal pattern is both in one bin
+        assert prob_some_even_bin(2, 100) == pytest.approx(1 / 100)
+
+    def test_monte_carlo_agreement(self):
+        d, n = 6, 63
+        rng = np.random.default_rng(42)
+        trials = 40_000
+        even_hits = 0
+        odd_hits = 0
+        for _ in range(trials):
+            counts = np.bincount(rng.integers(0, n, size=d), minlength=n)
+            if ((counts >= 2) & (counts % 2 == 0)).any():
+                even_hits += 1
+            if ((counts >= 3) & (counts % 2 == 1)).any():
+                odd_hits += 1
+        assert even_hits / trials == pytest.approx(
+            prob_some_even_bin(d, n), rel=0.1
+        )
+        # odd >= 3 is rare; allow loose tolerance
+        assert odd_hits / trials == pytest.approx(
+            prob_some_odd_bin_ge3(d, n), rel=0.5, abs=2e-4
+        )

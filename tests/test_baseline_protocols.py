@@ -1,0 +1,210 @@
+"""Baseline protocols: D.Digest, Graphene, PinSketch, PinSketch/WP."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BloomFilter,
+    DifferenceDigestProtocol,
+    GrapheneProtocol,
+    PinSketchProtocol,
+    PinSketchWPProtocol,
+)
+from repro.workloads.generator import SetPairGenerator
+
+
+
+def _sample_distinct(rng, count, lo=1, hi=1 << 32):
+    """Distinct values in [lo, hi) without materializing the universe."""
+    import numpy as np
+    out = np.unique(rng.integers(lo, hi, size=2 * count + 16, dtype=np.uint64))
+    rng.shuffle(out)
+    return out[:count]
+
+class TestBloomFilter:
+    def test_no_false_negatives(self, rng):
+        vals = _sample_distinct(rng, 500)
+        bf = BloomFilter.for_capacity(500, fpr=0.01, seed=1)
+        bf.insert_many(vals)
+        assert bf.contains_many(vals).all()
+
+    def test_false_positive_rate_near_target(self, rng):
+        inserted = _sample_distinct(rng, 2000, hi=1 << 31)
+        probes = (_sample_distinct(rng, 20_000, hi=1 << 31) + np.uint64(1 << 31))
+        bf = BloomFilter.for_capacity(2000, fpr=0.02, seed=2)
+        bf.insert_many(inserted)
+        fpr = float(bf.contains_many(probes).mean())
+        assert fpr < 0.05
+
+    def test_sizing_formula(self):
+        bf = BloomFilter.for_capacity(1000, fpr=0.01, seed=0)
+        assert bf.n_bits == pytest.approx(9586, abs=10)
+        assert bf.n_hashes in (6, 7)
+
+    def test_wire_bytes(self):
+        bf = BloomFilter.for_capacity(100, 0.01, seed=0)
+        assert len(bf.serialize()) == bf.wire_bytes()
+
+
+class TestDifferenceDigest:
+    def test_correct_difference(self):
+        gen = SetPairGenerator(seed=1)
+        pair = gen.generate(size_a=5000, d=100)
+        r = DifferenceDigestProtocol(seed=2).run(pair.a, pair.b, true_d=100)
+        assert r.success and r.difference == pair.difference
+
+    def test_two_sided(self):
+        gen = SetPairGenerator(seed=2)
+        pair = gen.generate_two_sided(common=3000, only_a=30, only_b=20)
+        r = DifferenceDigestProtocol(seed=3).run(pair.a, pair.b, true_d=50)
+        assert r.success and r.difference == pair.difference
+
+    def test_six_x_overhead(self):
+        gen = SetPairGenerator(seed=3)
+        d = 200
+        pair = gen.generate(size_a=5000, d=d)
+        r = DifferenceDigestProtocol(seed=4).run(pair.a, pair.b, true_d=d)
+        assert r.overhead_ratio(d) == pytest.approx(6.0, rel=0.05)
+
+    def test_hash_count_rule(self):
+        assert DifferenceDigestProtocol.cells_for(100) == (200, 4)
+        assert DifferenceDigestProtocol.cells_for(201) == (402, 3)
+
+    def test_underprovisioned_fails_honestly(self):
+        gen = SetPairGenerator(seed=4)
+        pair = gen.generate(size_a=5000, d=500)
+        r = DifferenceDigestProtocol(seed=5).run(pair.a, pair.b, true_d=50)
+        assert not r.success
+        assert r.difference == frozenset()
+
+    def test_identical_sets(self):
+        r = DifferenceDigestProtocol(seed=6).run({1, 2}, {1, 2}, true_d=0)
+        assert r.success and r.difference == frozenset()
+
+
+class TestGraphene:
+    def test_correct_difference_small_d(self):
+        gen = SetPairGenerator(seed=5)
+        pair = gen.generate(size_a=5000, d=20)
+        r = GrapheneProtocol(seed=6).run(pair.a, pair.b)
+        assert r.success and r.difference == pair.difference
+
+    def test_correct_difference_large_d(self):
+        gen = SetPairGenerator(seed=6)
+        pair = gen.generate(size_a=5000, d=2000)
+        r = GrapheneProtocol(seed=7).run(pair.a, pair.b)
+        assert r.success and r.difference == pair.difference
+
+    def test_bf_engages_for_large_d(self):
+        """The BF+IBLT regime must beat IBLT-only once d is a sizeable
+        fraction of |A| (the Fig. 2b breakeven)."""
+        proto = GrapheneProtocol(seed=8)
+        small = proto.plan(size_b=99_000, d=1000)
+        large = proto.plan(size_b=20_000, d=80_000)
+        assert not small["use_bf"]
+        assert large["use_bf"]
+
+    def test_identical_sets(self):
+        r = GrapheneProtocol(seed=9).run({4, 5}, {4, 5})
+        assert r.success and r.difference == frozenset()
+
+    def test_empty_bob(self):
+        r = GrapheneProtocol(seed=10).run({4, 5, 6}, set())
+        assert r.success and r.difference == frozenset({4, 5, 6})
+
+    def test_success_rate_better_than_target(self):
+        gen = SetPairGenerator(seed=7)
+        failures = 0
+        trials = 40
+        for trial in range(trials):
+            pair = gen.generate(size_a=2000, d=50)
+            r = GrapheneProtocol(seed=trial).run(pair.a, pair.b)
+            if not (r.success and r.difference == pair.difference):
+                failures += 1
+        assert failures <= 2  # target is 1/240 per run
+
+
+class TestPinSketch:
+    def test_correct_difference(self):
+        gen = SetPairGenerator(seed=8)
+        pair = gen.generate(size_a=3000, d=30)
+        r = PinSketchProtocol(seed=9).run(pair.a, pair.b, true_d=30)
+        assert r.success and r.difference == pair.difference
+
+    def test_minimum_overhead_with_exact_d(self):
+        """t = d syndromes of 32 bits: ~1.0x the minimum + checksum."""
+        gen = SetPairGenerator(seed=9)
+        d = 100
+        pair = gen.generate(size_a=3000, d=d)
+        r = PinSketchProtocol(seed=10).run(pair.a, pair.b, true_d=d)
+        assert r.overhead_ratio(d) == pytest.approx(1.0, abs=0.05)
+
+    def test_estimated_capacity_138(self):
+        """§8.1.1: t = ceil(1.38 * d_hat) with an estimate."""
+        gen = SetPairGenerator(seed=10)
+        d = 100
+        pair = gen.generate(size_a=3000, d=d)
+        r = PinSketchProtocol(seed=11).run(pair.a, pair.b, estimated_d=d)
+        assert r.extra["t"] == 138
+        assert r.success and r.difference == pair.difference
+
+    def test_two_sided_with_trace_decoder(self):
+        gen = SetPairGenerator(seed=11)
+        pair = gen.generate_two_sided(common=1000, only_a=5, only_b=4)
+        proto = PinSketchProtocol(seed=12, assume_subset=False)
+        r = proto.run(pair.a, pair.b, true_d=9)
+        assert r.success and r.difference == pair.difference
+
+    def test_two_sided_subset_assumption_fails_honestly(self):
+        """With assume_subset=True but B \\ A nonempty, the candidate
+        root search cannot find the B-only elements; the checksum must
+        flag the failure instead of returning a wrong difference."""
+        gen = SetPairGenerator(seed=12)
+        pair = gen.generate_two_sided(common=1000, only_a=5, only_b=4)
+        r = PinSketchProtocol(seed=13, assume_subset=True).run(
+            pair.a, pair.b, true_d=9
+        )
+        assert not r.success
+
+    def test_undercapacity_fails_honestly(self):
+        gen = SetPairGenerator(seed=13)
+        pair = gen.generate(size_a=3000, d=50)
+        r = PinSketchProtocol(seed=14).run(pair.a, pair.b, true_d=10)
+        assert not r.success
+
+
+class TestPinSketchWP:
+    def test_correct_difference(self):
+        gen = SetPairGenerator(seed=14)
+        pair = gen.generate(size_a=10_000, d=200)
+        r = PinSketchWPProtocol(seed=15).run(pair.a, pair.b, true_d=200)
+        assert r.success and r.difference == pair.difference
+
+    def test_comm_overhead_exceeds_pbs(self):
+        """§8.3: same (delta, t) but 32-bit symbols instead of log n-bit
+        symbols make PinSketch/WP strictly more expensive than PBS."""
+        from repro.core.protocol import reconcile_pbs
+
+        gen = SetPairGenerator(seed=15)
+        d = 500
+        pair = gen.generate(size_a=20_000, d=d)
+        r_wp = PinSketchWPProtocol(seed=16).run(pair.a, pair.b, true_d=d)
+        r_pbs = reconcile_pbs(pair.a, pair.b, seed=16, true_d=d)
+        assert r_wp.success and r_pbs.success
+        assert r_wp.total_bytes > r_pbs.total_bytes
+
+    def test_splits_recover_overloaded_groups(self):
+        gen = SetPairGenerator(seed=16)
+        pair = gen.generate(size_a=10_000, d=400)
+        # underestimate forces some groups over capacity -> splits
+        r = PinSketchWPProtocol(seed=17).run(
+            pair.a, pair.b, true_d=150, max_rounds=8
+        )
+        assert r.success and r.difference == pair.difference
+        assert r.rounds >= 2
+
+    def test_identical_sets(self):
+        r = PinSketchWPProtocol(seed=18).run({3, 4}, {3, 4}, true_d=1)
+        assert r.success and r.difference == frozenset()

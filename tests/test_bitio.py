@@ -1,0 +1,106 @@
+"""Bit-level serialization: exact packing, round trips, error paths."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SerializationError
+from repro.utils.bitio import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_empty_writer_produces_empty_bytes(self):
+        assert BitWriter().getvalue() == b""
+
+    def test_single_byte_value(self):
+        w = BitWriter()
+        w.write(0xAB, 8)
+        assert w.getvalue() == b"\xab"
+
+    def test_sub_byte_fields_pack_msb_first(self):
+        w = BitWriter()
+        w.write(0b101, 3)
+        w.write(0b01, 2)
+        w.write(0b110, 3)
+        assert w.getvalue() == bytes([0b10101110])
+
+    def test_padding_to_byte_boundary_is_zero(self):
+        w = BitWriter()
+        w.write(0b1, 1)
+        assert w.getvalue() == bytes([0b10000000])
+
+    def test_bit_and_byte_lengths(self):
+        w = BitWriter()
+        w.write(3, 7)
+        w.write(1, 2)
+        assert w.bit_length == 9
+        assert w.byte_length == 2
+
+    def test_value_too_wide_rejected(self):
+        w = BitWriter()
+        with pytest.raises(SerializationError):
+            w.write(4, 2)
+
+    def test_negative_value_rejected(self):
+        w = BitWriter()
+        with pytest.raises(SerializationError):
+            w.write(-1, 8)
+
+    def test_negative_width_rejected(self):
+        w = BitWriter()
+        with pytest.raises(SerializationError):
+            w.write(0, -1)
+
+    def test_zero_width_zero_value_is_noop(self):
+        w = BitWriter()
+        w.write(0, 0)
+        assert w.bit_length == 0
+
+
+class TestBitReader:
+    def test_over_read_raises(self):
+        r = BitReader(b"\xff")
+        r.read(8)
+        with pytest.raises(SerializationError):
+            r.read(1)
+
+    def test_bits_remaining_counts_down(self):
+        r = BitReader(b"\x00\x00")
+        assert r.bits_remaining == 16
+        r.read(5)
+        assert r.bits_remaining == 11
+
+    def test_read_zero_width(self):
+        r = BitReader(b"\x80")
+        assert r.read(0) == 0
+        assert r.read(1) == 1
+
+
+@given(
+    st.lists(
+        st.integers(min_value=1, max_value=64).flatmap(
+            lambda w: st.tuples(st.integers(0, (1 << w) - 1), st.just(w))
+        ),
+        min_size=0,
+        max_size=40,
+    )
+)
+def test_roundtrip_any_field_sequence(fields):
+    """Property: any (value, width) sequence round-trips exactly."""
+    w = BitWriter()
+    for value, width in fields:
+        w.write(value, width)
+    r = BitReader(w.getvalue())
+    for value, width in fields:
+        assert r.read(width) == value
+
+
+@given(st.integers(0, 2**64 - 1), st.integers(0, 2**32 - 1))
+def test_two_field_roundtrip(a, b):
+    w = BitWriter()
+    w.write(a, 64)
+    w.write(b, 32)
+    r = BitReader(w.getvalue())
+    assert (r.read(64), r.read(32)) == (a, b)

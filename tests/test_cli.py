@@ -1,0 +1,65 @@
+"""The command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import load_signatures, main
+
+
+@pytest.fixture()
+def sig_files(tmp_path):
+    a = tmp_path / "a.txt"
+    b = tmp_path / "b.txt"
+    a.write_text("1\n2\n0xFF  # hex comment\n\n42\n")
+    b.write_text("2\n0xff\n99\n")
+    return a, b
+
+
+class TestLoadSignatures:
+    def test_parses_decimal_hex_comments(self, sig_files):
+        a, _ = sig_files
+        assert load_signatures(a) == {1, 2, 255, 42}
+
+    def test_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("not-a-number\n")
+        with pytest.raises(SystemExit):
+            load_signatures(bad)
+
+    def test_rejects_out_of_universe(self, tmp_path):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("0\n")
+        with pytest.raises(SystemExit):
+            load_signatures(bad)
+
+
+class TestMain:
+    def test_reconciles_files(self, sig_files, capsys):
+        a, b = sig_files
+        code = main([str(a), str(b), "--seed", "3", "--rounds", "0"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert [int(line) for line in captured.out.split()] == [1, 42, 99]
+        assert "success=True" in captured.err
+
+    def test_quiet_mode(self, sig_files, capsys):
+        a, b = sig_files
+        main([str(a), str(b), "--quiet", "--rounds", "0"])
+        assert capsys.readouterr().err == ""
+
+    def test_selftest(self, capsys):
+        code = main(["--selftest", "--rounds", "0"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert len(captured.out.split()) == 100
+
+    @pytest.mark.parametrize("scheme", ["ddigest", "graphene", "pinsketch"])
+    def test_other_schemes(self, scheme, capsys):
+        code = main(["--selftest", "--scheme", scheme, "--seed", "5"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert len(captured.out.split()) == 100
+
+    def test_missing_files_is_an_error(self, capsys):
+        assert main([]) == 2

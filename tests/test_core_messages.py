@@ -1,0 +1,118 @@
+"""Wire-format round trips and size accounting for PBS messages."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.messages import ReplyMessage, SketchMessage, UnitReply
+from repro.errors import SerializationError
+
+
+class TestSketchMessage:
+    def test_roundtrip_round1(self):
+        msg = SketchMessage(
+            round_no=1,
+            continue_mask=[],
+            sketches=[[1, 2, 3], [0, 0, 0], [127, 126, 125]],
+        )
+        wire = msg.serialize(t=3, m=7)
+        back = SketchMessage.deserialize(wire, t=3, m=7)
+        assert back == msg
+
+    def test_roundtrip_with_mask(self):
+        msg = SketchMessage(
+            round_no=2, continue_mask=[True, False, True], sketches=[[5, 9]]
+        )
+        back = SketchMessage.deserialize(msg.serialize(2, 8), 2, 8)
+        assert back.continue_mask == [True, False, True]
+        assert back.sketches == [[5, 9]]
+
+    def test_size_scales_with_units(self):
+        one = SketchMessage(1, [], [[1] * 13]).serialize(13, 7)
+        ten = SketchMessage(1, [], [[1] * 13] * 10).serialize(13, 7)
+        # 13 syndromes * 7 bits = 91 bits per unit
+        assert (len(ten) - len(one)) == pytest.approx(9 * 91 / 8, abs=2)
+
+    def test_wrong_sketch_length_rejected(self):
+        msg = SketchMessage(1, [], [[1, 2]])
+        with pytest.raises(SerializationError):
+            msg.serialize(t=3, m=7)
+
+    @given(
+        st.integers(1, 100),
+        st.lists(st.booleans(), max_size=20),
+        st.lists(
+            st.lists(st.integers(0, 127), min_size=4, max_size=4), max_size=10
+        ),
+    )
+    @settings(max_examples=60)
+    def test_roundtrip_property(self, round_no, mask, sketches):
+        msg = SketchMessage(round_no, mask, sketches)
+        back = SketchMessage.deserialize(msg.serialize(4, 7), 4, 7)
+        assert back == msg
+
+
+class TestReplyMessage:
+    def test_roundtrip_mixed_replies(self):
+        msg = ReplyMessage(
+            round_no=1,
+            replies=[
+                UnitReply(False, [5, 9], [123456, 99], checksum=42),
+                UnitReply(True, [], [], checksum=None),
+                UnitReply(False, [], [], checksum=7),
+                UnitReply(False, [1], [2**32 - 1], checksum=None),
+            ],
+        )
+        wire = msg.serialize(t=13, m=7, log_u=32)
+        back = ReplyMessage.deserialize(wire, t=13, m=7, log_u=32)
+        assert back == msg
+
+    def test_first_round_accounting_matches_formula(self):
+        """One OK unit with delta_i positions costs about
+        delta_i*(m + log_u) + log_u bits beyond flags (Formula (1))."""
+        t, m, log_u = 13, 7, 32
+        base = ReplyMessage(
+            1, [UnitReply(False, [], [], checksum=1)]
+        ).serialize(t, m, log_u)
+        with_positions = ReplyMessage(
+            1, [UnitReply(False, [3, 4, 5, 6, 7], [9, 9, 9, 9, 9], checksum=1)]
+        ).serialize(t, m, log_u)
+        extra_bits = (len(with_positions) - len(base)) * 8
+        assert abs(extra_bits - 5 * (m + log_u)) <= 8
+
+    def test_too_many_positions_rejected(self):
+        msg = ReplyMessage(
+            1, [UnitReply(False, list(range(1, 6)), [0] * 5, None)]
+        )
+        with pytest.raises(SerializationError):
+            msg.serialize(t=3, m=7, log_u=32)
+
+    @given(
+        st.lists(
+            st.one_of(
+                st.just(UnitReply(True, [], [], None)),
+                st.builds(
+                    UnitReply,
+                    st.just(False),
+                    st.lists(st.integers(1, 127), min_size=0, max_size=5),
+                    st.just([]),
+                    st.one_of(st.none(), st.integers(0, 2**32 - 1)),
+                ).map(
+                    lambda u: UnitReply(
+                        u.decode_failed,
+                        u.positions,
+                        [7] * len(u.positions),
+                        u.checksum,
+                    )
+                ),
+            ),
+            max_size=8,
+        )
+    )
+    @settings(max_examples=60)
+    def test_roundtrip_property(self, replies):
+        msg = ReplyMessage(3, replies)
+        back = ReplyMessage.deserialize(msg.serialize(5, 7, 32), 5, 7, 32)
+        assert back == msg

@@ -1,0 +1,156 @@
+"""Difference-cardinality estimators: unbiasedness, variance, coverage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.estimators import MinWiseEstimator, StrataEstimator, ToWEstimator
+
+
+def _sample_distinct(rng, count: int) -> np.ndarray:
+    """Distinct nonzero 32-bit values without materializing the universe."""
+    out = np.unique(rng.integers(1, 1 << 32, size=2 * count + 16, dtype=np.uint64))
+    rng.shuffle(out)
+    return out[:count]
+
+
+def _pair_arrays(rng, size_a: int, d: int):
+    a = _sample_distinct(rng, size_a)
+    b = a[: size_a - d]
+    return np.sort(a), np.sort(b)
+
+
+class TestToWBasics:
+    def test_identical_sets_estimate_zero(self, rng):
+        a, _ = _pair_arrays(rng, 500, 0)
+        est = ToWEstimator(seed=1)
+        assert est.estimate(est.sketch(a), est.sketch(a)) == 0.0
+
+    def test_empty_sets(self):
+        est = ToWEstimator(seed=1)
+        empty = est.sketch(np.array([], dtype=np.uint64))
+        assert est.estimate(empty, empty) == 0.0
+
+    def test_sketch_values_bounded_by_set_size(self, rng):
+        a, _ = _pair_arrays(rng, 300, 0)
+        sketch = ToWEstimator(seed=2).sketch(a)
+        assert (np.abs(sketch) <= 300).all()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            ToWEstimator(n_sketches=0)
+        with pytest.raises(ParameterError):
+            ToWEstimator(family="nope")
+
+    def test_conservative_rounds_up(self):
+        assert ToWEstimator.conservative(10.0, gamma=1.38) == 14
+        assert ToWEstimator.conservative(0.0) == 1
+
+
+class TestToWStatistics:
+    def test_unbiasedness(self, rng):
+        """E[d_hat] = d (Appendix A).  Average many independent single-sketch
+        estimators and check the mean lands near d."""
+        d = 64
+        a, b = _pair_arrays(rng, 1000, d)
+        est = ToWEstimator(n_sketches=256, seed=3)
+        d_hat = est.estimate(est.sketch(a), est.sketch(b))
+        # sd of the mean = sqrt((2d^2-2d)/256) ~ 5.6; allow 4 sigma
+        assert abs(d_hat - d) < 4 * np.sqrt((2 * d * d - 2 * d) / 256)
+
+    def test_variance_formula(self, rng):
+        """Var[single-sketch estimator] = 2d^2 - 2d (Appendix A)."""
+        d = 16
+        a, b = _pair_arrays(rng, 400, d)
+        singles = []
+        for i in range(400):
+            est = ToWEstimator(n_sketches=1, seed=1000 + i)
+            singles.append(est.estimate(est.sketch(a), est.sketch(b)))
+        singles = np.array(singles)
+        expected_var = 2 * d * d - 2 * d
+        assert np.mean(singles) == pytest.approx(d, rel=0.25)
+        assert np.var(singles) == pytest.approx(expected_var, rel=0.5)
+
+    def test_gamma_coverage(self, rng):
+        """§6.2: Pr[d <= 1.38 * d_hat] >= 0.99 with l = 128 sketches."""
+        d = 100
+        covered = 0
+        trials = 120
+        for trial in range(trials):
+            local = np.random.default_rng(trial)
+            a, b = _pair_arrays(local, 600, d)
+            est = ToWEstimator(n_sketches=128, seed=trial, family="fast")
+            d_hat = est.estimate(est.sketch(a), est.sketch(b))
+            covered += d <= 1.38 * d_hat
+        assert covered / trials >= 0.96
+
+    def test_fast_family_statistically_equivalent(self, rng):
+        d = 50
+        a, b = _pair_arrays(rng, 800, d)
+        est = ToWEstimator(n_sketches=256, seed=5, family="fast")
+        d_hat = est.estimate(est.sketch(a), est.sketch(b))
+        assert abs(d_hat - d) < 25
+
+
+class TestToWWire:
+    def test_paper_sketch_size(self):
+        """§6.1: 128 sketches of a 10^6-element set total 336 bytes."""
+        est = ToWEstimator(n_sketches=128, seed=0)
+        assert est.sketch_bytes(10**6) == 336
+
+    def test_serialize_roundtrip(self, rng):
+        a, _ = _pair_arrays(rng, 300, 0)
+        est = ToWEstimator(n_sketches=64, seed=6)
+        sketch = est.sketch(a)
+        data = est.serialize(sketch, 300)
+        assert (est.deserialize(data, 300) == sketch).all()
+
+
+class TestStrata:
+    def test_order_of_magnitude(self, rng):
+        for d in (10, 100, 1000):
+            a, b = _pair_arrays(rng, 5000, d)
+            est = StrataEstimator(seed=7)
+            d_hat = est.estimate(est.build(a), est.build(b))
+            assert d / 4 <= max(d_hat, 1) <= d * 4
+
+    def test_identical_sets(self, rng):
+        a, _ = _pair_arrays(rng, 1000, 0)
+        est = StrataEstimator(seed=8)
+        assert est.estimate(est.build(a), est.build(a)) == 0.0
+
+    def test_wire_cost_much_larger_than_tow(self):
+        """Appendix B: Strata needs far more space than ToW."""
+        strata = StrataEstimator(seed=0)
+        tow = ToWEstimator(n_sketches=128, seed=0)
+        assert strata.wire_bytes() > 20 * tow.sketch_bytes(10**6)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            StrataEstimator(n_strata=0)
+
+
+class TestMinWise:
+    def test_identical_sets(self, rng):
+        a, _ = _pair_arrays(rng, 800, 0)
+        est = MinWiseEstimator(n_hashes=128, seed=9)
+        sig = est.signature(a)
+        assert est.estimate(sig, sig, 800, 800) == 0.0
+
+    def test_order_of_magnitude(self, rng):
+        d = 400
+        a, b = _pair_arrays(rng, 2000, d)
+        est = MinWiseEstimator(n_hashes=512, seed=10)
+        d_hat = est.estimate(est.signature(a), est.signature(b), len(a), len(b))
+        assert d / 3 <= d_hat <= d * 3
+
+    def test_empty_signature(self):
+        est = MinWiseEstimator(n_hashes=16, seed=11)
+        sig = est.signature(np.array([], dtype=np.uint64))
+        assert (sig == np.iinfo(np.uint64).max).all()
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            MinWiseEstimator(n_hashes=0)

@@ -1,0 +1,117 @@
+"""Evaluation harness: scaling, tables, instance caches, light driver runs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.evaluation import harness
+from repro.evaluation.harness import ExperimentTable, aggregate_runs, instances
+
+
+class TestScaling:
+    def test_default_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert harness.scale_factor() == 1.0
+
+    def test_env_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        assert harness.scale_factor() == 0.5
+        assert harness.scaled(10) == 5
+
+    def test_scale_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.0001")
+        assert harness.scaled(10, minimum=3) == 3
+
+    def test_bad_scale_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "banana")
+        assert harness.scale_factor() == 1.0
+
+
+class TestInstances:
+    def test_instance_counts_and_d(self):
+        pairs = instances(size_a=500, d=9, trials=4, seed=1)
+        assert len(pairs) == 4
+        assert all(p.d == 9 for p in pairs)
+        assert len({frozenset(p.a) for p in pairs}) == 4  # independent
+
+    def test_shared_estimates_reasonable(self):
+        pairs = instances(size_a=2000, d=50, trials=3, seed=2)
+        estimates = harness.shared_estimates(pairs, seed=2)
+        assert len(estimates) == 3
+        assert all(5 <= e <= 500 for e in estimates)
+
+
+class TestExperimentTable:
+    def test_markdown_rendering(self):
+        table = ExperimentTable(name="T", columns=["a", "b"])
+        table.add_row(a=1, b=0.123456)
+        table.add_row(a=2, b=1e-9)
+        table.note("hello")
+        md = table.to_markdown()
+        assert "### T" in md
+        assert "| a | b |" in md
+        assert "0.1235" in md
+        assert "1e-09" in md
+        assert "*hello*" in md
+
+    def test_save_artifacts(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(harness, "RESULTS_DIR", tmp_path)
+        table = ExperimentTable(name="Demo", columns=["x"])
+        table.add_row(x=42)
+        path = table.save("demo")
+        assert path.exists()
+        payload = json.loads(path.read_text())
+        assert payload["rows"] == [{"x": 42}]
+        assert (tmp_path / "demo.md").exists()
+
+
+class TestAggregate:
+    def test_aggregate_excludes_estimator_bytes(self):
+        from repro.transport.channel import Channel, Direction
+        from repro.transport.runner import ReconciliationResult
+
+        ch = Channel()
+        ch.send(Direction.ALICE_TO_BOB, bytes(336), 0, "estimator")
+        ch.send(Direction.BOB_TO_ALICE, bytes(1000), 1, "reply")
+        result = ReconciliationResult(
+            success=True, difference=frozenset(), rounds=1, channel=ch,
+            encode_s=0.5, decode_s=0.25,
+        )
+        agg = aggregate_runs([result])
+        assert agg["kb"] == 1.0
+        assert agg["success"] == 1.0
+        assert agg["encode_s"] == 0.5
+
+
+class TestDriversSmoke:
+    """Tiny-parameter runs of each driver — the full runs live in
+    benchmarks/; these only pin the interfaces."""
+
+    def test_fig5_analytic(self):
+        from repro.evaluation import fig5
+
+        table = fig5.run(d_values=(10, 100), log_u=256)
+        assert len(table.rows) == 2
+
+    def test_sec52(self):
+        from repro.evaluation import sec52
+
+        table = sec52.run(d=100)
+        assert {r["model"] for r in table.rows} == {"three-way", "none"}
+
+    def test_fig1_micro(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.01")
+        from repro.evaluation import fig1
+
+        table = fig1.run(d_values=(10,), size_a=800, trials=3)
+        algorithms = {r["algorithm"] for r in table.rows}
+        assert {"pbs", "d.digest", "pinsketch"} <= algorithms
+
+    def test_table2_micro(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.01")
+        from repro.evaluation import table2
+
+        table = table2.run(d_values=(10,), size_a=800, trials=5)
+        assert table.rows[0]["mean"] >= 1.0

@@ -1,0 +1,48 @@
+"""The examples must run end to end (they are executable documentation)."""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+from unittest import mock
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def _run_example(name: str, argv: list[str] | None = None):
+    path = EXAMPLES / f"{name}.py"
+    assert path.exists(), f"missing example {path}"
+    with mock.patch.object(sys, "argv", [str(path)] + (argv or [])):
+        runpy.run_path(str(path), run_name="__main__")
+
+
+def test_quickstart_runs(capsys):
+    _run_example("quickstart")
+    out = capsys.readouterr().out
+    assert "difference: [1, 2, 3, 6]" in out
+    assert "reconciled d=1000" in out
+
+
+@pytest.mark.filterwarnings("ignore")
+def test_blockchain_relay_runs(capsys):
+    _run_example("blockchain_relay")
+    out = capsys.readouterr().out
+    assert "PBS relay" in out
+    assert "reconciliation is" in out
+
+
+def test_file_sync_runs(capsys):
+    _run_example("file_sync")
+    out = capsys.readouterr().out
+    assert "sync plan" in out
+    assert "conflicts:" in out
+
+
+def test_parameter_tuning_runs(capsys):
+    _run_example("parameter_tuning", argv=["300"])
+    out = capsys.readouterr().out
+    assert "optimal: n=" in out
+    assert "round-target sweep" in out

@@ -1,0 +1,136 @@
+"""Cross-protocol integration: every scheme, same instances, same truth."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DifferenceDigestProtocol,
+    GrapheneProtocol,
+    PinSketchProtocol,
+    PinSketchWPProtocol,
+)
+from repro.core.protocol import PBSProtocol
+from repro.estimators.tow import ToWEstimator
+from repro.workloads.generator import SetPairGenerator
+
+ALL_PROTOCOLS = {
+    "pbs": lambda seed: PBSProtocol(seed=seed),
+    "ddigest": lambda seed: DifferenceDigestProtocol(seed=seed),
+    "graphene": lambda seed: GrapheneProtocol(seed=seed),
+    "pinsketch": lambda seed: PinSketchProtocol(seed=seed),
+    "pinsketch_wp": lambda seed: PinSketchWPProtocol(seed=seed),
+}
+
+
+class TestAllProtocolsAgree:
+    @pytest.mark.parametrize("name", sorted(ALL_PROTOCOLS))
+    def test_same_instance_same_answer(self, name):
+        gen = SetPairGenerator(seed=100)
+        pair = gen.generate(size_a=4000, d=60)
+        proto = ALL_PROTOCOLS[name](seed=7)
+        result = proto.run(pair.a, pair.b, true_d=60)
+        assert result.success
+        assert result.difference == pair.difference
+
+    @pytest.mark.parametrize("name", sorted(ALL_PROTOCOLS))
+    def test_with_shared_estimate(self, name):
+        gen = SetPairGenerator(seed=101)
+        pair = gen.generate(size_a=4000, d=60)
+        est = ToWEstimator(n_sketches=128, seed=3, family="fast")
+        a = np.fromiter(pair.a, dtype=np.uint64)
+        b = np.fromiter(pair.b, dtype=np.uint64)
+        d_hat = max(1, round(est.estimate(est.sketch(a), est.sketch(b))))
+        proto = ALL_PROTOCOLS[name](seed=8)
+        result = proto.run(pair.a, pair.b, estimated_d=d_hat)
+        assert result.success
+        assert result.difference == pair.difference
+
+    def test_communication_ordering_matches_paper(self):
+        """On one shared instance the per-scheme byte totals must order as
+        the paper's Fig. 1-3: PinSketch < PBS < PinSketch/WP < D.Digest."""
+        gen = SetPairGenerator(seed=102)
+        d = 300
+        pair = gen.generate(size_a=10_000, d=d)
+        bytes_by = {}
+        for name in ("pinsketch", "pbs", "pinsketch_wp", "ddigest"):
+            result = ALL_PROTOCOLS[name](seed=9).run(pair.a, pair.b, true_d=d)
+            assert result.success
+            bytes_by[name] = result.total_bytes
+        assert (
+            bytes_by["pinsketch"]
+            < bytes_by["pbs"]
+            < bytes_by["pinsketch_wp"]
+            < bytes_by["ddigest"]
+        )
+
+    def test_pbs_decode_scales_better_than_pinsketch(self):
+        """The headline complexity claim, measured: growing d by 8x should
+        grow PinSketch's decode time far faster than PBS's."""
+        gen = SetPairGenerator(seed=103)
+        times = {"pbs": [], "pinsketch": []}
+        for d in (50, 400):
+            pair = gen.generate(size_a=8000, d=d)
+            for name in ("pbs", "pinsketch"):
+                result = ALL_PROTOCOLS[name](seed=10).run(
+                    pair.a, pair.b, true_d=d
+                )
+                assert result.success
+                times[name].append(result.decode_s)
+        pbs_growth = times["pbs"][1] / max(times["pbs"][0], 1e-9)
+        ps_growth = times["pinsketch"][1] / max(times["pinsketch"][0], 1e-9)
+        assert ps_growth > 2 * pbs_growth
+
+
+class TestStressRandomized:
+    def test_many_random_instances_pbs(self):
+        gen = SetPairGenerator(seed=104)
+        rng = np.random.default_rng(5)
+        for trial in range(15):
+            d = int(rng.integers(0, 150))
+            size_a = int(rng.integers(max(d, 10), 3000) + d)
+            pair = gen.generate(size_a=size_a, d=d)
+            result = PBSProtocol(seed=trial, max_rounds=8).run(
+                pair.a, pair.b, true_d=max(d, 1)
+            )
+            assert result.success
+            assert result.difference == pair.difference
+
+    def test_two_sided_instances_pbs(self):
+        gen = SetPairGenerator(seed=105)
+        rng = np.random.default_rng(6)
+        for trial in range(10):
+            only_a = int(rng.integers(0, 50))
+            only_b = int(rng.integers(0, 50))
+            pair = gen.generate_two_sided(
+                common=1500, only_a=only_a, only_b=only_b
+            )
+            result = PBSProtocol(seed=trial, max_rounds=8).run(
+                pair.a, pair.b, true_d=max(1, only_a + only_b)
+            )
+            assert result.success
+            assert result.difference == pair.difference
+
+    def test_small_universe_8bit_checksums(self):
+        """Exercise a non-default log_u end to end."""
+        gen = SetPairGenerator(universe_bits=16, seed=106)
+        pair = gen.generate(size_a=2000, d=20)
+        result = PBSProtocol(seed=11, log_u=16, max_rounds=8).run(
+            pair.a, pair.b, true_d=20
+        )
+        assert result.success
+        assert result.difference == pair.difference
+
+
+class TestWireRobustness:
+    def test_pbs_messages_actually_roundtrip_on_the_wire(self):
+        """The protocol driver deserializes every message from bytes; a
+        deterministic replay must give byte-identical transcripts."""
+        gen = SetPairGenerator(seed=107)
+        pair = gen.generate(size_a=3000, d=40)
+        r1 = PBSProtocol(seed=12).run(pair.a, pair.b, true_d=40)
+        r2 = PBSProtocol(seed=12).run(pair.a, pair.b, true_d=40)
+        t1 = [(m.direction, m.round_no, m.label, m.n_bytes) for m in r1.channel.messages]
+        t2 = [(m.direction, m.round_no, m.label, m.n_bytes) for m in r2.channel.messages]
+        assert t1 == t2

@@ -1,0 +1,72 @@
+"""Analytic overhead formulas (Formula (1), §8.3, Fig. 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.overhead import (
+    bits_to_kb,
+    ddigest_bits,
+    overhead_ratio,
+    pbs_first_round_bits,
+    pbs_vs_pinsketch_wp_curves,
+    pinsketch_bits,
+    pinsketch_wp_first_round_bits,
+    theoretical_minimum_bits,
+)
+
+
+class TestFormulas:
+    def test_formula_one_paper_instance(self):
+        """§5.2: (n, t) = (127, 13), delta = 5 -> 318 bits per group."""
+        assert pbs_first_round_bits(127, 13, 5, 32) == 318
+
+    def test_r_sweep_paper_values(self):
+        """All four §5.2 optima re-derived from their (n, t) pairs."""
+        assert pbs_first_round_bits((1 << 19) - 1, 16, 5, 32) == 591
+        assert pbs_first_round_bits(1023, 16, 5, 32) == 402
+        assert pbs_first_round_bits(127, 13, 5, 32) == 318
+        assert pbs_first_round_bits(63, 11, 5, 32) == 288
+
+    def test_pinsketch_wp_pays_symbol_width(self):
+        pbs = pbs_first_round_bits(127, 13, 5, 32)
+        wp = pinsketch_wp_first_round_bits(13, 5, 32)
+        assert wp == 13 * 32 + 32
+        # per-group totals: PBS carries delta*(log n + log u) payload, WP
+        # carries none, yet WP is still more expensive at 32-bit log u
+        assert wp > pbs - 5 * (7 + 32)
+
+    def test_minimum_and_ratio(self):
+        assert theoretical_minimum_bits(100, 32) == 3200
+        assert overhead_ratio(6400, 100, 32) == 2.0
+        assert overhead_ratio(100, 0) == float("inf")
+
+    def test_ddigest_six_x(self):
+        assert ddigest_bits(100, 32) == 6 * theoretical_minimum_bits(100, 32)
+
+    def test_pinsketch_at_exact_d_is_minimum(self):
+        assert pinsketch_bits(100, 32) == theoretical_minimum_bits(100, 32)
+
+    def test_bits_to_kb(self):
+        assert bits_to_kb(8000) == 1.0
+
+
+class TestFig5Curves:
+    def test_ratio_grows_with_log_u(self):
+        d_values = [100, 1000]
+        c32 = pbs_vs_pinsketch_wp_curves(d_values, log_u=32)
+        c256 = pbs_vs_pinsketch_wp_curves(d_values, log_u=256)
+        for d in d_values:
+            r32 = c32[d]["pinsketch_wp_kb"] / c32[d]["pbs_kb"]
+            r256 = c256[d]["pinsketch_wp_kb"] / c256[d]["pbs_kb"]
+            assert r256 > r32
+
+    def test_pbs_stays_near_minimum_at_256(self):
+        curves = pbs_vs_pinsketch_wp_curves([1000], log_u=256)
+        row = curves[1000]
+        assert row["pbs_kb"] / row["minimum_kb"] < 2.0
+
+    def test_curves_scale_linearly_in_d(self):
+        curves = pbs_vs_pinsketch_wp_curves([100, 10_000], log_u=256)
+        ratio = curves[10_000]["pbs_kb"] / curves[100]["pbs_kb"]
+        assert ratio == pytest.approx(100, rel=0.35)

@@ -1,0 +1,227 @@
+"""End-to-end PBS protocol: correctness, rounds, exceptions, accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.params import PBSParams
+from repro.core.protocol import PBSProtocol, reconcile_pbs
+from repro.errors import ParameterError
+from repro.workloads.generator import SetPairGenerator
+
+
+class TestBasicReconciliation:
+    def test_identical_sets(self):
+        r = reconcile_pbs({1, 2, 3}, {1, 2, 3}, seed=1, true_d=0)
+        assert r.success and r.difference == frozenset()
+
+    def test_single_difference(self):
+        r = reconcile_pbs({1, 2, 3}, {1, 2}, seed=1, true_d=1)
+        assert r.success and r.difference == frozenset({3})
+
+    def test_two_sided_difference(self):
+        r = reconcile_pbs({1, 2, 3}, {2, 3, 9}, seed=1, true_d=2)
+        assert r.success and r.difference == frozenset({1, 9})
+
+    def test_empty_alice(self):
+        r = reconcile_pbs(set(), {5, 6}, seed=1, true_d=2)
+        assert r.success and r.difference == frozenset({5, 6})
+
+    def test_empty_bob(self):
+        r = reconcile_pbs({5, 6}, set(), seed=1, true_d=2)
+        assert r.success and r.difference == frozenset({5, 6})
+
+    def test_both_empty(self):
+        r = reconcile_pbs(set(), set(), seed=1, true_d=0)
+        assert r.success and r.difference == frozenset()
+
+    def test_zero_element_rejected(self):
+        """The all-zero element is excluded from the universe (§2.1)."""
+        with pytest.raises(ParameterError):
+            reconcile_pbs({0, 1}, {1}, seed=1, true_d=1)
+
+    def test_out_of_universe_rejected(self):
+        with pytest.raises(ParameterError):
+            reconcile_pbs({2**32}, set(), seed=1, true_d=1)
+
+    @pytest.mark.parametrize("d", [1, 3, 5, 10, 25])
+    def test_small_d_sweep(self, d):
+        gen = SetPairGenerator(seed=d)
+        pair = gen.generate(size_a=2000, d=d)
+        r = reconcile_pbs(pair.a, pair.b, seed=99, true_d=d)
+        assert r.success
+        assert r.difference == pair.difference
+
+
+class TestMediumScale:
+    @pytest.mark.parametrize("d", [100, 500])
+    def test_b_subset_of_a(self, d):
+        gen = SetPairGenerator(seed=7)
+        pair = gen.generate(size_a=20_000, d=d)
+        r = reconcile_pbs(pair.a, pair.b, seed=3, true_d=d)
+        assert r.success and r.difference == pair.difference
+
+    def test_two_sided(self):
+        gen = SetPairGenerator(seed=8)
+        pair = gen.generate_two_sided(common=10_000, only_a=60, only_b=40)
+        r = reconcile_pbs(pair.a, pair.b, seed=4, true_d=100)
+        assert r.success and r.difference == pair.difference
+
+    def test_d_larger_than_reality_still_works(self):
+        """Over-provisioned parameters only waste bytes, never correctness."""
+        gen = SetPairGenerator(seed=9)
+        pair = gen.generate(size_a=5000, d=20)
+        r = reconcile_pbs(pair.a, pair.b, seed=5, true_d=200)
+        assert r.success and r.difference == pair.difference
+
+    def test_underestimated_d_eventually_succeeds(self):
+        """Underestimating d overloads groups; splits and extra rounds must
+        still converge when the round budget allows."""
+        gen = SetPairGenerator(seed=10)
+        pair = gen.generate(size_a=5000, d=200)
+        r = reconcile_pbs(
+            pair.a, pair.b, seed=6, true_d=40, max_rounds=12
+        )
+        assert r.success and r.difference == pair.difference
+
+
+class TestMultiRoundBehaviour:
+    def test_unlimited_rounds_converges(self):
+        gen = SetPairGenerator(seed=11)
+        pair = gen.generate(size_a=10_000, d=300)
+        proto = PBSProtocol(seed=12, max_rounds=0)  # 0 -> unlimited cap
+        r = proto.run(pair.a, pair.b, true_d=300)
+        assert r.success and r.difference == pair.difference
+
+    def test_round_budget_one_can_fail_gracefully(self):
+        """One round with non-trivial d usually leaves residue; the result
+        must report failure honestly rather than a wrong difference claim."""
+        gen = SetPairGenerator(seed=13)
+        successes = 0
+        for trial in range(5):
+            pair = gen.generate(size_a=5000, d=200)
+            r = PBSProtocol(seed=trial, max_rounds=1).run(
+                pair.a, pair.b, true_d=200
+            )
+            if r.success:
+                assert r.difference == pair.difference
+                successes += 1
+        assert successes < 5  # d=200 in one round should not always succeed
+
+    def test_round_count_reported(self):
+        gen = SetPairGenerator(seed=14)
+        pair = gen.generate(size_a=5000, d=100)
+        r = reconcile_pbs(pair.a, pair.b, seed=15, true_d=100)
+        assert 1 <= r.rounds <= 3
+
+    def test_first_round_carries_most_bytes(self):
+        """§5.3: the first round should account for the vast majority of
+        the communication."""
+        gen = SetPairGenerator(seed=16)
+        pair = gen.generate(size_a=20_000, d=500)
+        r = reconcile_pbs(pair.a, pair.b, seed=17, true_d=500)
+        by_round = r.channel.bytes_by_round()
+        assert by_round[1] / r.total_bytes > 0.80
+
+
+class TestEstimatorIntegration:
+    def test_estimator_flow_reconciles(self):
+        gen = SetPairGenerator(seed=18)
+        pair = gen.generate(size_a=3000, d=50)
+        proto = PBSProtocol(seed=19, estimator_family="fast")
+        r = proto.run(pair.a, pair.b)
+        assert r.success and r.difference == pair.difference
+
+    def test_estimator_bytes_labelled(self):
+        gen = SetPairGenerator(seed=20)
+        pair = gen.generate(size_a=3000, d=50)
+        proto = PBSProtocol(seed=21, estimator_family="fast")
+        r = proto.run(pair.a, pair.b)
+        by_label = r.channel.bytes_by_label()
+        assert by_label.get("estimator", 0) > 0
+
+    def test_estimated_d_injection_skips_handshake(self):
+        gen = SetPairGenerator(seed=22)
+        pair = gen.generate(size_a=3000, d=50)
+        r = PBSProtocol(seed=23).run(pair.a, pair.b, estimated_d=70)
+        assert r.success
+        assert "estimator" not in r.channel.bytes_by_label()
+
+
+class TestAccounting:
+    def test_overhead_ratio_near_paper_range(self):
+        """PBS first-round accounting should land near Formula (1):
+        roughly 2-3x the theoretical minimum."""
+        gen = SetPairGenerator(seed=24)
+        d = 1000
+        pair = gen.generate(size_a=30_000, d=d)
+        r = reconcile_pbs(pair.a, pair.b, seed=25, true_d=d)
+        assert r.success
+        assert 1.5 < r.overhead_ratio(d) < 3.5
+
+    def test_bytes_split_between_directions(self):
+        from repro.transport.channel import Direction
+
+        gen = SetPairGenerator(seed=26)
+        pair = gen.generate(size_a=5000, d=100)
+        r = reconcile_pbs(pair.a, pair.b, seed=27, true_d=100)
+        a2b = r.channel.bytes_in(Direction.ALICE_TO_BOB)
+        b2a = r.channel.bytes_in(Direction.BOB_TO_ALICE)
+        assert a2b > 0 and b2a > 0
+        assert a2b + b2a == r.total_bytes
+
+    def test_timings_populated(self):
+        gen = SetPairGenerator(seed=28)
+        pair = gen.generate(size_a=5000, d=100)
+        r = reconcile_pbs(pair.a, pair.b, seed=29, true_d=100)
+        assert r.encode_s > 0 and r.decode_s > 0
+
+    def test_params_recorded(self):
+        r = reconcile_pbs({1, 2}, {2, 3}, seed=30, true_d=2)
+        assert isinstance(r.extra["params"], PBSParams)
+
+
+class TestBidirectional:
+    def test_union_push_present(self):
+        gen = SetPairGenerator(seed=31)
+        pair = gen.generate(size_a=2000, d=30)
+        proto = PBSProtocol(seed=32, bidirectional=True)
+        r = proto.run(pair.a, pair.b, true_d=30)
+        assert r.success
+        assert "union-push" in r.channel.bytes_by_label()
+        # B subset of A: all 30 differences are in A, 8 bytes each (uint64)
+        assert r.channel.bytes_by_label()["union-push"] == 30 * 8
+
+
+class TestDeterminism:
+    def test_same_seed_same_execution(self):
+        gen = SetPairGenerator(seed=33)
+        pair = gen.generate(size_a=4000, d=80)
+        r1 = reconcile_pbs(pair.a, pair.b, seed=34, true_d=80)
+        r2 = reconcile_pbs(pair.a, pair.b, seed=34, true_d=80)
+        assert r1.total_bytes == r2.total_bytes
+        assert r1.rounds == r2.rounds
+        assert r1.difference == r2.difference
+
+    def test_different_seed_may_change_layout(self):
+        gen = SetPairGenerator(seed=35)
+        pair = gen.generate(size_a=4000, d=80)
+        r1 = reconcile_pbs(pair.a, pair.b, seed=36, true_d=80)
+        r2 = reconcile_pbs(pair.a, pair.b, seed=37, true_d=80)
+        assert r1.difference == r2.difference  # correctness is seed-free
+
+
+class TestFakeElementDefense:
+    def test_success_rate_with_tight_capacity(self):
+        """Stress type I/II exceptions: small n and t force collisions; the
+        checksum + sub-universe checks must still never yield a *wrong*
+        final difference."""
+        params = PBSParams(n=63, t=8, g=4)
+        gen = SetPairGenerator(seed=38)
+        for trial in range(10):
+            pair = gen.generate(size_a=2000, d=20)
+            proto = PBSProtocol(params=params, seed=trial, max_rounds=10)
+            r = proto.run(pair.a, pair.b)
+            if r.success:
+                assert r.difference == pair.difference

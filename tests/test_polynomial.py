@@ -1,0 +1,132 @@
+"""Polynomial arithmetic over GF(2^m)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf import field_for
+from repro.gf import polynomial as P
+
+F = field_for(8)
+
+poly_strategy = st.lists(st.integers(0, 255), min_size=0, max_size=8).map(P.trim)
+
+
+class TestBasics:
+    def test_trim_removes_trailing_zeros(self):
+        assert P.trim([1, 2, 0, 0]) == [1, 2]
+        assert P.trim([0, 0]) == []
+
+    def test_degree(self):
+        assert P.degree([]) == -1
+        assert P.degree([7]) == 0
+        assert P.degree([0, 1]) == 1
+
+    def test_add_is_xor(self):
+        assert P.add([1, 2], [3]) == [2, 2]
+        assert P.add([1, 2], [1, 2]) == []
+
+    def test_scale(self):
+        assert P.scale([1, 1], 0, F) == []
+        assert P.scale([1, 2], 1, F) == [1, 2]
+
+    def test_mul_simple(self):
+        # (x + 1)(x + 1) = x^2 + 1 in characteristic 2
+        assert P.mul([1, 1], [1, 1], F) == [1, 0, 1]
+
+    def test_mul_by_zero(self):
+        assert P.mul([], [1, 2, 3], F) == []
+
+    def test_evaluate_horner(self):
+        # p(x) = 3 + 2x at x = 1 -> 3 ^ 2 = 1
+        assert P.evaluate([3, 2], 1, F) == 1
+        assert P.evaluate([], 5, F) == 0
+        assert P.evaluate([9], 123, F) == 9
+
+    def test_from_roots_has_those_roots(self):
+        roots = [3, 17, 200]
+        poly = P.from_roots(roots, F)
+        assert P.degree(poly) == 3
+        for r in roots:
+            assert P.evaluate(poly, r, F) == 0
+        assert P.evaluate(poly, 5, F) != 0
+
+
+class TestDivMod:
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            P.divmod_poly([1, 2], [], F)
+
+    @given(poly_strategy, poly_strategy)
+    @settings(max_examples=150)
+    def test_division_identity(self, num, den):
+        if not den:
+            return
+        q, r = P.divmod_poly(num, den, F)
+        assert P.degree(r) < P.degree(den) or r == []
+        recomposed = P.add(P.mul(q, den, F), r)
+        assert recomposed == P.trim(list(num))
+
+    def test_mod_of_smaller_degree_is_identity(self):
+        assert P.mod([1, 2], [0, 0, 1], F) == [1, 2]
+
+
+class TestGcd:
+    def test_gcd_of_coprime_is_one(self):
+        a = P.from_roots([3, 5], F)
+        b = P.from_roots([7, 9], F)
+        assert P.gcd(a, b, F) == [1]
+
+    def test_gcd_extracts_common_roots(self):
+        a = P.from_roots([3, 5, 7], F)
+        b = P.from_roots([7, 11], F)
+        g = P.gcd(a, b, F)
+        assert g == P.monic(P.from_roots([7], F), F)
+
+    @given(poly_strategy, poly_strategy)
+    @settings(max_examples=100)
+    def test_gcd_divides_both(self, a, b):
+        if not a or not b:
+            return
+        g = P.gcd(a, b, F)
+        assert P.mod(a, g, F) == []
+        assert P.mod(b, g, F) == []
+
+    def test_gcd_is_monic(self):
+        a = P.scale(P.from_roots([3, 5], F), 7, F)
+        b = P.scale(P.from_roots([5, 9], F), 13, F)
+        g = P.gcd(a, b, F)
+        assert g[-1] == 1
+
+
+class TestModularPowers:
+    def test_pow_x_mod_small(self):
+        # x^(2^0) = x mod f
+        f = P.from_roots([3, 5, 9], F)
+        assert P.pow_x_mod(0, f, F) == [0, 1]
+
+    def test_pow_x_mod_agrees_with_direct(self):
+        f = P.from_roots([3, 5, 9], F)
+        # x^4 mod f via two squarings
+        direct = P.mod([0, 0, 0, 0, 1], f, F)
+        assert P.pow_x_mod(2, f, F) == direct
+
+    def test_x_to_field_order_fixes_roots(self):
+        """x^(2^m) ≡ x on every field element — so gcd(f, x^(2^m) - x)
+        keeps exactly the roots that live in the field."""
+        f = P.from_roots([3, 77, 200], F)
+        xq = P.pow_x_mod(8, f, F)
+        # x^(2^8) - x must vanish at every root of f
+        diff = P.add(xq, [0, 1])
+        for r in (3, 77, 200):
+            assert P.evaluate(diff, r, F) == 0
+
+    def test_trace_poly_values_are_gf2(self):
+        f = P.from_roots([3, 77, 200], F)
+        tr = P.trace_poly_mod(5, f, F)
+        for r in (3, 77, 200):
+            val = P.evaluate(tr, r, F)
+            assert val in (0, 1)
+            assert val == F.trace(F.mul(5, r))

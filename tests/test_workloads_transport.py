@@ -1,0 +1,109 @@
+"""Workload generation and the byte-accounting transport."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.transport.channel import Channel, Direction
+from repro.transport.runner import ReconciliationResult
+from repro.workloads.generator import SetPair, SetPairGenerator
+
+
+class TestSetPairGenerator:
+    def test_exact_cardinalities(self):
+        pair = SetPairGenerator(seed=1).generate(size_a=1000, d=37)
+        assert len(pair.a) == 1000
+        assert len(pair.b) == 963
+        assert pair.d == 37
+
+    def test_b_subset_of_a(self):
+        pair = SetPairGenerator(seed=2).generate(size_a=500, d=20)
+        assert pair.b < pair.a
+
+    def test_difference_property(self):
+        pair = SetPairGenerator(seed=3).generate(size_a=100, d=10)
+        assert pair.difference == pair.a ^ pair.b
+
+    def test_no_zero_element(self):
+        pair = SetPairGenerator(seed=4).generate(size_a=5000, d=0)
+        assert 0 not in pair.a
+
+    def test_reproducible_with_same_seed(self):
+        g1 = SetPairGenerator(seed=5).generate(1000, 10, seed=0)
+        g2 = SetPairGenerator(seed=5).generate(1000, 10, seed=0)
+        assert g1.a == g2.a and g1.b == g2.b
+
+    def test_instances_vary_with_counter(self):
+        gen = SetPairGenerator(seed=6)
+        p1, p2 = gen.generate(100, 5), gen.generate(100, 5)
+        assert p1.a != p2.a
+
+    def test_two_sided(self):
+        pair = SetPairGenerator(seed=7).generate_two_sided(
+            common=100, only_a=7, only_b=5
+        )
+        assert len(pair.a) == 107 and len(pair.b) == 105
+        assert pair.d == 12
+        assert len(pair.a & pair.b) == 100
+
+    def test_small_universe(self):
+        pair = SetPairGenerator(universe_bits=16, seed=8).generate(1000, 10)
+        assert max(pair.a) < 2**16
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            SetPairGenerator(universe_bits=4)
+        with pytest.raises(ParameterError):
+            SetPairGenerator(seed=9).generate(size_a=10, d=11)
+        with pytest.raises(ParameterError):
+            SetPairGenerator(universe_bits=8, seed=10).generate(size_a=200, d=0)
+
+
+class TestChannel:
+    def test_byte_accounting(self):
+        ch = Channel()
+        ch.send(Direction.ALICE_TO_BOB, b"12345", round_no=1, label="x")
+        ch.send(Direction.BOB_TO_ALICE, b"123", round_no=1, label="y")
+        ch.send(Direction.ALICE_TO_BOB, b"1", round_no=2, label="x")
+        assert ch.total_bytes == 9
+        assert ch.bytes_in(Direction.ALICE_TO_BOB) == 6
+        assert ch.bytes_in(Direction.BOB_TO_ALICE) == 3
+        assert ch.rounds == 2
+        assert ch.bytes_by_label() == {"x": 6, "y": 3}
+        assert ch.bytes_by_round() == {1: 8, 2: 1}
+
+    def test_empty_channel(self):
+        ch = Channel()
+        assert ch.total_bytes == 0 and ch.rounds == 0
+
+    def test_send_returns_payload(self):
+        ch = Channel()
+        assert ch.send(Direction.ALICE_TO_BOB, b"abc") == b"abc"
+
+
+class TestReconciliationResult:
+    def _result(self, n_bytes: int) -> ReconciliationResult:
+        ch = Channel()
+        ch.send(Direction.BOB_TO_ALICE, bytes(n_bytes), round_no=1)
+        return ReconciliationResult(
+            success=True, difference=frozenset({1}), rounds=1, channel=ch
+        )
+
+    def test_total_kb(self):
+        assert self._result(1500).total_kb == 1.5
+
+    def test_overhead_ratio(self):
+        r = self._result(400)  # 3200 bits
+        assert r.overhead_ratio(d=10, log_u=32) == pytest.approx(10.0)
+
+    def test_overhead_ratio_d_zero(self):
+        assert self._result(4).overhead_ratio(0) == float("inf")
+
+
+class TestSetPairFrozen:
+    def test_immutability(self):
+        pair = SetPair(a=frozenset({1}), b=frozenset({2}))
+        with pytest.raises(AttributeError):
+            pair.a = frozenset()
