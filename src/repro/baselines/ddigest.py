@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
 
 from repro.baselines.ibf import IBF
 from repro.core.sessions import _as_element_array

@@ -48,11 +48,16 @@ class PinSketchProtocol:
         log_u: int = 32,
         gamma: float = 1.38,
         assume_subset: bool = True,
+        batch: bool = True,
     ) -> None:
         self.seed = seed
         self.log_u = log_u
         self.gamma = gamma
         self.assume_subset = assume_subset
+        #: vectorized candidate inversion in the root search (the one
+        #: multi-element stage of a single-sketch decode); batch=False
+        #: keeps the scalar per-candidate loop for cross-checking
+        self.batch = batch
 
     def capacity_for(self, d_hat: int, exact: bool) -> int:
         """``t``: exact d when known, else the conservative 1.38 inflation."""
@@ -96,7 +101,9 @@ class PinSketchProtocol:
         delta = codec.sketch_xor(sketch_a, sketch_b)
         candidates = arr_a if self.assume_subset else None
         try:
-            elements = codec.decode(delta, candidates=candidates, seed=self.seed)
+            elements = codec.decode(
+                delta, candidates=candidates, seed=self.seed, batch=self.batch
+            )
             difference = frozenset(elements)
             # The checksum doubles as end-to-end verification (cheap, and
             # the same gatekeeper PBS uses).

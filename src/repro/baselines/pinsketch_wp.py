@@ -30,7 +30,6 @@ from repro.core.checksum import set_checksum
 from repro.core.partition import split_by_hash
 from repro.core.sessions import _as_element_array, _partition_by_group
 from repro.core.units import SPLIT_WAYS
-from repro.errors import DecodeFailure
 from repro.gf import field_for
 from repro.transport.channel import Channel, Direction
 from repro.transport.runner import ReconciliationResult
@@ -67,6 +66,7 @@ class PinSketchWPProtocol:
         gamma: float = 1.38,
         assume_subset: bool = True,
         split_model: str = "three-way",
+        batch: bool = True,
     ) -> None:
         self.seed = seed
         self.log_u = log_u
@@ -76,6 +76,9 @@ class PinSketchWPProtocol:
         self.gamma = gamma
         self.assume_subset = assume_subset
         self.split_model = split_model
+        #: batched multi-group sketch + decode per round (scalar per-group
+        #: loop kept behind batch=False for cross-checking)
+        self.batch = batch
 
     def run(
         self,
@@ -127,13 +130,15 @@ class PinSketchWPProtocol:
                     round_no=round_no,
                     label="control",
                 )
-            # Bob -> Alice: per-unit sketch + checksum.
+            # Bob -> Alice: per-unit sketch + checksum.  Every group's
+            # syndromes are computed in one batched pass over a stacked
+            # element matrix; only the bit-packing stays per unit.
             encode_start = time.perf_counter()
+            sketches_b = codec.sketch_many(
+                [unit.b_values for unit in pending], batch=self.batch
+            )
             writer = BitWriter()
-            sketches_b = []
-            for unit in pending:
-                sk = codec.sketch(unit.b_values)
-                sketches_b.append(sk)
+            for unit, sk in zip(pending, sketches_b):
                 for s in sk:
                     writer.write(s, self.log_u)
                 writer.write(set_checksum(unit.b_values, self.log_u), self.log_u)
@@ -143,33 +148,47 @@ class PinSketchWPProtocol:
                 Direction.BOB_TO_ALICE, wire, round_no=round_no, label="syndromes"
             )
 
-            next_pending: list[_WPUnit] = []
-            for unit, sketch_b in zip(pending, sketches_b):
-                encode_start = time.perf_counter()
-                sketch_a = codec.sketch(unit.a_values)
-                encode_s += time.perf_counter() - encode_start
+            encode_start = time.perf_counter()
+            sketches_a = codec.sketch_many(
+                [unit.a_values for unit in pending], batch=self.batch
+            )
+            encode_s += time.perf_counter() - encode_start
 
-                decode_start = time.perf_counter()
-                delta_sketch = codec.sketch_xor(sketch_a, sketch_b)
-                ok = False
-                diff: frozenset[int] = frozenset()
-                try:
-                    candidates = unit.a_values if self.assume_subset else None
-                    elements = codec.decode(
-                        delta_sketch, candidates=candidates, seed=self.seed
-                    )
-                    diff = frozenset(elements)
+            decode_start = time.perf_counter()
+            deltas = [
+                codec.sketch_xor(sa, sb)
+                for sa, sb in zip(sketches_a, sketches_b)
+            ]
+            candidates = (
+                [unit.a_values for unit in pending]
+                if self.assume_subset
+                else None
+            )
+            decoded = codec.decode_many(
+                deltas, candidates=candidates, batch=self.batch, seed=self.seed
+            )
+            outcomes: list[frozenset[int] | None] = []
+            for unit, elements in zip(pending, decoded):
+                diff: frozenset[int] | None = None
+                if elements is not None:
+                    candidate_diff = frozenset(elements)
                     recovered = np.setxor1d(
-                        unit.a_values, np.array(sorted(diff), dtype=np.uint64)
+                        unit.a_values,
+                        np.array(sorted(candidate_diff), dtype=np.uint64),
                     )
-                    ok = set_checksum(recovered, self.log_u) == set_checksum(
+                    if set_checksum(recovered, self.log_u) == set_checksum(
                         unit.b_values, self.log_u
-                    )
-                except DecodeFailure:
-                    ok = False
-                decode_s += time.perf_counter() - decode_start
+                    ):
+                        diff = candidate_diff
+                outcomes.append(diff)
+            decode_s += time.perf_counter() - decode_start
 
-                if ok:
+            # Splitting failed units is bookkeeping for the next round, not
+            # decoding — keep it outside the timed window like the scalar
+            # per-unit loop did.
+            next_pending: list[_WPUnit] = []
+            for unit, diff in zip(pending, outcomes):
+                if diff is not None:
                     unit.diff = diff
                     resolved.append(diff)
                 else:

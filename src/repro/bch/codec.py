@@ -20,6 +20,7 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
+from repro.bch.batch import BatchBCHDecoder
 from repro.bch.berlekamp_massey import berlekamp_massey
 from repro.bch.roots import candidate_roots, chien_roots, trace_roots
 from repro.bch.syndromes import expand_syndromes, syndromes_of
@@ -45,6 +46,14 @@ class BCHCodec:
             raise ParameterError(f"capacity t must be >= 1, got {t}")
         self.field = field
         self.t = t
+        self._batch_engine: BatchBCHDecoder | None = None
+
+    @property
+    def batch_engine(self) -> BatchBCHDecoder | None:
+        """The multi-group engine, or None if the field cannot support it."""
+        if self._batch_engine is None and hasattr(self.field, "mul_vec"):
+            self._batch_engine = BatchBCHDecoder(self.field, self.t)
+        return self._batch_engine
 
     # -- encoding ----------------------------------------------------------
     def sketch(self, values: Iterable[int]) -> list[int]:
@@ -57,6 +66,23 @@ class BCHCodec:
             raise ParameterError("cannot XOR sketches of different capacity")
         return [x ^ y for x, y in zip(a, b)]
 
+    def sketch_many(
+        self, groups: Sequence[Iterable[int]], batch: bool = True
+    ) -> list[list[int]]:
+        """Sketch many sets at once (one vectorized pass over all groups).
+
+        With ``batch=False`` (or a field without ``mul_vec``) this is a
+        plain per-group loop — kept as the cross-checking reference.
+        """
+        engine = self.batch_engine if batch else None
+        if engine is None:
+            return [self.sketch(g) for g in groups]
+        arrays = [
+            np.asarray(g if isinstance(g, np.ndarray) else list(g))
+            for g in groups
+        ]
+        return engine.sketch_many(arrays).tolist()
+
     # -- decoding ----------------------------------------------------------
     def decode(
         self,
@@ -64,6 +90,7 @@ class BCHCodec:
         candidates: np.ndarray | None = None,
         verify: bool = True,
         seed: int = 0,
+        batch: bool = True,
     ) -> list[int]:
         """Recover the (at most t) elements whose sketch this is.
 
@@ -86,7 +113,7 @@ class BCHCodec:
                 f"locator degree {len(locator) - 1} != BM length {length} "
                 f"or exceeds capacity {self.t}"
             )
-        roots = self._find_roots(locator, candidates, seed)
+        roots = self._find_roots(locator, candidates, seed, batch)
         if 0 in roots:
             raise DecodeFailure("locator has 0 as a root")
         # BM's locator is prod (1 - e_i x): its roots are the inverses.
@@ -99,18 +126,67 @@ class BCHCodec:
             raise DecodeFailure("recovered elements do not reproduce the sketch")
         return elements
 
+    def decode_many(
+        self,
+        sketches: Sequence[Sequence[int]],
+        candidates: Sequence[np.ndarray] | None = None,
+        batch: bool = True,
+        verify: bool = True,
+        seed: int = 0,
+    ) -> list[list[int] | None]:
+        """Decode many sketches at once; ``None`` marks a failed group.
+
+        The batch path runs syndromes, Berlekamp–Massey and root search
+        across all groups on 2-D arrays (``batch=False`` falls back to a
+        per-group :meth:`decode` loop, kept for cross-checking).  It
+        requires a table field (Chien search) or per-group ``candidates``.
+        """
+        groups = list(sketches)
+        # Below a handful of groups the lockstep machinery costs more than
+        # it saves; the scalar loop produces identical results.
+        engine = self.batch_engine if batch and len(groups) >= 4 else None
+        if engine is not None and (
+            candidates is not None or isinstance(self.field, TableField)
+        ):
+            if any(len(sk) != self.t for sk in groups):
+                raise ParameterError(
+                    f"sketch rows do not all have {self.t} syndromes"
+                )
+            matrix = np.asarray(groups, dtype=np.int64).reshape(-1, self.t)
+            return engine.decode_many(matrix, candidates=candidates, verify=verify)
+        out: list[list[int] | None] = []
+        for i, sk in enumerate(groups):
+            cand = candidates[i] if candidates is not None else None
+            try:
+                out.append(
+                    self.decode(
+                        sk, candidates=cand, verify=verify, seed=seed, batch=batch
+                    )
+                )
+            except DecodeFailure:
+                out.append(None)
+        return out
+
     def _find_roots(
-        self, locator: list[int], candidates: np.ndarray | None, seed: int
+        self,
+        locator: list[int],
+        candidates: np.ndarray | None,
+        seed: int,
+        batch: bool = True,
     ) -> list[int]:
         if isinstance(self.field, TableField):
             return chien_roots(locator, self.field)
         if candidates is not None:
             # roots are inverses of sketched elements; invert the candidates
-            inv_candidates = np.fromiter(
-                (self.field.inv(int(c)) for c in candidates if c != 0),
-                dtype=np.int64,
-                count=-1,
-            )
+            if batch:
+                nonzero = np.asarray(candidates, dtype=np.int64)
+                inv_candidates = self.field.inv_vec(nonzero[nonzero != 0])
+            else:
+                inv_candidates = np.fromiter(
+                    (self.field.inv(int(c)) for c in candidates if c != 0),
+                    dtype=np.int64,
+                    count=-1,
+                )
             return candidate_roots(locator, inv_candidates, self.field)
         return trace_roots(locator, self.field, seed=seed)
 

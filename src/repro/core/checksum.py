@@ -24,10 +24,16 @@ def set_checksum(values: np.ndarray, log_u: int = 32) -> int:
     return total & ((1 << log_u) - 1)
 
 
-def checksum_update(checksum: int, toggled: np.ndarray, sign: int, log_u: int = 32) -> int:
+def checksum_update(
+    checksum: int, toggled: np.ndarray, sign: int, log_u: int = 32
+) -> int:
     """Incrementally add (+1) or remove (-1) elements from a checksum."""
     mask = (1 << log_u) - 1
-    delta = int(np.asarray(toggled, dtype=np.uint64).sum(dtype=np.uint64)) if len(toggled) else 0
+    delta = (
+        int(np.asarray(toggled, dtype=np.uint64).sum(dtype=np.uint64))
+        if len(toggled)
+        else 0
+    )
     if sign >= 0:
         return (checksum + delta) & mask
     return (checksum - delta) & mask

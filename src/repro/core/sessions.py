@@ -43,7 +43,7 @@ from repro.core.partition import (
     split_by_hash,
 )
 from repro.core.units import SPLIT_WAYS, MembershipConstraint, UnitId
-from repro.errors import DecodeFailure, ParameterError, SerializationError
+from repro.errors import ParameterError, SerializationError
 from repro.hashing.families import SaltedHash
 from repro.utils.seeds import derive_seed
 
@@ -109,11 +109,13 @@ class AliceSession:
         seed: int,
         split_ways: int = SPLIT_WAYS,
         membership_check: bool = True,
+        batch: bool = True,
     ) -> None:
         self.params = params
         self.seed = seed
         self.split_ways = split_ways
         self.membership_check = membership_check
+        self.batch = batch
         self.encode_s = 0.0
         self.decode_s = 0.0
         #: elements of verified units per round (checksum-certified)
@@ -143,16 +145,22 @@ class AliceSession:
         return not self.pending
 
     def build_sketch_message(self, round_no: int) -> SketchMessage:
-        """Step 1: per-unit parity bitmaps and their BCH sketches."""
+        """Step 1: per-unit parity bitmaps and their BCH sketches.
+
+        The sketches of all pending units are computed in one batched
+        pass over a stacked position matrix (the scalar per-unit loop is
+        kept behind ``batch=False`` for cross-checking).
+        """
         start = time.perf_counter()
         params = self.params
         self._round_salt = derive_seed(self.seed, "bin", round_no)
-        sketches: list[list[int]] = []
+        positions: list[np.ndarray] = []
         for unit in self.pending:
             idx = bin_indices(unit.working, self._round_salt, params.n)
             parity, xors = bin_tables(unit.working, idx, params.n)
             unit.xors = xors
-            sketches.append(params.codec.sketch(parity_positions(parity)))
+            positions.append(parity_positions(parity))
+        sketches = params.codec.sketch_many(positions, batch=self.batch)
         message = SketchMessage(
             round_no=round_no,
             continue_mask=self._next_mask,
@@ -172,9 +180,10 @@ class AliceSession:
                 f"{len(self.pending)} pending"
             )
         bin_hash = SaltedHash(self._round_salt)
+        recovered = self._recover_batch(reply, bin_hash) if self.batch else None
         next_pending: list[_AliceUnit] = []
         mask: list[bool] = []
-        for unit, unit_reply in zip(self.pending, reply.replies):
+        for i, (unit, unit_reply) in enumerate(zip(self.pending, reply.replies)):
             if unit_reply.decode_failed:
                 next_pending.extend(self._split(unit, round_no))
                 continue
@@ -184,7 +193,10 @@ class AliceSession:
                 raise SerializationError(
                     f"no checksum ever received for unit {unit.uid.label()}"
                 )
-            candidates = self._recover(unit, unit_reply, bin_hash)
+            if recovered is not None:
+                candidates = recovered[i]
+            else:
+                candidates = self._recover(unit, unit_reply, bin_hash)
             if candidates:
                 self.recovered_by_round[round_no] = (
                     self.recovered_by_round.get(round_no, 0) + len(candidates)
@@ -229,6 +241,72 @@ class AliceSession:
             candidates.add(s)
         return candidates
 
+    def _recover_batch(
+        self, reply: ReplyMessage, bin_hash: SaltedHash
+    ) -> list[set[int]]:
+        """Vectorized :meth:`_recover` across every unit of the round.
+
+        Procedure 1 and Procedure 3's checks are data-parallel over the
+        flattened (unit, position) pairs: one hash pass for the bin check
+        and one per constraint level instead of a Python call per
+        candidate.  Produces exactly the candidate sets of the scalar
+        path.
+        """
+        params = self.params
+        out: list[set[int]] = [set() for _ in reply.replies]
+        uidx_parts: list[np.ndarray] = []
+        pos_parts: list[np.ndarray] = []
+        s_parts: list[np.ndarray] = []
+        for i, (unit, unit_reply) in enumerate(zip(self.pending, reply.replies)):
+            if unit_reply.decode_failed or not unit_reply.positions:
+                continue
+            pos = np.asarray(unit_reply.positions, dtype=np.int64)
+            in_range = (pos >= 1) & (pos <= params.n)
+            pos = pos[in_range]
+            if not len(pos):
+                continue
+            xor_sums = np.asarray(unit_reply.xor_sums, dtype=np.uint64)[in_range]
+            assert unit.xors is not None
+            s_parts.append(unit.xors[pos - 1] ^ xor_sums)
+            pos_parts.append(pos)
+            uidx_parts.append(np.full(len(pos), i, dtype=np.int64))
+        if not s_parts:
+            return out
+        uidx = np.concatenate(uidx_parts)
+        pos = np.concatenate(pos_parts)
+        s = np.concatenate(s_parts)
+        keep = s != 0
+        if params.log_u < 64:
+            keep &= s < np.uint64(1 << params.log_u)
+        if self.membership_check:
+            # Procedure 3: the candidate must hash back into its bin ...
+            keep &= bin_hash.bucket_vec(s, params.n) == pos - 1
+            # ... and into its unit's sub-universe.  Level 0 is the group
+            # partition, which shares (salt, g) across all units by
+            # construction; only the expected branch varies.
+            level0 = self.pending[0].constraints[0]
+            branch = np.array(
+                [u.constraints[0].branch for u in self.pending], dtype=np.int64
+            )
+            level0_bucket = SaltedHash(level0.salt).bucket_vec(s, level0.buckets)
+            keep &= level0_bucket == branch[uidx]
+            # Deeper levels exist only on split descendants; check those
+            # units' candidate slices constraint by constraint.
+            for i, unit in enumerate(self.pending):
+                if len(unit.constraints) <= 1:
+                    continue
+                at_unit = uidx == i
+                if not at_unit.any():
+                    continue
+                vals = s[at_unit]
+                ok = np.ones(len(vals), dtype=bool)
+                for constraint in unit.constraints[1:]:
+                    ok &= constraint.accepts_vec(vals)
+                keep[at_unit] &= ok
+        for i, value in zip(uidx[keep], s[keep]):
+            out[int(i)].add(int(value))
+        return out
+
     def _split(self, unit: _AliceUnit, round_no: int) -> list[_AliceUnit]:
         """Three-way split after a BCH decoding failure (§3.2)."""
         ways = self.split_ways
@@ -269,10 +347,12 @@ class BobSession:
         params: PBSParams,
         seed: int,
         split_ways: int = SPLIT_WAYS,
+        batch: bool = True,
     ) -> None:
         self.params = params
         self.seed = seed
         self.split_ways = split_ways
+        self.batch = batch
         self.encode_s = 0.0
         self.decode_s = 0.0
         arr = _as_element_array(values, params.log_u)
@@ -288,7 +368,12 @@ class BobSession:
         ]
 
     def handle_sketch_message(self, message: SketchMessage) -> ReplyMessage:
-        """Step 2: advance the pending list, decode every sketch."""
+        """Step 2: advance the pending list, decode every sketch.
+
+        All pending units are sketched and BCH-decoded in one batched
+        pass (stacked syndrome matrices); ``batch=False`` keeps the
+        scalar per-unit loop as the cross-checking reference.
+        """
         params = self.params
         self._advance_pending(message)
         if len(message.sketches) != len(self.pending):
@@ -297,22 +382,30 @@ class BobSession:
                 f"{len(self.pending)} pending"
             )
         round_salt = derive_seed(self.seed, "bin", message.round_no)
-        replies: list[UnitReply] = []
-        for unit, alice_sketch in zip(self.pending, message.sketches):
-            encode_start = time.perf_counter()
+
+        encode_start = time.perf_counter()
+        positions_b: list[np.ndarray] = []
+        xors_b: list[np.ndarray] = []
+        for unit in self.pending:
             idx = bin_indices(unit.values, round_salt, params.n)
             parity, xors = bin_tables(unit.values, idx, params.n)
-            sketch_b = params.codec.sketch(parity_positions(parity))
-            self.encode_s += time.perf_counter() - encode_start
+            positions_b.append(parity_positions(parity))
+            xors_b.append(xors)
+        sketches_b = params.codec.sketch_many(positions_b, batch=self.batch)
+        self.encode_s += time.perf_counter() - encode_start
 
-            decode_start = time.perf_counter()
-            delta_sketch = params.codec.sketch_xor(alice_sketch, sketch_b)
+        decode_start = time.perf_counter()
+        deltas = [
+            params.codec.sketch_xor(alice_sketch, sketch_b)
+            for alice_sketch, sketch_b in zip(message.sketches, sketches_b)
+        ]
+        decoded = params.codec.decode_many(deltas, batch=self.batch)
+        replies: list[UnitReply] = []
+        for unit, xors, positions in zip(self.pending, xors_b, decoded):
             checksum = (
                 set_checksum(unit.values, params.log_u) if unit.fresh else None
             )
-            try:
-                positions = params.codec.decode(delta_sketch)
-            except DecodeFailure:
+            if positions is None:
                 unit.last_failed = True
                 unit.split_salt = derive_seed(
                     self.seed, "split", unit.uid.group, unit.uid.path,
@@ -334,7 +427,7 @@ class BobSession:
                         checksum=checksum,
                     )
                 )
-            self.decode_s += time.perf_counter() - decode_start
+        self.decode_s += time.perf_counter() - decode_start
         return ReplyMessage(round_no=message.round_no, replies=replies)
 
     def _advance_pending(self, message: SketchMessage) -> None:

@@ -11,7 +11,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.protocol import PBSProtocol
-from repro.evaluation.harness import ExperimentTable, instances, scaled, shared_estimates
+from repro.evaluation.harness import (
+    ExperimentTable,
+    instances,
+    scaled,
+    shared_estimates,
+)
 
 DEFAULT_D_VALUES = (10, 100, 1000)
 DEFAULT_SIZE_A = 20_000

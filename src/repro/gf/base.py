@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import abc
 
+import numpy as np
+
 from repro.errors import ParameterError
 
 #: Standard primitive (or at least irreducible-and-primitive for m <= 16,
@@ -99,6 +101,22 @@ class GF2mField(abc.ABC):
             base = self.mul(base, base)
             k >>= 1
         return result
+
+    def inv_vec(self, a: np.ndarray) -> np.ndarray:
+        """Elementwise multiplicative inverse of nonzero field elements.
+
+        Generic path: ``a^(2^m - 2)`` by vectorized square-and-multiply
+        when the backend exposes ``pow_vec``, else a scalar fallback loop.
+        Table backends override this with a single gather.
+        """
+        a = np.asarray(a, dtype=np.int64)
+        if (a == 0).any():
+            raise ZeroDivisionError(f"inverse of 0 in GF(2^{self.m})")
+        if hasattr(self, "pow_vec"):
+            return self.pow_vec(a, self.order - 1)
+        return np.fromiter(
+            (self.inv(int(x)) for x in a), dtype=np.int64, count=len(a)
+        )
 
     def sqr(self, a: int) -> int:
         """``a^2`` (the Frobenius map)."""

@@ -64,6 +64,14 @@ class TableField(GF2mField):
         self.exp_table = exp
         #: log table, log_table[a] = discrete log of a (log_table[0] = -1)
         self.log_table = log
+        self._exp32: np.ndarray | None = None
+
+    @property
+    def exp_table32(self) -> np.ndarray:
+        """int32 view of the antilog table for bandwidth-bound bulk loops."""
+        if self._exp32 is None:
+            self._exp32 = self.exp_table.astype(np.int32)
+        return self._exp32
 
     # -- scalar ops --------------------------------------------------------
     def mul(self, a: int, b: int) -> int:
@@ -103,11 +111,24 @@ class TableField(GF2mField):
         """Elementwise ``a ** k`` for an array of field elements."""
         a = np.asarray(a, dtype=np.int64)
         logs = self.log_table[a]
-        out = self.exp_table[(logs * k) % self.order]
+        # Reduce k first: for m = 16 the raw product log * k overflows int64
+        # once k reaches ~2^47 (logs go up to 2^16 - 2).
+        k_red = int(k) % self.order
+        out = self.exp_table[(logs * k_red) % self.order]
         zero = a == 0
         if zero.any():
             out = np.where(zero, 1 if k == 0 else 0, out)
         return out
+
+    def inv_vec(self, a: np.ndarray) -> np.ndarray:
+        """Elementwise multiplicative inverse of nonzero field elements."""
+        a = np.asarray(a, dtype=np.int64)
+        logs = self.log_table[a]
+        if (logs < 0).any():
+            raise ZeroDivisionError("inverse of 0 in GF(2^m)")
+        # order - log is in [1, order]; the doubled exp table covers it
+        # (exp[order] == exp[0] == 1, the a == 1 case).
+        return self.exp_table[self.order - logs]
 
     def power_sum(self, values: np.ndarray, k: int) -> int:
         """XOR-sum of ``v ** k`` over all (nonzero) values — one syndrome."""
@@ -131,3 +152,52 @@ class TableField(GF2mField):
             log_c = int(self.log_table[c])
             acc ^= self.exp_table[(log_c + j * idx) % order]
         return acc
+
+    def eval_poly_all_batch(self, coeffs: np.ndarray) -> np.ndarray:
+        """Row-wise :meth:`eval_poly_all` over a matrix of polynomials.
+
+        ``coeffs`` has shape ``(g, k)`` — one ascending-degree coefficient
+        row per polynomial.  Returns ``vals`` of shape ``(g, order)`` with
+        ``vals[r, i] = poly_r(alpha^i)``: the batched Chien-search
+        primitive, one numpy pass per coefficient column instead of one
+        Python-level loop per polynomial.
+        """
+        coeffs = np.asarray(coeffs, dtype=np.int64)
+        if coeffs.ndim != 2:
+            raise ParameterError("eval_poly_all_batch expects a (g, k) matrix")
+        order = self.order
+        exp32 = self.exp_table32
+        g, k = coeffs.shape
+        # -1 marks zero coefficients; int32 is safe for every m <= 16
+        # (largest index below is 2*order - 2 < 2^17).
+        log_c = self.log_table[coeffs].astype(np.int32)
+        # Sort rows by descending degree so that column j only touches the
+        # leading slice of rows whose degree reaches j — the total work is
+        # then sum(deg_r + 1) instead of g * max_deg table gathers.
+        nz = coeffs != 0
+        deg = np.where(nz.any(axis=1), k - 1 - np.argmax(nz[:, ::-1], axis=1), -1)
+        perm = np.argsort(-deg, kind="stable")
+        log_s = log_c[perm]
+        neg_deg_sorted = -deg[perm]
+        idx = np.arange(order, dtype=np.int32)
+        # j_idx holds (j * i) mod order for the current column j, kept
+        # reduced incrementally so the inner expression needs no modulo:
+        # col + j_idx < 2*order indexes the doubled antilog table directly.
+        j_idx = np.zeros(order, dtype=np.int32)
+        acc = np.zeros((g, order), dtype=np.int32)
+        for j in range(k):
+            rows = int(np.searchsorted(neg_deg_sorted, -j, side="right"))
+            if rows == 0:
+                break
+            col = log_s[:rows, j]
+            nonzero = col >= 0
+            if nonzero.all():
+                acc[:rows] ^= exp32[col[:, None] + j_idx[None, :]]
+            elif nonzero.any():
+                term = exp32[np.where(nonzero, col, 0)[:, None] + j_idx[None, :]]
+                acc[:rows] ^= np.where(nonzero[:, None], term, 0)
+            j_idx += idx
+            j_idx[j_idx >= order] -= order
+        out = np.empty((g, order), dtype=np.int64)
+        out[perm] = acc  # unsort (and widen) in one pass
+        return out

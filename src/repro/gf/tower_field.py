@@ -108,6 +108,25 @@ class TowerField32(GF2mField):
         lo = base.mul_vec(hh, np.full_like(hh, self.beta)) ^ ll
         return (hi << 16) | lo
 
+    def inv_vec(self, a: np.ndarray) -> np.ndarray:
+        """Elementwise inverse via the norm map — one GF(2^16) inversion
+        (a table gather) per element instead of a 2^32 - 2 power chain."""
+        base = self.base
+        a = np.asarray(a, dtype=np.int64)
+        hi, lo = a >> 16, a & _M16
+        beta = np.full_like(hi, self.beta)
+        norm = (
+            base.mul_vec(base.mul_vec(hi, hi), beta)
+            ^ base.mul_vec(hi, lo)
+            ^ base.mul_vec(lo, lo)
+        )
+        # norm == 0 iff a == 0 (the norm is multiplicative and nonzero on
+        # nonzero elements); inv_vec of the base raises on zeros for us.
+        inv_norm = base.inv_vec(norm)
+        out_hi = base.mul_vec(hi, inv_norm)
+        out_lo = base.mul_vec(hi ^ lo, inv_norm)
+        return (out_hi << 16) | out_lo
+
     def pow_vec(self, a: np.ndarray, k: int) -> np.ndarray:
         """Elementwise ``a ** k`` by square-and-multiply on arrays."""
         a = np.asarray(a, dtype=np.int64)

@@ -46,7 +46,9 @@ class SetPairGenerator:
 
     def __init__(self, universe_bits: int = 32, seed: int = 0) -> None:
         if universe_bits < 8 or universe_bits > 64:
-            raise ParameterError(f"universe_bits must be in [8, 64], got {universe_bits}")
+            raise ParameterError(
+                f"universe_bits must be in [8, 64], got {universe_bits}"
+            )
         self.universe_bits = universe_bits
         self.seed = seed
         self._counter = 0
@@ -55,7 +57,9 @@ class SetPairGenerator:
         """``count`` distinct nonzero universe elements."""
         hi = 1 << self.universe_bits
         if count > hi // 2:
-            raise ParameterError(f"cannot sample {count} elements from 2^{self.universe_bits}")
+            raise ParameterError(
+                f"cannot sample {count} elements from 2^{self.universe_bits}"
+            )
         out = np.empty(0, dtype=np.uint64)
         while len(out) < count:
             need = count - len(out)

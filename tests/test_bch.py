@@ -190,7 +190,8 @@ class TestCodecRoundtrip:
         failures = 0
         for trial in range(50):
             local = np.random.default_rng(trial)
-            values = [int(v) for v in local.choice(np.arange(1, 128), size=10, replace=False)]
+            chosen = local.choice(np.arange(1, 128), size=10, replace=False)
+            values = [int(v) for v in chosen]
             sketch = codec.sketch(values)
             try:
                 out = codec.decode(sketch)

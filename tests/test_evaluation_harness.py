@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import json
 
-import pytest
 
 from repro.evaluation import harness
 from repro.evaluation.harness import ExperimentTable, aggregate_runs, instances

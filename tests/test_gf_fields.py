@@ -8,7 +8,13 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import ParameterError
-from repro.gf import CarrylessField, PRIMITIVE_POLYS, TableField, TowerField32, field_for
+from repro.gf import (
+    CarrylessField,
+    PRIMITIVE_POLYS,
+    TableField,
+    TowerField32,
+    field_for,
+)
 from repro.gf.carryless_field import clmul, poly_mod_int
 
 
@@ -164,7 +170,11 @@ class TestTowerField:
         f = TowerField32()
         assert f.mul(a, f.inv(a)) == 1
 
-    @given(st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1))
+    @given(
+        st.integers(0, 2**32 - 1),
+        st.integers(0, 2**32 - 1),
+        st.integers(0, 2**32 - 1),
+    )
     @settings(max_examples=100)
     def test_associativity_and_distributivity(self, a, b, c):
         f = TowerField32()
@@ -229,6 +239,76 @@ class TestCarrylessField:
     def test_wrong_degree_poly_rejected(self):
         with pytest.raises(ParameterError):
             CarrylessField(8, poly=0b1011)
+
+
+class TestM16Boundary:
+    """Regression: int64 overflow near the 2^16 - 1 table boundary.
+
+    ``pow_vec`` used to compute ``log * k`` before reducing modulo the
+    group order; with m = 16 the logs reach 65534, so any exponent above
+    ~2^47 silently wrapped int64 and indexed the wrong table entry.  The
+    scalar ``pow`` (Python ints) never overflowed — so these tests pin
+    the vector paths to the scalar results at the boundary.
+    """
+
+    @pytest.fixture(scope="class")
+    def gf16(self):
+        return TableField(16)
+
+    def test_pow_vec_huge_exponent(self, gf16):
+        a = np.array([2, 3, 0xFFFE, 0xFFFF, 1, 0], dtype=np.int64)
+        for k in (2**47, 2**50 + 1, 2**63 - 1, gf16.order - 1, gf16.order):
+            want = [gf16.pow(int(x), k) for x in a]
+            assert gf16.pow_vec(a, k).tolist() == want, hex(k)
+
+    def test_pow_vec_zero_exponent_and_zero_base(self, gf16):
+        a = np.array([0, 1, 0xFFFF], dtype=np.int64)
+        assert gf16.pow_vec(a, 0).tolist() == [1, 1, 1]
+        assert gf16.pow_vec(a, 5).tolist() == [0, 1, gf16.pow(0xFFFF, 5)]
+
+    def test_inv_vec_boundary_elements(self, gf16):
+        a = np.array([1, 2, 0xFFFE, 0xFFFF], dtype=np.int64)
+        inv = gf16.inv_vec(a)
+        assert gf16.mul_vec(a, inv).tolist() == [1, 1, 1, 1]
+        assert inv.tolist() == [gf16.inv(int(x)) for x in a]
+
+    def test_inv_vec_rejects_zero(self, gf16):
+        with pytest.raises(ZeroDivisionError):
+            gf16.inv_vec(np.array([3, 0, 7], dtype=np.int64))
+
+    def test_mul_vec_boundary_elements(self, gf16):
+        a = np.array([0xFFFF, 0xFFFE, 0x8000], dtype=np.int64)
+        assert gf16.mul_vec(a, a).tolist() == [
+            gf16.mul(int(x), int(x)) for x in a
+        ]
+
+    def test_eval_poly_all_batch_matches_rowwise(self, gf16):
+        rng = np.random.default_rng(16)
+        coeffs = rng.integers(0, gf16.order + 1, size=(5, 4), dtype=np.int64)
+        coeffs[1] = 0  # zero polynomial row
+        coeffs[2, 3] = 0  # interior degree drop
+        batch = gf16.eval_poly_all_batch(coeffs)
+        for row, poly in zip(batch, coeffs):
+            assert np.array_equal(row, gf16.eval_poly_all(poly.tolist()))
+
+    def test_eval_poly_all_batch_small_field_roots(self, gf8):
+        # (x - 3)(x - 5) via locator-style coefficients: roots recovered
+        # at the right alpha exponents in every row
+        c0 = gf8.mul(3, 5)
+        c1 = 3 ^ 5
+        coeffs = np.array([[c0, c1, 1], [c0, c1, 1]], dtype=np.int64)
+        vals = gf8.eval_poly_all_batch(coeffs)
+        for row in vals:
+            roots = {int(gf8.exp_table[i]) for i in np.nonzero(row == 0)[0]}
+            assert roots == {3, 5}
+
+    def test_tower_inv_vec_matches_scalar(self, gf32, rng):
+        a = rng.integers(1, 1 << 32, size=500).astype(np.int64)
+        inv = gf32.inv_vec(a)
+        assert (gf32.mul_vec(a, inv) == 1).all()
+        assert [int(x) for x in inv[:50]] == [
+            gf32.inv(int(x)) for x in a[:50]
+        ]
 
 
 class TestFieldFor:

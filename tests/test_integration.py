@@ -131,6 +131,12 @@ class TestWireRobustness:
         pair = gen.generate(size_a=3000, d=40)
         r1 = PBSProtocol(seed=12).run(pair.a, pair.b, true_d=40)
         r2 = PBSProtocol(seed=12).run(pair.a, pair.b, true_d=40)
-        t1 = [(m.direction, m.round_no, m.label, m.n_bytes) for m in r1.channel.messages]
-        t2 = [(m.direction, m.round_no, m.label, m.n_bytes) for m in r2.channel.messages]
+        def trace(result):
+            return [
+                (m.direction, m.round_no, m.label, m.n_bytes)
+                for m in result.channel.messages
+            ]
+
+        t1 = trace(r1)
+        t2 = trace(r2)
         assert t1 == t2

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.messages import ReplyMessage, SketchMessage, UnitReply
+from repro.core.messages import ReplyMessage, UnitReply
 from repro.core.params import PBSParams
 from repro.core.sessions import (
     AliceSession,
