@@ -1,0 +1,22 @@
+"""Service throughput: N concurrent sync clients against one server,
+with and without cross-session decode coalescing (see
+``repro.evaluation.service_throughput``)."""
+
+from repro.evaluation import service_throughput
+
+
+def test_service_throughput(run_driver):
+    table = run_driver(service_throughput.run, "service_throughput")
+    by_key = {(r["concurrency"], r["mode"]): r for r in table.rows}
+    # every session must have reconciled successfully in every configuration
+    assert all(r["ok"] == r["sessions"] for r in table.rows)
+    # coalescing must actually merge sessions once there is concurrency
+    high = max(r["concurrency"] for r in table.rows)
+    assert high >= 8
+    coalesced = by_key[(high, "coalesced")]
+    per_session = by_key[(high, "per-session")]
+    assert coalesced["mean_sessions_per_batch"] > 1.5
+    # the acceptance claim: at >= 8 concurrent sessions the cross-session
+    # batch beats per-session decode on server engine time
+    assert coalesced["decode_s"] < per_session["decode_s"]
+    assert coalesced["decode_speedup"] > 1.0

@@ -13,6 +13,9 @@ evaluates against (:mod:`repro.baselines`), and all the substrates those
 need: finite fields (:mod:`repro.gf`), BCH syndrome coding (:mod:`repro.bch`),
 hash families (:mod:`repro.hashing`), a byte-accounting transport
 (:mod:`repro.transport`) and workload generation (:mod:`repro.workloads`).
+Beyond the paper, :mod:`repro.service` serves reconciliation over sockets:
+an asyncio server multiplexing many concurrent sessions with
+cross-session BCH decode batching.
 
 Quickstart
 ----------
@@ -60,4 +63,4 @@ __all__ = [
     "ReconciliationFailure",
 ]
 
-__version__ = "1.0.0"
+__version__ = "1.2.0"

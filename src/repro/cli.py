@@ -1,18 +1,23 @@
-"""Command-line interface: reconcile two signature files.
+"""Command-line interface: reconcile signature files, serve, or sync.
 
 Each input file lists one element per line — either decimal or 0x-hex
 32-bit signatures (the format ``sha1sum | cut`` pipelines produce after
-truncation).  The tool reports the symmetric difference and the
-wire/round cost PBS would have paid, and can compare schemes:
+truncation).  Three modes:
 
-    python -m repro alice.txt bob.txt
-    python -m repro alice.txt bob.txt --scheme ddigest --seed 7
-    python -m repro --selftest
+    python -m repro alice.txt bob.txt            # in-process reconcile
+    python -m repro serve --set inv=bob.txt      # reconciliation server
+    python -m repro sync alice.txt --set inv     # client against a server
+
+The in-process mode reports the symmetric difference and the wire/round
+cost PBS would have paid, and can compare schemes (``--scheme ddigest``).
+``serve``/``sync`` run the same protocol over real sockets, many sessions
+at a time (see :mod:`repro.service`).
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 from pathlib import Path
 
@@ -32,10 +37,17 @@ SCHEMES = {
     "pinsketch-wp": PinSketchWPProtocol,
 }
 
+DEFAULT_PORT = 7171
+
 
 def load_signatures(path: Path) -> set[int]:
-    """Parse one signature per line (decimal or 0x-hex); '#' comments ok."""
-    out: set[int] = set()
+    """Parse one signature per line (decimal or 0x-hex); '#' comments ok.
+
+    Rejects malformed lines, values outside the nonzero 32-bit universe,
+    and duplicates — each with the offending line number, so a bad export
+    pipeline is caught at the door instead of silently skewing d.
+    """
+    seen: dict[int, int] = {}
     for line_no, raw in enumerate(path.read_text().splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
         if not line:
@@ -46,11 +58,19 @@ def load_signatures(path: Path) -> set[int]:
             raise SystemExit(f"{path}:{line_no}: not a signature: {line!r}")
         if not 1 <= value < (1 << 32):
             raise SystemExit(
-                f"{path}:{line_no}: {value} outside the nonzero 32-bit universe"
+                f"{path}:{line_no}: {value} outside the nonzero 32-bit "
+                f"universe (signatures must satisfy 1 <= v < 2^32)"
             )
-        out.add(value)
-    return out
+        if value in seen:
+            raise SystemExit(
+                f"{path}:{line_no}: duplicate signature {line!r} "
+                f"(first seen on line {seen[value]})"
+            )
+        seen[value] = line_no
+    return set(seen)
 
+
+# -- parsers ------------------------------------------------------------------
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -72,13 +92,199 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="print only the difference"
     )
     parser.add_argument(
+        "--json", action="store_true",
+        help="print a machine-readable result instead of difference lines",
+    )
+    parser.add_argument(
         "--selftest", action="store_true",
         help="run a built-in instance instead of reading files",
     )
     return parser
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Run the reconciliation server (see repro.service)",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    parser.add_argument(
+        "--port", type=int, default=DEFAULT_PORT,
+        help=f"bind port, 0 = ephemeral (default {DEFAULT_PORT})",
+    )
+    parser.add_argument(
+        "--set", dest="sets", action="append", default=[], metavar="NAME=FILE",
+        help="preload a named set from a signature file (repeatable)",
+    )
+    parser.add_argument(
+        "--window-ms", type=float, default=2.0,
+        help="decode-coalescing window in milliseconds (default 2.0)",
+    )
+    parser.add_argument(
+        "--no-coalesce", action="store_true",
+        help="decode each session separately (benchmarking baseline)",
+    )
+    parser.add_argument(
+        "--no-create", action="store_true",
+        help="reject syncs against set names that were not preloaded",
+    )
+    parser.add_argument(
+        "--metrics-every", type=float, default=0.0, metavar="SECONDS",
+        help="periodically print a JSON metrics snapshot to stderr",
+    )
+    return parser
+
+
+def build_sync_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro sync",
+        description="Sync a signature file against a reconciliation server",
+    )
+    parser.add_argument("file", type=Path, help="local signatures")
+    parser.add_argument(
+        "--set", dest="set_name", default="default",
+        help="server-side set name (default: default)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--rounds", type=int, default=0,
+        help="round budget (0 = server design target; default 0)",
+    )
+    parser.add_argument(
+        "--one-way", action="store_true",
+        help="only learn the difference; do not push A \\ B to the server",
+    )
+    parser.add_argument(
+        "--write", action="store_true",
+        help="rewrite FILE with the union after a successful sync",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="print only the difference"
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print a machine-readable result instead of difference lines",
+    )
+    return parser
+
+
+# -- subcommands --------------------------------------------------------------
+
+def cmd_serve(argv: list[str]) -> int:
+    from repro.service import DecodeCoalescer, ReconciliationServer, SetStore
+
+    args = build_serve_parser().parse_args(argv)
+    store = SetStore()
+    for spec in args.sets:
+        name, sep, file_spec = spec.partition("=")
+        if not sep or not name:
+            print(f"error: --set wants NAME=FILE, got {spec!r}", file=sys.stderr)
+            return 2
+        store.create(name, load_signatures(Path(file_spec)))
+    server = ReconciliationServer(
+        store,
+        host=args.host,
+        port=args.port,
+        coalescer=DecodeCoalescer(
+            window_s=args.window_ms / 1000.0, enabled=not args.no_coalesce
+        ),
+        create_missing=not args.no_create,
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        print(
+            f"# serving on {server.host}:{server.port} "
+            f"sets={store.names() or '[]'}",
+            file=sys.stderr,
+            flush=True,
+        )
+        heartbeat_task = None
+        if args.metrics_every > 0:
+
+            async def heartbeat() -> None:
+                while True:
+                    await asyncio.sleep(args.metrics_every)
+                    print(
+                        server.metrics.to_json(store.stats(), indent=None),
+                        file=sys.stderr,
+                        flush=True,
+                    )
+
+            # hold a strong reference: the loop alone keeps only weak ones
+            heartbeat_task = asyncio.ensure_future(heartbeat())
+        try:
+            await server.serve_forever()
+        finally:
+            if heartbeat_task is not None:
+                heartbeat_task.cancel()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        print(server.metrics.to_json(store.stats()), file=sys.stderr)
+    return 0
+
+
+def cmd_sync(argv: list[str]) -> int:
+    from repro.errors import ReproError
+    from repro.service import sync_once
+
+    args = build_sync_parser().parse_args(argv)
+    values = load_signatures(args.file)
+    try:
+        result = sync_once(
+            args.host,
+            args.port,
+            values,
+            set_name=args.set_name,
+            seed=args.seed,
+            # 0 = defer to the server-announced design target (params.r)
+            max_rounds=args.rounds if args.rounds > 0 else None,
+            bidirectional=not args.one_way,
+        )
+    except (ConnectionError, OSError, ReproError, asyncio.IncompleteReadError) as exc:
+        print(f"error: cannot sync with {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    if args.write and result.success:
+        union = sorted(values | result.difference)
+        args.file.write_text("".join(f"{v}\n" for v in union))
+    _print_result(result, scheme="service", json_out=args.json,
+                  quiet=args.quiet)
+    return 0 if result.success else 1
+
+
+def _print_result(result, scheme: str, json_out: bool, quiet: bool) -> None:
+    if json_out:
+        print(result.to_json())
+        return
+    for value in sorted(result.difference):
+        print(value)
+    if not quiet:
+        print(
+            f"# scheme={scheme} success={result.success} "
+            f"rounds={result.rounds} bytes={result.total_bytes} "
+            f"d={len(result.difference)}",
+            file=sys.stderr,
+        )
+
+
+# -- entry point --------------------------------------------------------------
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "serve":
+        return cmd_serve(argv[1:])
+    if argv and argv[0] == "sync":
+        return cmd_sync(argv[1:])
+
     args = build_parser().parse_args(argv)
     if args.selftest:
         from repro.workloads import SetPairGenerator
@@ -101,15 +307,8 @@ def main(argv: list[str] | None = None) -> int:
         proto = SCHEMES[args.scheme](seed=args.seed)
         result = proto.run(set_a, set_b, estimated_d=max(1, len(set_a ^ set_b)))
 
-    for value in sorted(result.difference):
-        print(value)
-    if not args.quiet:
-        print(
-            f"# scheme={args.scheme} success={result.success} "
-            f"rounds={result.rounds} bytes={result.total_bytes} "
-            f"d={len(result.difference)}",
-            file=sys.stderr,
-        )
+    _print_result(result, scheme=args.scheme, json_out=args.json,
+                  quiet=args.quiet)
     return 0 if result.success else 1
 
 

@@ -94,6 +94,22 @@ class _BobUnit:
     split_salt: int = 0
 
 
+@dataclass
+class BobRoundWork:
+    """Bob's encode output for one round, awaiting the BCH decode.
+
+    Produced by :meth:`BobSession.begin_reply`; the (possibly externally
+    batched) decode of :attr:`deltas` is handed back to
+    :meth:`BobSession.finish_reply`.  Splitting the round this way lets a
+    server coalesce decode work from many concurrent sessions into one
+    cross-session ``decode_many`` call.
+    """
+
+    round_no: int
+    deltas: list[list[int]]          #: per-unit XOR of Alice's and Bob's sketches
+    xors_b: list[np.ndarray] = field(repr=False, default_factory=list)
+
+
 class AliceSession:
     """Alice's side: holds A, learns A xor B.
 
@@ -374,6 +390,21 @@ class BobSession:
         pass (stacked syndrome matrices); ``batch=False`` keeps the
         scalar per-unit loop as the cross-checking reference.
         """
+        work = self.begin_reply(message)
+        decode_start = time.perf_counter()
+        decoded = self.params.codec.decode_many(work.deltas, batch=self.batch)
+        self.decode_s += time.perf_counter() - decode_start
+        return self.finish_reply(work, decoded)
+
+    def begin_reply(self, message: SketchMessage) -> BobRoundWork:
+        """Encode phase of one round: everything up to the BCH decode.
+
+        Advances the pending list, sketches Bob's side, and XORs against
+        Alice's sketches.  The returned :class:`BobRoundWork` carries the
+        per-unit sketch deltas; decode them (``params.codec.decode_many``
+        or a cross-session batch) and hand the result to
+        :meth:`finish_reply`.
+        """
         params = self.params
         self._advance_pending(message)
         if len(message.sketches) != len(self.pending):
@@ -399,9 +430,29 @@ class BobSession:
             params.codec.sketch_xor(alice_sketch, sketch_b)
             for alice_sketch, sketch_b in zip(message.sketches, sketches_b)
         ]
-        decoded = params.codec.decode_many(deltas, batch=self.batch)
+        self.decode_s += time.perf_counter() - decode_start
+        return BobRoundWork(
+            round_no=message.round_no, deltas=deltas, xors_b=xors_b
+        )
+
+    def finish_reply(
+        self,
+        work: BobRoundWork,
+        decoded: list[list[int] | None],
+        decode_seconds: float = 0.0,
+    ) -> ReplyMessage:
+        """Build the round's reply from externally decoded deltas.
+
+        ``decoded`` must align with ``work.deltas`` (``None`` marks a
+        decode failure, triggering the unit's three-way split next round);
+        ``decode_seconds`` attributes this session's share of a coalesced
+        decode batch to :attr:`decode_s`.
+        """
+        params = self.params
+        self.decode_s += decode_seconds
+        start = time.perf_counter()
         replies: list[UnitReply] = []
-        for unit, xors, positions in zip(self.pending, xors_b, decoded):
+        for unit, xors, positions in zip(self.pending, work.xors_b, decoded):
             checksum = (
                 set_checksum(unit.values, params.log_u) if unit.fresh else None
             )
@@ -409,7 +460,7 @@ class BobSession:
                 unit.last_failed = True
                 unit.split_salt = derive_seed(
                     self.seed, "split", unit.uid.group, unit.uid.path,
-                    message.round_no,
+                    work.round_no,
                 )
                 replies.append(
                     UnitReply(
@@ -427,8 +478,8 @@ class BobSession:
                         checksum=checksum,
                     )
                 )
-        self.decode_s += time.perf_counter() - decode_start
-        return ReplyMessage(round_no=message.round_no, replies=replies)
+        self.decode_s += time.perf_counter() - start
+        return ReplyMessage(round_no=work.round_no, replies=replies)
 
     def _advance_pending(self, message: SketchMessage) -> None:
         """Mirror Alice's pending-list evolution (splits + continuation mask)."""

@@ -1,0 +1,40 @@
+"""The reconciliation service: many concurrent PBS sessions over sockets.
+
+Layers (bottom up):
+
+* :mod:`repro.service.wire` — length-prefixed framing for the protocol
+  messages, with payload-vs-framing byte accounting
+  (:class:`FramedChannel`);
+* :mod:`repro.service.store` — named set registry with
+  snapshot-on-reconcile / apply-diff-on-completion semantics;
+* :mod:`repro.service.scheduler` — the cross-session BCH decode
+  coalescer that feeds :meth:`BCHCodec.decode_many` batches spanning
+  sessions;
+* :mod:`repro.service.metrics` — per-session and aggregate counters;
+* :mod:`repro.service.server` / :mod:`repro.service.client` — the
+  asyncio server (one BobSession per connection) and client (one
+  AliceSession), also reachable as ``repro serve`` / ``repro sync``.
+"""
+
+from repro.service.client import sync_once, sync_with_server
+from repro.service.metrics import ServiceMetrics, SessionMetrics
+from repro.service.scheduler import CoalescerStats, DecodeCoalescer
+from repro.service.server import ReconciliationServer
+from repro.service.store import SetStore, Snapshot, UnknownSetError
+from repro.service.wire import FramedChannel, FramedStream, FrameType
+
+__all__ = [
+    "CoalescerStats",
+    "DecodeCoalescer",
+    "FramedChannel",
+    "FramedStream",
+    "FrameType",
+    "ReconciliationServer",
+    "ServiceMetrics",
+    "SessionMetrics",
+    "SetStore",
+    "Snapshot",
+    "UnknownSetError",
+    "sync_once",
+    "sync_with_server",
+]

@@ -1,0 +1,171 @@
+"""The reconciliation client: drive one AliceSession over a socket.
+
+:func:`sync_with_server` is the async primitive (many of them can run
+concurrently against one server — that is the whole point of the service);
+:func:`sync_once` is the blocking convenience wrapper the CLI uses.
+
+The returned :class:`~repro.transport.runner.ReconciliationResult` carries
+the client-side view: ``encode_s``/``decode_s`` are Alice's (the server
+aggregates Bob's in its own metrics), the channel is a
+:class:`~repro.service.wire.FramedChannel` so payload accounting matches
+the in-process protocol while framing overhead is reported separately.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+import numpy as np
+
+from repro.core.messages import ReplyMessage
+from repro.core.sessions import AliceSession, _as_element_array
+from repro.estimators.tow import ToWEstimator
+from repro.service.wire import (
+    FramedChannel,
+    FramedStream,
+    FrameType,
+    Hello,
+    ParamsAnnounce,
+    Push,
+    Result,
+    Welcome,
+)
+from repro.transport.runner import ReconciliationResult
+from repro.utils.seeds import derive_seed
+
+#: Safety cap for "run as many rounds as needed" mode, as in the in-process
+#: driver (Appendix J.1).
+_UNLIMITED_ROUNDS = 64
+
+_SEED_MASK = (1 << 64) - 1
+
+
+async def sync_with_server(
+    host: str,
+    port: int,
+    values,
+    set_name: str = "default",
+    seed: int = 0,
+    max_rounds: int | None = None,
+    n_sketches: int = 128,
+    family: str = "fast",
+    log_u: int = 32,
+    bidirectional: bool = True,
+    batch: bool = True,
+) -> ReconciliationResult:
+    """Reconcile ``values`` against the server's ``set_name`` set.
+
+    The client learns ``A xor B`` (its result difference); with
+    ``bidirectional=True`` (the default) it also pushes ``A \\ B`` so the
+    server's set grows to the union.  ``A ∪ difference`` is then the full
+    union on the client side.
+    """
+    seed = seed & _SEED_MASK
+    arr = _as_element_array(values, log_u)
+    reader, writer = await asyncio.open_connection(host, port)
+    stream = FramedStream(reader, writer, FramedChannel(), role="alice")
+    try:
+        # 1. HELLO / WELCOME
+        await stream.send(
+            FrameType.HELLO,
+            Hello(
+                set_name=set_name,
+                seed=seed,
+                set_size=len(arr),
+                n_sketches=n_sketches,
+                family=family,
+                log_u=log_u,
+                bidirectional=bidirectional,
+            ).serialize(),
+        )
+        _, payload = await stream.recv(expect=FrameType.WELCOME)
+        welcome = Welcome.deserialize(payload)
+
+        # 2. ESTIMATE / PARAMS (§6.2 handshake, client side)
+        estimator = ToWEstimator(
+            n_sketches=n_sketches,
+            seed=derive_seed(seed, "estimator"),
+            family=family,
+        )
+        sketch_a = estimator.sketch(arr)
+        await stream.send(
+            FrameType.ESTIMATE,
+            struct.pack("<I", len(arr))
+            + estimator.serialize(sketch_a, len(arr)),
+        )
+        _, payload = await stream.recv(expect=FrameType.PARAMS)
+        announce = ParamsAnnounce.deserialize(payload)
+        params = announce.to_params()
+
+        # 3. Rounds
+        alice = AliceSession(
+            arr, params, derive_seed(seed, "session"), batch=batch
+        )
+        budget = max_rounds if max_rounds is not None else params.r
+        if budget < 1:
+            budget = _UNLIMITED_ROUNDS
+        rounds_used = 0
+        for round_no in range(1, budget + 1):
+            if alice.done:
+                break
+            message = alice.build_sketch_message(round_no)
+            await stream.send(
+                FrameType.SKETCH,
+                message.serialize(params.t, params.m),
+                round_no=round_no,
+            )
+            _, payload = await stream.recv(
+                expect=FrameType.REPLY, round_no=round_no
+            )
+            reply = ReplyMessage.deserialize(
+                payload, params.t, params.m, params.log_u
+            )
+            alice.handle_reply(reply, round_no)
+            rounds_used = round_no
+
+        # 4. Union push + final ack.  One-way syncs still send an (empty)
+        # PUSH so the server sees a clean session end, not an EOF.
+        difference = alice.difference()
+        extra: dict = {
+            "params": params,
+            "d_hat": announce.d_hat,
+            "set_name": set_name,
+            "server_set_size": welcome.set_size,
+        }
+        if bidirectional:
+            a_only = np.intersect1d(
+                np.fromiter((int(v) for v in difference), dtype=np.uint64),
+                arr,
+            )
+        else:
+            a_only = np.empty(0, dtype=np.uint64)
+        await stream.send(
+            FrameType.PUSH,
+            Push(success=alice.done, elements=a_only).serialize(),
+            round_no=rounds_used + 1,
+        )
+        _, payload = await stream.recv(
+            expect=FrameType.RESULT, round_no=rounds_used + 1
+        )
+        ack = Result.deserialize(payload)
+        if bidirectional:
+            extra["applied"] = ack.applied
+            extra["server_set_size_after"] = ack.store_size
+
+        return ReconciliationResult(
+            success=alice.done,
+            difference=difference,
+            rounds=rounds_used,
+            channel=stream.channel,
+            encode_s=alice.encode_s,
+            decode_s=alice.decode_s,
+            extra=extra,
+        )
+    finally:
+        await stream.close()
+
+
+def sync_once(host: str, port: int, values, **kwargs) -> ReconciliationResult:
+    """Blocking wrapper around :func:`sync_with_server` (used by the CLI)."""
+    return asyncio.run(sync_with_server(host, port, values, **kwargs))

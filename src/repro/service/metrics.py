@@ -1,0 +1,147 @@
+"""Per-session and aggregate service counters.
+
+The server keeps one :class:`SessionMetrics` per connection and folds
+completed sessions into :class:`ServiceMetrics`.  ``snapshot()`` is a
+plain-JSON dict (the ``repro serve --metrics-every`` heartbeat and the
+throughput benchmark both consume it); per-session detail reuses the same
+field names as :meth:`ReconciliationResult.to_dict` so downstream tooling
+can treat service sessions and in-process runs uniformly.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.service.scheduler import CoalescerStats
+from repro.service.wire import FramedChannel
+
+#: Completed-session details kept for the snapshot (aggregates are exact
+#: regardless; this only bounds the per-session tail).
+SESSION_HISTORY = 64
+
+
+@dataclass
+class SessionMetrics:
+    """One connection's life, from accept to close."""
+
+    session_id: int
+    set_name: str = ""
+    peer: str = ""
+    started_unix: float = field(default_factory=time.time)
+    rounds: int = 0
+    d_hat: float = 0.0
+    success: bool = False
+    failed: bool = False          #: connection died before a clean finish
+    probe: bool = False           #: closed before HELLO (health check)
+    error: str = ""
+    applied: int = 0              #: elements folded into the store
+    encode_s: float = 0.0
+    decode_s: float = 0.0
+    channel: FramedChannel = field(default_factory=FramedChannel, repr=False)
+
+    def to_dict(self) -> dict:
+        return {
+            "session_id": self.session_id,
+            "set": self.set_name,
+            "peer": self.peer,
+            "success": self.success,
+            "failed": self.failed,
+            "error": self.error,
+            "rounds": self.rounds,
+            "d_hat": self.d_hat,
+            "applied": self.applied,
+            "total_bytes": self.channel.total_bytes,
+            "framing_bytes": self.channel.framing_bytes,
+            "bytes_by_label": self.channel.bytes_by_label(),
+            "encode_s": self.encode_s,
+            "decode_s": self.decode_s,
+            "duration_s": time.time() - self.started_unix,
+        }
+
+
+class ServiceMetrics:
+    """Aggregate counters across every session the server has seen."""
+
+    def __init__(self, coalescer_stats: CoalescerStats | None = None) -> None:
+        self.started_unix = time.time()
+        self.sessions_started = 0
+        self.sessions_completed = 0
+        self.sessions_failed = 0
+        self.active_sessions = 0
+        self.rounds_total = 0
+        self.payload_bytes = 0
+        self.framing_bytes = 0
+        self.encode_s = 0.0
+        self.decode_s = 0.0
+        self.applied_total = 0
+        self._coalescer_stats = coalescer_stats
+        self._recent: deque[dict] = deque(maxlen=SESSION_HISTORY)
+        self._next_id = 0
+
+    # -- session lifecycle -----------------------------------------------------
+    def open_session(self, peer: str = "") -> SessionMetrics:
+        self._next_id += 1
+        self.sessions_started += 1
+        self.active_sessions += 1
+        return SessionMetrics(session_id=self._next_id, peer=peer)
+
+    def close_session(self, session: SessionMetrics) -> None:
+        self.active_sessions -= 1
+        if session.probe:
+            # a connect-then-close before HELLO (port probe / health
+            # check) is not a session outcome; drop it from the counts
+            self.sessions_started -= 1
+            return
+        if session.failed:
+            self.sessions_failed += 1
+        else:
+            self.sessions_completed += 1
+        self.rounds_total += session.rounds
+        self.payload_bytes += session.channel.total_bytes
+        self.framing_bytes += session.channel.framing_bytes
+        self.encode_s += session.encode_s
+        self.decode_s += session.decode_s
+        self.applied_total += session.applied
+        self._recent.append(session.to_dict())
+
+    # -- reporting -------------------------------------------------------------
+    @property
+    def success_rate(self) -> float:
+        finished = self.sessions_completed + self.sessions_failed
+        if not finished:
+            return 1.0
+        ok = sum(1 for s in self._recent if s["success"])
+        # _recent is bounded; fall back to completed/finished beyond it
+        if finished <= len(self._recent):
+            return ok / finished
+        return self.sessions_completed / finished
+
+    def snapshot(self, store_stats: dict | None = None) -> dict:
+        out = {
+            "uptime_s": time.time() - self.started_unix,
+            "sessions": {
+                "started": self.sessions_started,
+                "completed": self.sessions_completed,
+                "failed": self.sessions_failed,
+                "active": self.active_sessions,
+                "success_rate": self.success_rate,
+            },
+            "rounds_total": self.rounds_total,
+            "payload_bytes": self.payload_bytes,
+            "framing_bytes": self.framing_bytes,
+            "encode_s": self.encode_s,
+            "decode_s": self.decode_s,
+            "applied_total": self.applied_total,
+            "recent_sessions": list(self._recent),
+        }
+        if self._coalescer_stats is not None:
+            out["coalescer"] = self._coalescer_stats.to_dict()
+        if store_stats is not None:
+            out["sets"] = store_stats
+        return out
+
+    def to_json(self, store_stats: dict | None = None, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(store_stats), indent=indent)

@@ -1,0 +1,289 @@
+"""The asyncio reconciliation server.
+
+One :class:`ReconciliationServer` multiplexes many concurrent PBS sessions:
+each accepted connection gets its own :class:`~repro.core.sessions.BobSession`
+against a snapshot of the requested named set, while all sessions share the
+:class:`~repro.service.scheduler.DecodeCoalescer` so BCH decode work arriving
+close together is batched into single cross-session
+:meth:`~repro.bch.codec.BCHCodec.decode_many` calls.
+
+Per connection the server speaks the frame protocol of
+:mod:`repro.service.wire`::
+
+    client                                server
+    HELLO(set, seed, ...)     ->
+                              <-          WELCOME(|B|)
+    ESTIMATE(ToW sketch)      ->
+                              <-          PARAMS(d_hat, n, t, g, ...)
+    SKETCH(round 1)           ->
+                              <-          REPLY(round 1)
+    ...                                   ...
+    PUSH(A \\ B)              ->          (store.apply_diff)
+                              <-          RESULT(applied, |B'|)
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+from repro.core.messages import SketchMessage
+from repro.core.params import DEFAULT_DELTA, PBSParams
+from repro.core.sessions import BobSession
+from repro.errors import ReproError, SerializationError
+from repro.estimators.tow import DEFAULT_GAMMA, ToWEstimator
+from repro.service.metrics import ServiceMetrics, SessionMetrics
+from repro.service.scheduler import DecodeCoalescer
+from repro.service.store import SetStore, Snapshot
+from repro.service.wire import (
+    Error,
+    FramedStream,
+    FrameType,
+    Hello,
+    ParamsAnnounce,
+    Push,
+    Result,
+    Welcome,
+    _unpack_from,
+)
+from repro.utils.seeds import derive_seed
+
+#: Hard cap on rounds per session — a runaway client cannot pin a session.
+MAX_ROUNDS = 64
+
+#: Hard cap on the client-requested Tug-of-War sketch count: the server
+#: runs O(n_sketches * |B|) hashing per handshake, so this must not be an
+#: unbounded client-controlled knob (the paper's l is 128).
+MAX_ESTIMATOR_SKETCHES = 1024
+
+
+class ReconciliationServer:
+    """Serve reconciliation sessions against a shared :class:`SetStore`.
+
+    >>> # inside a coroutine:
+    >>> # async with ReconciliationServer(store) as server:
+    >>> #     result = await sync_with_server("127.0.0.1", server.port, my_set)
+    """
+
+    def __init__(
+        self,
+        store: SetStore | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        coalescer: DecodeCoalescer | None = None,
+        gamma: float = DEFAULT_GAMMA,
+        delta: int = DEFAULT_DELTA,
+        r: int = 3,
+        p0: float = 0.99,
+        batch: bool = True,
+        create_missing: bool = True,
+    ) -> None:
+        self.store = store if store is not None else SetStore()
+        self.host = host
+        self.port = port
+        self.coalescer = (
+            coalescer if coalescer is not None else DecodeCoalescer()
+        )
+        self.metrics = ServiceMetrics(self.coalescer.stats)
+        self.gamma = gamma
+        self.delta = delta
+        self.r = r
+        self.p0 = p0
+        self.batch = batch
+        self.create_missing = create_missing
+        self._server: asyncio.AbstractServer | None = None
+
+    # -- lifecycle -------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting; resolves :attr:`port` when it was 0."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> "ReconciliationServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- per-connection protocol ----------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peername = writer.get_extra_info("peername")
+        session = self.metrics.open_session(
+            peer=f"{peername[0]}:{peername[1]}" if peername else ""
+        )
+        stream = FramedStream(reader, writer, session.channel, role="bob")
+        try:
+            await self._run_session(stream, session)
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            ReproError,
+        ) as exc:
+            session.failed = True
+            session.error = f"{type(exc).__name__}: {exc}"
+            try:
+                await stream.send(
+                    FrameType.ERROR, Error(str(exc)).serialize()
+                )
+            except (ConnectionError, OSError):
+                pass
+        finally:
+            self.metrics.close_session(session)
+            await stream.close()
+
+    async def _run_session(
+        self, stream: FramedStream, session: SessionMetrics
+    ) -> None:
+        # 1. HELLO / WELCOME: pick the set, freeze a snapshot.
+        try:
+            _, payload = await stream.recv(expect=FrameType.HELLO)
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial and session.channel.frames == 0:
+                session.probe = True   # connect-then-close: a port probe
+                return
+            raise
+        hello = Hello.deserialize(payload)
+        session.set_name = hello.set_name
+        existed = hello.set_name in self.store
+        snapshot: Snapshot = self.store.snapshot(
+            hello.set_name, create_missing=self.create_missing
+        )
+        await stream.send(
+            FrameType.WELCOME,
+            Welcome(set_size=len(snapshot), created=not existed).serialize(),
+        )
+
+        # 2. ESTIMATE / PARAMS: the §6.2 Tug-of-War handshake, server side.
+        _, payload = await stream.recv(expect=FrameType.ESTIMATE)
+        params, d_hat = self._negotiate_params(hello, snapshot, payload)
+        session.d_hat = d_hat
+        await stream.send(
+            FrameType.PARAMS,
+            ParamsAnnounce.from_params(params, d_hat).serialize(),
+        )
+
+        # 3. Reconciliation rounds, decode routed through the coalescer.
+        bob = BobSession(
+            snapshot.values,
+            params,
+            derive_seed(hello.seed, "session"),
+            batch=self.batch,
+        )
+        sketches_served = 0
+        try:
+            while True:
+                ftype, payload = await stream.recv(
+                    round_no=session.rounds + 1
+                )
+                if ftype is FrameType.SKETCH:
+                    # count frames served, not the client-announced round
+                    # number — a client replaying round 1 forever must
+                    # still trip the cap
+                    sketches_served += 1
+                    if sketches_served > MAX_ROUNDS:
+                        raise SerializationError(
+                            f"session exceeded {MAX_ROUNDS} rounds"
+                        )
+                    message = SketchMessage.deserialize(
+                        payload, params.t, params.m
+                    )
+                    work = bob.begin_reply(message)
+                    decoded, decode_share = await self.coalescer.decode(
+                        params.codec, work.deltas
+                    )
+                    reply = bob.finish_reply(work, decoded, decode_share)
+                    session.rounds = message.round_no
+                    await stream.send(
+                        FrameType.REPLY,
+                        reply.serialize(params.t, params.m, params.log_u),
+                        round_no=message.round_no,
+                    )
+                elif ftype is FrameType.PUSH:
+                    push = Push.deserialize(payload)
+                    session.success = push.success
+                    applied = 0
+                    if hello.bidirectional and push.success:
+                        elements = np.asarray(push.elements, dtype=np.uint64)
+                        bad = (elements < 1) | (
+                            elements >= np.uint64(1 << params.log_u)
+                        )
+                        if bad.any():
+                            # applying these would poison the set for every
+                            # future session (_as_element_array rejects them)
+                            raise SerializationError(
+                                f"push contains {int(bad.sum())} elements "
+                                f"outside [1, 2^{params.log_u})"
+                            )
+                        applied = self.store.apply_diff(
+                            hello.set_name, add=elements
+                        )
+                    session.applied = applied
+                    await stream.send(
+                        FrameType.RESULT,
+                        Result(
+                            success=push.success,
+                            applied=applied,
+                            store_size=self.store.size(hello.set_name),
+                        ).serialize(),
+                        round_no=session.rounds + 1,
+                    )
+                    break
+                else:
+                    raise SerializationError(
+                        f"unexpected {ftype.name} frame mid-session"
+                    )
+        finally:
+            session.encode_s = bob.encode_s
+            session.decode_s = bob.decode_s
+
+    def _negotiate_params(
+        self, hello: Hello, snapshot: Snapshot, estimate_payload: bytes
+    ) -> tuple[PBSParams, float]:
+        """Estimate d from the client's ToW sketch, optimize (n, t, g)."""
+        if not 1 <= hello.n_sketches <= MAX_ESTIMATOR_SKETCHES:
+            raise SerializationError(
+                f"n_sketches={hello.n_sketches} outside "
+                f"[1, {MAX_ESTIMATOR_SKETCHES}]"
+            )
+        estimator = ToWEstimator(
+            n_sketches=hello.n_sketches,
+            seed=derive_seed(hello.seed, "estimator"),
+            family=hello.family,
+        )
+        (size_a,) = _unpack_from("<I", estimate_payload)
+        if size_a != hello.set_size:
+            raise SerializationError(
+                f"estimate sized for |A|={size_a}, hello said {hello.set_size}"
+            )
+        sketch_a = estimator.deserialize(estimate_payload[4:], size_a)
+        arr_b = np.fromiter(snapshot.values, dtype=np.uint64)
+        sketch_b = estimator.sketch(arr_b)
+        d_hat = estimator.estimate(sketch_a, sketch_b)
+        design_d = ToWEstimator.conservative(max(1, round(d_hat)), self.gamma)
+        params = PBSParams.from_d(
+            design_d,
+            delta=self.delta,
+            r=self.r,
+            p0=self.p0,
+            log_u=hello.log_u,
+        )
+        return params, d_hat

@@ -1,0 +1,126 @@
+"""The server-side set store: many named logical sets.
+
+Each reconciliation session runs against an immutable *snapshot* of one
+named set — PBS requires Bob's set to hold still for the whole multi-round
+exchange, but the live set keeps moving as other sessions complete.  On
+completion the session's additions are applied to the *live* set, so
+concurrent sessions against the same name merge: two clients that both
+snapshotted ``B`` leave the store at ``B ∪ (A1 \\ B) ∪ (A2 \\ B)``.
+
+The store is designed for a single-threaded asyncio server: methods are
+plain synchronous functions (no awaits inside), which on one event loop is
+already atomic.  A per-set monotonically increasing ``version`` lets
+clients detect that a second sync pass is needed for full convergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+class UnknownSetError(ReproError, KeyError):
+    """A session referenced a set name the store does not hold."""
+
+
+@dataclass
+class _NamedSet:
+    values: set[int] = field(default_factory=set)
+    version: int = 0          #: bumped on every mutation
+    reconciles: int = 0       #: completed sessions against this set
+
+
+@dataclass
+class Snapshot:
+    """One session's frozen view of a named set."""
+
+    name: str
+    version: int
+    values: frozenset[int]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+class SetStore:
+    """Registry of named element sets with snapshot/apply semantics."""
+
+    def __init__(self) -> None:
+        self._sets: dict[str, _NamedSet] = {}
+
+    # -- registry -------------------------------------------------------------
+    def names(self) -> list[str]:
+        return sorted(self._sets)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sets
+
+    def create(self, name: str, values=()) -> None:
+        """Create (or replace) a named set from an iterable of elements."""
+        self._sets[name] = _NamedSet(values={int(v) for v in values})
+
+    def get(self, name: str) -> set[int]:
+        """The live set (a copy — the store's own copy is private)."""
+        return set(self._require(name).values)
+
+    def size(self, name: str) -> int:
+        return len(self._require(name).values)
+
+    def version(self, name: str) -> int:
+        return self._require(name).version
+
+    # -- session lifecycle -----------------------------------------------------
+    def snapshot(self, name: str, create_missing: bool = False) -> Snapshot:
+        """Freeze one set for a reconciliation session."""
+        if name not in self._sets:
+            if not create_missing:
+                raise UnknownSetError(f"no such set: {name!r}")
+            self.create(name)
+        entry = self._sets[name]
+        return Snapshot(
+            name=name, version=entry.version, values=frozenset(entry.values)
+        )
+
+    def apply_diff(self, name: str, add=(), remove=()) -> int:
+        """Fold a completed session's difference into the live set.
+
+        Returns how many elements actually changed (an element both added
+        by this session and already added by a concurrent one counts 0).
+        """
+        entry = self._require(name)
+        changed = 0
+        for v in np.asarray(list(add), dtype=np.uint64):
+            value = int(v)
+            if value not in entry.values:
+                entry.values.add(value)
+                changed += 1
+        for v in np.asarray(list(remove), dtype=np.uint64):
+            value = int(v)
+            if value in entry.values:
+                entry.values.discard(value)
+                changed += 1
+        if changed:
+            entry.version += 1
+        entry.reconciles += 1
+        return changed
+
+    # -- introspection ---------------------------------------------------------
+    def stats(self) -> dict:
+        """JSON-able per-set summary for the metrics endpoint."""
+        return {
+            name: {
+                "size": len(entry.values),
+                "version": entry.version,
+                "reconciles": entry.reconciles,
+            }
+            for name, entry in sorted(self._sets.items())
+        }
+
+    def _require(self, name: str) -> _NamedSet:
+        try:
+            return self._sets[name]
+        except KeyError:
+            raise UnknownSetError(f"no such set: {name!r}") from None

@@ -1,0 +1,424 @@
+"""Length-prefixed framing for the reconciliation service.
+
+The in-process :class:`~repro.transport.channel.Channel` moves *payload*
+bytes — exactly what the paper counts as "data transmitted".  To run the
+same messages over a real byte stream the service wraps each payload in a
+frame::
+
+    | length (4 bytes, big-endian) | type (1 byte) | payload ... |
+
+where ``length`` covers the type byte plus the payload.  Framing is
+transport overhead the paper does not charge, so :class:`FramedChannel`
+(a :class:`Channel` subclass) keeps the paper's payload accounting intact
+and tallies header bytes separately in :attr:`FramedChannel.framing_bytes`.
+
+Control messages that exist only in the service (session hello, parameter
+announcement, union push, final ack) are small struct-packed dataclasses
+defined here; the per-round :class:`~repro.core.messages.SketchMessage` /
+:class:`~repro.core.messages.ReplyMessage` payloads reuse the bit-packed
+wire format of :mod:`repro.core.messages` unchanged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.params import PBSParams
+from repro.errors import SerializationError
+from repro.transport.channel import Channel, Direction
+
+#: Protocol version — bumped on any incompatible frame-format change.
+WIRE_VERSION = 1
+
+#: Bytes added to every payload by the frame header (length + type).
+FRAME_HEADER_BYTES = 5
+
+#: Upper bound on one frame's body; a peer announcing more is protocol abuse.
+MAX_FRAME_BYTES = 1 << 26
+
+
+class FrameType(enum.IntEnum):
+    """Discriminator byte of one frame."""
+
+    HELLO = 1        #: client -> server: session opening (set name, seed, ...)
+    WELCOME = 2      #: server -> client: hello accepted
+    ESTIMATE = 3     #: client -> server: Tug-of-War sketch (§6.2 handshake)
+    PARAMS = 4       #: server -> client: d_hat + the negotiated PBSParams
+    SKETCH = 5       #: client -> server: one round's SketchMessage
+    REPLY = 6        #: server -> client: one round's ReplyMessage
+    PUSH = 7         #: client -> server: A \\ B elements (bidirectional sync)
+    RESULT = 8       #: server -> client: final ack (applied count, store size)
+    ERROR = 15       #: either direction: fatal error, then close
+
+
+#: Channel label per frame type — "estimator" keeps the handshake excludable
+#: from communication figures exactly as the paper's accounting does (§6.2).
+FRAME_LABELS: dict[FrameType, str] = {
+    FrameType.HELLO: "control",
+    FrameType.WELCOME: "control",
+    FrameType.ESTIMATE: "estimator",
+    FrameType.PARAMS: "estimator",
+    FrameType.SKETCH: "sketch",
+    FrameType.REPLY: "reply",
+    FrameType.PUSH: "union-push",
+    FrameType.RESULT: "control",
+    FrameType.ERROR: "control",
+}
+
+_HASH_FAMILIES = ("fourwise", "fast")
+
+
+def _unpack_from(fmt: str, data: bytes, offset: int = 0) -> tuple:
+    """struct.unpack_from that reports malformed payloads as protocol errors
+    (a raw ``struct.error`` from peer-controlled bytes would escape the
+    server's error handling and crash the connection task)."""
+    try:
+        return struct.unpack_from(fmt, data, offset)
+    except struct.error as exc:
+        raise SerializationError(f"malformed control payload: {exc}") from exc
+
+
+def encode_frame(ftype: FrameType, payload: bytes) -> bytes:
+    """One wire frame: big-endian length, type byte, payload."""
+    body_len = 1 + len(payload)
+    if body_len > MAX_FRAME_BYTES:
+        raise SerializationError(f"frame body of {body_len} bytes exceeds cap")
+    return struct.pack("!IB", body_len, int(ftype)) + payload
+
+
+def decode_frames(buffer: bytes) -> list[tuple[FrameType, bytes]]:
+    """Split a byte string of back-to-back frames (offline/testing helper)."""
+    out: list[tuple[FrameType, bytes]] = []
+    view = memoryview(buffer)
+    while len(view):
+        if len(view) < FRAME_HEADER_BYTES:
+            raise SerializationError("truncated frame header")
+        (body_len,) = struct.unpack_from("!I", view)
+        if body_len < 1 or body_len > MAX_FRAME_BYTES:
+            raise SerializationError(f"bad frame length {body_len}")
+        if len(view) < 4 + body_len:
+            raise SerializationError("truncated frame body")
+        out.append(
+            (FrameType(view[4]), bytes(view[5 : 4 + body_len]))
+        )
+        view = view[4 + body_len :]
+    return out
+
+
+async def read_frame(reader: asyncio.StreamReader) -> tuple[FrameType, bytes]:
+    """Read exactly one frame from a stream.
+
+    Raises :class:`asyncio.IncompleteReadError` on EOF mid-frame and
+    :class:`SerializationError` on a malformed header.
+    """
+    header = await reader.readexactly(4)
+    (body_len,) = struct.unpack("!I", header)
+    if body_len < 1 or body_len > MAX_FRAME_BYTES:
+        raise SerializationError(f"bad frame length {body_len}")
+    body = await reader.readexactly(body_len)
+    try:
+        ftype = FrameType(body[0])
+    except ValueError as exc:
+        raise SerializationError(f"unknown frame type {body[0]}") from exc
+    return ftype, body[1:]
+
+
+# -- control messages ----------------------------------------------------------
+
+@dataclass
+class Hello:
+    """Client session opening: which set, and the shared randomness."""
+
+    set_name: str
+    seed: int                 #: session seed both sides derive salts from
+    set_size: int             #: |A|, sizes the estimator wire format
+    n_sketches: int = 128     #: Tug-of-War sketch count l
+    family: str = "fast"      #: ToW hash family ("fourwise" | "fast")
+    log_u: int = 32
+    bidirectional: bool = True
+    version: int = WIRE_VERSION
+
+    def serialize(self) -> bytes:
+        if not 0 <= self.seed < (1 << 64):
+            raise SerializationError(f"seed {self.seed} not a u64")
+        if self.family not in _HASH_FAMILIES:
+            raise SerializationError(f"unknown hash family {self.family!r}")
+        name = self.set_name.encode("utf-8")
+        if len(name) > 0xFFFF:
+            raise SerializationError("set name too long")
+        return (
+            struct.pack(
+                "!BQIHBB?",
+                self.version,
+                self.seed,
+                self.set_size,
+                self.n_sketches,
+                _HASH_FAMILIES.index(self.family),
+                self.log_u,
+                self.bidirectional,
+            )
+            + struct.pack("!H", len(name))
+            + name
+        )
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "Hello":
+        fixed = struct.calcsize("!BQIHBB?")
+        version, seed, set_size, n_sketches, family_ix, log_u, bidi = (
+            _unpack_from("!BQIHBB?", data)
+        )
+        if version != WIRE_VERSION:
+            raise SerializationError(
+                f"peer speaks wire version {version}, this build {WIRE_VERSION}"
+            )
+        if family_ix >= len(_HASH_FAMILIES):
+            raise SerializationError(f"unknown hash family index {family_ix}")
+        (name_len,) = _unpack_from("!H", data, fixed)
+        raw_name = data[fixed + 2 : fixed + 2 + name_len]
+        if len(raw_name) != name_len:
+            raise SerializationError("truncated set name")
+        try:
+            name = raw_name.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise SerializationError(f"set name not UTF-8: {exc}") from exc
+        return cls(
+            set_name=name,
+            seed=seed,
+            set_size=set_size,
+            n_sketches=n_sketches,
+            family=_HASH_FAMILIES[family_ix],
+            log_u=log_u,
+            bidirectional=bidi,
+            version=version,
+        )
+
+
+@dataclass
+class Welcome:
+    """Server's hello ack: the snapshot the session reconciles against."""
+
+    set_size: int         #: |B| at snapshot time
+    created: bool         #: True when the named set did not exist before
+    version: int = WIRE_VERSION
+
+    def serialize(self) -> bytes:
+        return struct.pack("!BI?", self.version, self.set_size, self.created)
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "Welcome":
+        version, set_size, created = _unpack_from("!BI?", data)
+        return cls(set_size=set_size, created=created, version=version)
+
+
+@dataclass
+class ParamsAnnounce:
+    """Server -> client: the estimate and the resulting parameter set.
+
+    Announcing (n, t, g, ...) explicitly — rather than having the client
+    re-run the optimizer on d_hat — makes the server authoritative and
+    keeps a version-skewed client from deriving mismatched parameters.
+    """
+
+    d_hat: float
+    n: int
+    t: int
+    g: int
+    delta: int
+    r: int
+    p0: float
+    log_u: int = 32
+
+    _FMT = "!dIIIHHdB"
+
+    def serialize(self) -> bytes:
+        return struct.pack(
+            self._FMT, self.d_hat, self.n, self.t, self.g,
+            self.delta, self.r, self.p0, self.log_u,
+        )
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "ParamsAnnounce":
+        d_hat, n, t, g, delta, r, p0, log_u = _unpack_from(cls._FMT, data)
+        return cls(d_hat=d_hat, n=n, t=t, g=g, delta=delta, r=r, p0=p0,
+                   log_u=log_u)
+
+    @classmethod
+    def from_params(cls, params: PBSParams, d_hat: float) -> "ParamsAnnounce":
+        return cls(
+            d_hat=d_hat, n=params.n, t=params.t, g=params.g,
+            delta=params.delta, r=params.r, p0=params.p0, log_u=params.log_u,
+        )
+
+    def to_params(self) -> PBSParams:
+        return PBSParams(
+            n=self.n, t=self.t, g=self.g, delta=self.delta,
+            r=self.r, p0=self.p0, log_u=self.log_u,
+        )
+
+
+@dataclass
+class Push:
+    """Client -> server: the elements of A \\ B, completing the union."""
+
+    success: bool             #: did the client's checksums all verify?
+    elements: np.ndarray      #: uint64 elements the server is missing
+
+    def serialize(self) -> bytes:
+        # big-endian on the wire, like every other field in the format
+        arr = np.ascontiguousarray(self.elements, dtype=">u8")
+        return struct.pack("!?I", self.success, len(arr)) + arr.tobytes()
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "Push":
+        success, count = _unpack_from("!?I", data)
+        if len(data) < 5 + 8 * count:
+            raise SerializationError(
+                f"push announces {count} elements, payload has "
+                f"{(len(data) - 5) // 8}"
+            )
+        elements = np.frombuffer(data, dtype=">u8", count=count, offset=5)
+        return cls(
+            success=success, elements=elements.astype(np.uint64)
+        )
+
+
+@dataclass
+class Result:
+    """Server -> client: final ack after the push was applied."""
+
+    success: bool
+    applied: int          #: elements newly added to the server's set
+    store_size: int       #: live set size after applying
+
+    def serialize(self) -> bytes:
+        return struct.pack("!?II", self.success, self.applied, self.store_size)
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "Result":
+        success, applied, store_size = _unpack_from("!?II", data)
+        return cls(success=success, applied=applied, store_size=store_size)
+
+
+@dataclass
+class Error:
+    """A fatal error; the sender closes the connection after this frame."""
+
+    message: str
+
+    def serialize(self) -> bytes:
+        return self.message.encode("utf-8")
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "Error":
+        return cls(message=data.decode("utf-8", errors="replace"))
+
+
+#: Control-message class per frame type (SKETCH/REPLY payloads are the
+#: bit-packed core messages and are parameterized by (t, m, log_u)).
+CONTROL_MESSAGES: dict[FrameType, type] = {
+    FrameType.HELLO: Hello,
+    FrameType.WELCOME: Welcome,
+    FrameType.PARAMS: ParamsAnnounce,
+    FrameType.PUSH: Push,
+    FrameType.RESULT: Result,
+    FrameType.ERROR: Error,
+}
+
+
+# -- accounting ---------------------------------------------------------------
+
+@dataclass
+class FramedChannel(Channel):
+    """A :class:`Channel` that also tallies frame-header overhead.
+
+    ``send`` (payload accounting) is inherited unchanged, so every
+    consumer of the paper's byte accounting — benchmarks, results,
+    ``bytes_by_label`` — works on service runs too; the service's extra
+    header bytes accumulate in :attr:`framing_bytes` and never pollute
+    the payload figures.
+    """
+
+    framing_bytes: int = 0
+    frames: int = 0
+
+    def record_frame(
+        self,
+        direction: Direction,
+        payload: bytes,
+        round_no: int = 0,
+        label: str = "",
+    ) -> None:
+        """Account one frame: payload via :meth:`send`, header separately."""
+        self.send(direction, payload, round_no=round_no, label=label)
+        self.framing_bytes += FRAME_HEADER_BYTES
+        self.frames += 1
+
+    @property
+    def wire_bytes(self) -> int:
+        """Everything that actually crossed the socket."""
+        return self.total_bytes + self.framing_bytes
+
+
+class FramedStream:
+    """One peer's framed view of an asyncio stream, with accounting.
+
+    ``role`` is ``"alice"`` (client) or ``"bob"`` (server) and fixes which
+    :class:`Direction` outgoing frames are recorded under.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        channel: FramedChannel | None = None,
+        role: str = "alice",
+    ) -> None:
+        if role not in ("alice", "bob"):
+            raise SerializationError(f"role must be alice|bob, got {role!r}")
+        self.reader = reader
+        self.writer = writer
+        self.channel = channel if channel is not None else FramedChannel()
+        self._out = (
+            Direction.ALICE_TO_BOB if role == "alice" else Direction.BOB_TO_ALICE
+        )
+        self._in = (
+            Direction.BOB_TO_ALICE if role == "alice" else Direction.ALICE_TO_BOB
+        )
+
+    async def send(
+        self, ftype: FrameType, payload: bytes, round_no: int = 0
+    ) -> None:
+        self.channel.record_frame(
+            self._out, payload, round_no=round_no, label=FRAME_LABELS[ftype]
+        )
+        self.writer.write(encode_frame(ftype, payload))
+        await self.writer.drain()
+
+    async def recv(
+        self, expect: FrameType | None = None, round_no: int = 0
+    ) -> tuple[FrameType, bytes]:
+        ftype, payload = await read_frame(self.reader)
+        self.channel.record_frame(
+            self._in, payload, round_no=round_no, label=FRAME_LABELS[ftype]
+        )
+        if ftype is FrameType.ERROR and expect is not FrameType.ERROR:
+            raise SerializationError(
+                f"peer error: {Error.deserialize(payload).message}"
+            )
+        if expect is not None and ftype is not expect:
+            raise SerializationError(
+                f"expected {expect.name} frame, got {ftype.name}"
+            )
+        return ftype, payload
+
+    async def close(self) -> None:
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):  # peer already gone
+            pass

@@ -7,9 +7,10 @@ interchangeably.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
-from repro.transport.channel import Channel
+from repro.transport.channel import Channel, Direction
 
 
 @dataclass
@@ -46,3 +47,43 @@ class ReconciliationResult:
         if d == 0:
             return float("inf")
         return (8.0 * self.channel.total_bytes) / (d * log_u)
+
+    def to_dict(self, include_difference: bool = True) -> dict:
+        """Machine-readable summary (CLI ``--json``, service metrics).
+
+        Everything is plain JSON types; ``extra`` is included only for
+        values that already are (params objects and numpy arrays are
+        dropped rather than stringified).
+        """
+        out: dict = {
+            "success": self.success,
+            "d": len(self.difference),
+            "rounds": self.rounds,
+            "total_bytes": self.channel.total_bytes,
+            "bytes_by_label": self.channel.bytes_by_label(),
+            "bytes_by_round": {
+                str(k): v for k, v in self.channel.bytes_by_round().items()
+            },
+            "bytes_by_direction": {
+                d.value: self.channel.bytes_in(d) for d in Direction
+            },
+            "encode_s": self.encode_s,
+            "decode_s": self.decode_s,
+        }
+        framing = getattr(self.channel, "framing_bytes", None)
+        if framing is not None:
+            out["framing_bytes"] = framing
+        if include_difference:
+            out["difference"] = sorted(self.difference)
+        extra = {
+            k: v
+            for k, v in self.extra.items()
+            if isinstance(v, (bool, int, float, str))
+        }
+        if extra:
+            out["extra"] = extra
+        return out
+
+    def to_json(self, include_difference: bool = True, indent: int = 2) -> str:
+        """:meth:`to_dict` rendered as a JSON document."""
+        return json.dumps(self.to_dict(include_difference), indent=indent)

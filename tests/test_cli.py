@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import asyncio
+import json
+import threading
+
 import pytest
 
 from repro.cli import load_signatures, main
@@ -31,6 +35,20 @@ class TestLoadSignatures:
         bad = tmp_path / "bad.txt"
         bad.write_text("0\n")
         with pytest.raises(SystemExit):
+            load_signatures(bad)
+
+    def test_rejects_wider_than_32_bits_with_line_number(self, tmp_path):
+        bad = tmp_path / "bad.txt"
+        bad.write_text(f"7\n{1 << 32}\n")
+        with pytest.raises(SystemExit, match=r"bad\.txt:2: .*32-bit"):
+            load_signatures(bad)
+
+    def test_rejects_duplicates_with_both_line_numbers(self, tmp_path):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("7\n9\n0x7  # same value, hex spelling\n")
+        with pytest.raises(
+            SystemExit, match=r"bad\.txt:3: duplicate .*line 1"
+        ):
             load_signatures(bad)
 
 
@@ -63,3 +81,72 @@ class TestMain:
 
     def test_missing_files_is_an_error(self, capsys):
         assert main([]) == 2
+
+    def test_json_output(self, sig_files, capsys):
+        a, b = sig_files
+        code = main([str(a), str(b), "--json", "--rounds", "0"])
+        out = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert out["success"] is True
+        assert out["difference"] == [1, 42, 99]
+        assert out["total_bytes"] > 0
+        assert out["bytes_by_label"]["estimator"] > 0
+
+
+class TestServeAndSync:
+    """`repro sync` against an in-process server (real sockets)."""
+
+    @pytest.fixture()
+    def server(self):
+        from repro.service import ReconciliationServer, SetStore
+
+        store = SetStore()
+        store.create("inv", {2, 255, 99, 1000})
+        srv = ReconciliationServer(store)
+        loop = asyncio.new_event_loop()
+
+        async def _run():
+            await srv.start()
+            started.set()
+
+        started = threading.Event()
+        thread = threading.Thread(
+            target=lambda: (loop.run_until_complete(_run()),
+                            loop.run_forever()),
+            daemon=True,
+        )
+        thread.start()
+        assert started.wait(timeout=10)
+        yield srv, store
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10)
+
+    def test_sync_subcommand(self, server, sig_files, capsys):
+        srv, store = server
+        a, _ = sig_files  # {1, 2, 255, 42}
+        code = main([
+            "sync", str(a), "--set", "inv", "--port", str(srv.port),
+            "--json",
+        ])
+        out = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert out["success"] is True
+        assert sorted(out["difference"]) == [1, 42, 99, 1000]
+        assert out["framing_bytes"] > 0
+        assert store.get("inv") == {1, 2, 42, 99, 255, 1000}
+
+    def test_sync_write_updates_file_to_union(self, server, sig_files):
+        srv, _ = server
+        a, _ = sig_files
+        code = main([
+            "sync", str(a), "--set", "inv", "--port", str(srv.port),
+            "--write", "--quiet",
+        ])
+        assert code == 0
+        assert load_signatures(a) == {1, 2, 42, 99, 255, 1000}
+
+    def test_sync_connection_refused_is_clean_error(self, sig_files, capsys):
+        a, _ = sig_files
+        code = main(["sync", str(a), "--port", "1", "--set", "inv"])
+        assert code == 2
+        assert "cannot sync" in capsys.readouterr().err

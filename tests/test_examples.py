@@ -41,6 +41,13 @@ def test_file_sync_runs(capsys):
     assert "conflicts:" in out
 
 
+def test_service_sync_runs(capsys):
+    _run_example("service_sync")
+    out = capsys.readouterr().out
+    assert "server listening on" in out
+    assert "all parties converged to the union" in out
+
+
 def test_parameter_tuning_runs(capsys):
     _run_example("parameter_tuning", argv=["300"])
     out = capsys.readouterr().out

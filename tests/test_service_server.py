@@ -1,0 +1,343 @@
+"""End-to-end service tests: real sockets, concurrent sessions.
+
+Written against plain ``asyncio.run`` so the suite does not depend on a
+pytest-asyncio plugin being installed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.service import (
+    DecodeCoalescer,
+    ReconciliationServer,
+    SetStore,
+    sync_with_server,
+)
+from repro.workloads import SetPairGenerator
+
+
+def _pair(seed: int, size: int = 2000, d: int = 24):
+    pair = SetPairGenerator(universe_bits=32, seed=seed).generate(
+        size_a=size, d=d
+    )
+    return set(pair.a), set(pair.b), pair.difference
+
+
+class TestSingleSession:
+    def test_client_learns_difference_and_server_applies_push(self):
+        set_a, set_b, expected = _pair(seed=11)
+
+        async def scenario():
+            store = SetStore()
+            store.create("inv", set_b)
+            async with ReconciliationServer(store) as server:
+                result = await sync_with_server(
+                    "127.0.0.1", server.port, set_a, set_name="inv", seed=5
+                )
+            return store, server, result
+
+        store, server, result = asyncio.run(scenario())
+        assert result.success
+        assert result.difference == expected
+        assert store.get("inv") == set_a | set_b
+        assert result.extra["applied"] == len(set_a - set_b)
+        assert result.rounds >= 1
+        # paper accounting intact: estimator excludable, framing separate
+        labels = result.channel.bytes_by_label()
+        assert labels["estimator"] > 0
+        assert result.channel.framing_bytes > 0
+        snapshot = server.metrics.snapshot(store.stats())
+        assert snapshot["sessions"] == {
+            "started": 1, "completed": 1, "failed": 0, "active": 0,
+            "success_rate": 1.0,
+        }
+        assert snapshot["rounds_total"] == result.rounds
+        assert snapshot["decode_s"] > 0
+        json.dumps(snapshot)  # must be a plain-JSON document
+
+    def test_one_way_sync_leaves_store_untouched(self):
+        set_a, set_b, expected = _pair(seed=21)
+
+        async def scenario():
+            store = SetStore()
+            store.create("inv", set_b)
+            async with ReconciliationServer(store) as server:
+                result = await sync_with_server(
+                    "127.0.0.1", server.port, set_a, set_name="inv",
+                    seed=5, bidirectional=False,
+                )
+            return store, server, result
+
+        store, server, result = asyncio.run(scenario())
+        assert result.success and result.difference == expected
+        assert store.get("inv") == set_b
+        assert "applied" not in result.extra
+        # a clean one-way session ends with an empty PUSH, not an EOF:
+        # the server must count it as completed, not failed
+        assert server.metrics.sessions_completed == 1
+        assert server.metrics.sessions_failed == 0
+
+    def test_port_probe_is_not_a_session(self):
+        async def scenario():
+            async with ReconciliationServer() as server:
+                # a health check: connect, close, send nothing
+                _, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.close()
+                await writer.wait_closed()
+                await asyncio.sleep(0.05)
+                return server
+
+        server = asyncio.run(scenario())
+        assert server.metrics.sessions_started == 0
+        assert server.metrics.sessions_failed == 0
+        assert server.metrics.active_sessions == 0
+
+    def test_poisonous_push_is_rejected_and_store_survives(self):
+        import numpy as np
+
+        from repro.service.wire import (
+            FrameType, Hello, Push, encode_frame, read_frame,
+        )
+
+        async def scenario():
+            store = SetStore()
+            store.create("inv", {1, 2, 3})
+            async with ReconciliationServer(store) as server:
+                # hand-roll a session that pushes out-of-universe elements
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(encode_frame(
+                    FrameType.HELLO,
+                    Hello(set_name="inv", seed=1, set_size=0).serialize(),
+                ))
+                await writer.drain()
+                await read_frame(reader)                  # WELCOME
+                import struct
+
+                from repro.estimators.tow import ToWEstimator
+                from repro.utils.seeds import derive_seed
+
+                est = ToWEstimator(128, derive_seed(1, "estimator"), "fast")
+                sketch = est.sketch(np.empty(0, dtype=np.uint64))
+                writer.write(encode_frame(
+                    FrameType.ESTIMATE,
+                    struct.pack("<I", 0) + est.serialize(sketch, 0),
+                ))
+                await writer.drain()
+                await read_frame(reader)                  # PARAMS
+                writer.write(encode_frame(
+                    FrameType.PUSH,
+                    Push(
+                        success=True,
+                        elements=np.array([0, 1 << 33], dtype=np.uint64),
+                    ).serialize(),
+                ))
+                await writer.drain()
+                ftype, _ = await read_frame(reader)
+                assert ftype is FrameType.ERROR
+                writer.close()
+                await writer.wait_closed()
+                # the set must be untouched and still syncable
+                assert store.get("inv") == {1, 2, 3}
+                result = await sync_with_server(
+                    "127.0.0.1", server.port, {1, 2, 3, 4}, set_name="inv",
+                    seed=2,
+                )
+                assert result.success
+
+        asyncio.run(scenario())
+
+    def test_oversized_estimator_request_is_rejected(self):
+        async def scenario():
+            async with ReconciliationServer() as server:
+                with pytest.raises(
+                    (SerializationError, asyncio.IncompleteReadError,
+                     ConnectionError)
+                ):
+                    await sync_with_server(
+                        "127.0.0.1", server.port, {1, 2}, set_name="s",
+                        n_sketches=5000,
+                    )
+                return server
+
+        server = asyncio.run(scenario())
+        assert server.metrics.sessions_failed == 1
+
+    def test_truncated_estimate_fails_session_cleanly(self):
+        from repro.service.wire import (
+            FrameType, Hello, encode_frame, read_frame,
+        )
+
+        async def scenario():
+            async with ReconciliationServer() as server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(encode_frame(
+                    FrameType.HELLO,
+                    Hello(set_name="s", seed=1, set_size=10).serialize(),
+                ))
+                await writer.drain()
+                await read_frame(reader)                  # WELCOME
+                writer.write(encode_frame(FrameType.ESTIMATE, b"\x01"))
+                await writer.drain()
+                ftype, _ = await read_frame(reader)
+                assert ftype is FrameType.ERROR
+                writer.close()
+                await writer.wait_closed()
+                await asyncio.sleep(0.05)
+                return server
+
+        server = asyncio.run(scenario())
+        assert server.metrics.sessions_failed == 1
+        assert server.metrics.sessions_completed == 0
+
+    def test_garbage_hello_fails_session_cleanly(self):
+        from repro.service.wire import FrameType, encode_frame, read_frame
+
+        async def scenario():
+            async with ReconciliationServer() as server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                # HELLO frame whose payload is far too short for the format
+                writer.write(encode_frame(FrameType.HELLO, b"\x01\x02"))
+                await writer.drain()
+                ftype, payload = await read_frame(reader)
+                assert ftype is FrameType.ERROR
+                writer.close()
+                await writer.wait_closed()
+                # the server, not the connection task, must survive: a
+                # normal sync on the same server still works
+                result = await sync_with_server(
+                    "127.0.0.1", server.port, {1, 2, 3}, set_name="s",
+                    seed=1,
+                )
+                assert result.success
+                return server
+
+        server = asyncio.run(scenario())
+        assert server.metrics.sessions_failed == 1
+        assert server.metrics.sessions_completed == 1
+
+    def test_unknown_set_rejected_when_create_missing_off(self):
+        async def scenario():
+            async with ReconciliationServer(create_missing=False) as server:
+                with pytest.raises(
+                    (SerializationError, asyncio.IncompleteReadError,
+                     ConnectionError)
+                ):
+                    await sync_with_server(
+                        "127.0.0.1", server.port, {1, 2}, set_name="ghost"
+                    )
+                return server
+
+        server = asyncio.run(scenario())
+        assert server.metrics.sessions_failed == 1
+
+    def test_sync_against_empty_autocreated_set(self):
+        async def scenario():
+            store = SetStore()
+            async with ReconciliationServer(store) as server:
+                result = await sync_with_server(
+                    "127.0.0.1", server.port, {5, 6, 7}, set_name="new",
+                    seed=1,
+                )
+            return store, result
+
+        store, result = asyncio.run(scenario())
+        assert result.success
+        assert result.difference == frozenset({5, 6, 7})
+        assert store.get("new") == {5, 6, 7}
+
+
+class TestConcurrentSessions:
+    N = 6
+
+    def test_many_clients_distinct_sets(self):
+        pairs = [_pair(seed=100 + i, d=10) for i in range(self.N)]
+
+        async def scenario():
+            store = SetStore()
+            for i, (_, set_b, _) in enumerate(pairs):
+                store.create(f"s{i}", set_b)
+            async with ReconciliationServer(store) as server:
+                results = await asyncio.gather(
+                    *[
+                        sync_with_server(
+                            "127.0.0.1", server.port, pairs[i][0],
+                            set_name=f"s{i}", seed=i + 1,
+                        )
+                        for i in range(self.N)
+                    ]
+                )
+            return store, server, results
+
+        store, server, results = asyncio.run(scenario())
+        for i, result in enumerate(results):
+            set_a, set_b, expected = pairs[i]
+            assert result.success
+            assert result.difference == expected
+            assert store.get(f"s{i}") == set_a | set_b
+        stats = server.coalescer.stats
+        assert stats.submissions >= self.N
+        # concurrency must actually have been coalesced into shared batches
+        assert stats.coalesced_batches >= 1
+        assert stats.max_sessions_per_batch >= 2
+        assert server.metrics.sessions_completed == self.N
+
+    def test_two_clients_same_set_converge_after_second_pass(self):
+        base = set(range(1, 1500))
+        a1 = base | {100_001, 100_002}
+        a2 = base | {200_001}
+
+        async def scenario():
+            store = SetStore()
+            store.create("shared", base)
+            async with ReconciliationServer(store) as server:
+                # pass 1: both snapshot the same base concurrently
+                await asyncio.gather(
+                    sync_with_server("127.0.0.1", server.port, a1,
+                                     set_name="shared", seed=1),
+                    sync_with_server("127.0.0.1", server.port, a2,
+                                     set_name="shared", seed=2),
+                )
+                union = base | a1 | a2
+                assert store.get("shared") == union
+                # pass 2: each client pulls what the other pushed
+                r1, r2 = await asyncio.gather(
+                    sync_with_server("127.0.0.1", server.port, a1,
+                                     set_name="shared", seed=3),
+                    sync_with_server("127.0.0.1", server.port, a2,
+                                     set_name="shared", seed=4),
+                )
+                assert a1 | r1.difference == union
+                assert a2 | r2.difference == union
+
+        asyncio.run(scenario())
+
+    def test_per_session_fallback_still_converges(self):
+        set_a, set_b, expected = _pair(seed=31)
+
+        async def scenario():
+            store = SetStore()
+            store.create("inv", set_b)
+            async with ReconciliationServer(
+                store, coalescer=DecodeCoalescer(enabled=False)
+            ) as server:
+                result = await sync_with_server(
+                    "127.0.0.1", server.port, set_a, set_name="inv", seed=9
+                )
+                return server, result
+
+        server, result = asyncio.run(scenario())
+        assert result.success and result.difference == expected
+        assert server.coalescer.stats.coalesced_batches == 0

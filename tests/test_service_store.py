@@ -1,0 +1,74 @@
+"""Named set store: snapshot isolation and apply-diff merging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.store import SetStore, UnknownSetError
+
+
+@pytest.fixture()
+def store() -> SetStore:
+    s = SetStore()
+    s.create("inv", {1, 2, 3})
+    return s
+
+
+class TestRegistry:
+    def test_create_get_names(self, store):
+        assert store.names() == ["inv"]
+        assert "inv" in store and "other" not in store
+        assert store.get("inv") == {1, 2, 3}
+        assert store.size("inv") == 3
+
+    def test_get_returns_a_copy(self, store):
+        store.get("inv").add(99)
+        assert store.get("inv") == {1, 2, 3}
+
+    def test_unknown_set_raises(self, store):
+        with pytest.raises(UnknownSetError):
+            store.get("nope")
+        with pytest.raises(UnknownSetError):
+            store.snapshot("nope", create_missing=False)
+
+    def test_create_missing_on_snapshot(self, store):
+        snap = store.snapshot("fresh", create_missing=True)
+        assert len(snap) == 0
+        assert "fresh" in store
+
+
+class TestSnapshotSemantics:
+    def test_snapshot_is_frozen_against_later_mutation(self, store):
+        snap = store.snapshot("inv")
+        store.apply_diff("inv", add={10})
+        assert snap.values == frozenset({1, 2, 3})
+        assert store.get("inv") == {1, 2, 3, 10}
+
+    def test_version_tracks_mutations(self, store):
+        v0 = store.snapshot("inv").version
+        store.apply_diff("inv", add={10})
+        assert store.version("inv") == v0 + 1
+        # a no-op apply bumps reconciles but not the version
+        store.apply_diff("inv", add={10})
+        assert store.version("inv") == v0 + 1
+        assert store.stats()["inv"]["reconciles"] == 2
+
+
+class TestApplyDiff:
+    def test_concurrent_sessions_merge_to_union(self, store):
+        # two sessions snapshot the same base, then both apply
+        snap_1 = store.snapshot("inv")
+        snap_2 = store.snapshot("inv")
+        assert snap_1.values == snap_2.values
+        assert store.apply_diff("inv", add={100, 101}) == 2
+        assert store.apply_diff("inv", add={101, 102}) == 1  # 101 already in
+        assert store.get("inv") == {1, 2, 3, 100, 101, 102}
+
+    def test_remove(self, store):
+        assert store.apply_diff("inv", remove={2, 99}) == 1
+        assert store.get("inv") == {1, 3}
+
+    def test_stats_shape(self, store):
+        store.apply_diff("inv", add={9})
+        stats = store.stats()
+        assert stats == {"inv": {"size": 4, "version": 1, "reconciles": 1}}

@@ -1,0 +1,171 @@
+"""The service frame codec: every message type must round-trip."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.messages import ReplyMessage, SketchMessage, UnitReply
+from repro.core.params import PBSParams
+from repro.errors import SerializationError
+from repro.service.wire import (
+    CONTROL_MESSAGES,
+    FRAME_HEADER_BYTES,
+    FrameType,
+    Error,
+    Hello,
+    ParamsAnnounce,
+    Push,
+    Result,
+    Welcome,
+    decode_frames,
+    encode_frame,
+    read_frame,
+)
+
+#: One representative instance per control message type.
+SAMPLES = {
+    FrameType.HELLO: Hello(
+        set_name="inventory/eu-west",
+        seed=0xDEADBEEFCAFE,
+        set_size=123_456,
+        n_sketches=128,
+        family="fourwise",
+        log_u=32,
+        bidirectional=False,
+    ),
+    FrameType.WELCOME: Welcome(set_size=99, created=True),
+    FrameType.PARAMS: ParamsAnnounce(
+        d_hat=37.25, n=127, t=13, g=4, delta=5, r=3, p0=0.99, log_u=32
+    ),
+    FrameType.PUSH: Push(
+        success=True,
+        elements=np.array([1, 2, 2**32 - 1, 77], dtype=np.uint64),
+    ),
+    FrameType.RESULT: Result(success=True, applied=3, store_size=1000),
+    FrameType.ERROR: Error(message="no such set: 'x'"),
+}
+
+
+class TestControlMessages:
+    def test_every_control_type_has_a_sample(self):
+        assert set(SAMPLES) == set(CONTROL_MESSAGES)
+
+    @pytest.mark.parametrize("ftype", sorted(CONTROL_MESSAGES))
+    def test_round_trip(self, ftype):
+        message = SAMPLES[ftype]
+        cls = CONTROL_MESSAGES[ftype]
+        restored = cls.deserialize(message.serialize())
+        if ftype is FrameType.PUSH:
+            assert restored.success == message.success
+            assert np.array_equal(restored.elements, message.elements)
+        else:
+            assert restored == message
+
+    def test_hello_rejects_wrong_version(self):
+        data = bytearray(SAMPLES[FrameType.HELLO].serialize())
+        data[0] = 99
+        with pytest.raises(SerializationError):
+            Hello.deserialize(bytes(data))
+
+    def test_hello_rejects_non_u64_seed(self):
+        with pytest.raises(SerializationError):
+            Hello(set_name="x", seed=1 << 64, set_size=1).serialize()
+
+    def test_params_announce_reconstructs_pbs_params(self):
+        params = PBSParams.from_d(40)
+        announce = ParamsAnnounce.from_params(params, d_hat=29.0)
+        restored = ParamsAnnounce.deserialize(announce.serialize()).to_params()
+        assert restored == params
+
+    def test_push_rejects_short_payload(self):
+        good = SAMPLES[FrameType.PUSH].serialize()
+        with pytest.raises(SerializationError):
+            Push.deserialize(good[:-4])
+
+
+class TestCoreMessagesOverFrames:
+    """SKETCH/REPLY payloads reuse the core bit-packed wire format."""
+
+    def test_sketch_message_round_trip(self):
+        msg = SketchMessage(
+            round_no=2,
+            continue_mask=[True, False, True],
+            sketches=[[1, 2, 3], [4, 5, 6]],
+        )
+        t, m = 3, 7
+        frame = encode_frame(FrameType.SKETCH, msg.serialize(t, m))
+        [(ftype, payload)] = decode_frames(frame)
+        assert ftype is FrameType.SKETCH
+        assert SketchMessage.deserialize(payload, t, m) == msg
+
+    def test_reply_message_round_trip(self):
+        msg = ReplyMessage(
+            round_no=1,
+            replies=[
+                UnitReply(decode_failed=False, positions=[3, 9],
+                          xor_sums=[10, 20], checksum=42),
+                UnitReply(decode_failed=True, positions=[], xor_sums=[],
+                          checksum=None),
+            ],
+        )
+        t, m, log_u = 5, 7, 32
+        frame = encode_frame(FrameType.REPLY, msg.serialize(t, m, log_u))
+        [(ftype, payload)] = decode_frames(frame)
+        assert ftype is FrameType.REPLY
+        assert ReplyMessage.deserialize(payload, t, m, log_u) == msg
+
+
+class TestFraming:
+    def test_header_overhead_is_constant(self):
+        assert len(encode_frame(FrameType.ERROR, b"")) == FRAME_HEADER_BYTES
+        assert (
+            len(encode_frame(FrameType.SKETCH, b"abc"))
+            == FRAME_HEADER_BYTES + 3
+        )
+
+    def test_decode_many_frames_back_to_back(self):
+        buffer = encode_frame(FrameType.HELLO, b"h") + encode_frame(
+            FrameType.WELCOME, b"w"
+        )
+        assert decode_frames(buffer) == [
+            (FrameType.HELLO, b"h"),
+            (FrameType.WELCOME, b"w"),
+        ]
+
+    def test_truncated_frame_raises(self):
+        frame = encode_frame(FrameType.SKETCH, b"abcdef")
+        with pytest.raises(SerializationError):
+            decode_frames(frame[:-1])
+        with pytest.raises(SerializationError):
+            decode_frames(frame[:3])
+
+    def test_unknown_type_raises(self):
+        frame = bytearray(encode_frame(FrameType.SKETCH, b""))
+        frame[4] = 200
+        with pytest.raises(ValueError):
+            decode_frames(bytes(frame))
+
+    def test_read_frame_from_stream(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame(FrameType.PARAMS, b"payload"))
+            reader.feed_eof()
+            ftype, payload = await read_frame(reader)
+            assert ftype is FrameType.PARAMS
+            assert payload == b"payload"
+            with pytest.raises(asyncio.IncompleteReadError):
+                await read_frame(reader)
+
+        asyncio.run(scenario())
+
+    def test_read_frame_rejects_bad_length(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"\x00\x00\x00\x00rest")
+            with pytest.raises(SerializationError):
+                await read_frame(reader)
+
+        asyncio.run(scenario())

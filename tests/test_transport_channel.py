@@ -1,0 +1,123 @@
+"""Edge cases of the byte-accounting Channel and the result record."""
+
+from __future__ import annotations
+
+from repro.service.wire import FRAME_HEADER_BYTES, FramedChannel
+from repro.transport.channel import Channel, Direction
+from repro.transport.runner import ReconciliationResult
+
+
+class TestChannelEdgeCases:
+    def test_empty_channel(self):
+        ch = Channel()
+        assert ch.total_bytes == 0
+        assert ch.rounds == 0
+        assert ch.bytes_in(Direction.ALICE_TO_BOB) == 0
+        assert ch.bytes_by_label() == {}
+        assert ch.bytes_by_round() == {}
+
+    def test_zero_byte_send_is_recorded(self):
+        ch = Channel()
+        ch.send(Direction.ALICE_TO_BOB, b"", round_no=1, label="sketch")
+        assert ch.total_bytes == 0
+        assert len(ch.messages) == 1
+        assert ch.rounds == 1
+        assert ch.bytes_by_label() == {"sketch": 0}
+        assert ch.bytes_by_round() == {1: 0}
+
+    def test_send_returns_payload_for_chaining(self):
+        ch = Channel()
+        assert ch.send(Direction.BOB_TO_ALICE, b"xyz") == b"xyz"
+
+    def test_per_direction_breakdown(self):
+        ch = Channel()
+        ch.send(Direction.ALICE_TO_BOB, b"aaaa", round_no=1, label="sketch")
+        ch.send(Direction.BOB_TO_ALICE, b"bb", round_no=1, label="reply")
+        ch.send(Direction.ALICE_TO_BOB, b"c", round_no=2, label="sketch")
+        assert ch.bytes_in(Direction.ALICE_TO_BOB) == 5
+        assert ch.bytes_in(Direction.BOB_TO_ALICE) == 2
+        assert ch.total_bytes == 7
+
+    def test_per_label_breakdown_aggregates_across_rounds(self):
+        ch = Channel()
+        ch.send(Direction.ALICE_TO_BOB, b"1234", round_no=1, label="sketch")
+        ch.send(Direction.ALICE_TO_BOB, b"56", round_no=2, label="sketch")
+        ch.send(Direction.BOB_TO_ALICE, b"789", round_no=2, label="reply")
+        assert ch.bytes_by_label() == {"sketch": 6, "reply": 3}
+        assert ch.bytes_by_round() == {1: 4, 2: 5}
+
+    def test_rounds_is_highest_seen_not_count(self):
+        ch = Channel()
+        ch.send(Direction.ALICE_TO_BOB, b"x", round_no=5)
+        ch.send(Direction.ALICE_TO_BOB, b"y", round_no=2)
+        assert ch.rounds == 5
+
+    def test_round_zero_messages_do_not_count_as_rounds(self):
+        ch = Channel()
+        ch.send(Direction.ALICE_TO_BOB, b"estimate", round_no=0, label="estimator")
+        assert ch.rounds == 0
+
+
+class TestFramedChannel:
+    def test_framing_separate_from_payload(self):
+        ch = FramedChannel()
+        ch.record_frame(Direction.ALICE_TO_BOB, b"abcdef", round_no=1,
+                        label="sketch")
+        ch.record_frame(Direction.BOB_TO_ALICE, b"", round_no=1, label="reply")
+        assert ch.total_bytes == 6                      # paper accounting
+        assert ch.framing_bytes == 2 * FRAME_HEADER_BYTES
+        assert ch.frames == 2
+        assert ch.wire_bytes == 6 + 2 * FRAME_HEADER_BYTES
+
+    def test_is_a_channel(self):
+        ch = FramedChannel()
+        assert isinstance(ch, Channel)
+        ch.send(Direction.ALICE_TO_BOB, b"plain")       # inherited path
+        assert ch.total_bytes == 5
+        assert ch.framing_bytes == 0
+
+
+class TestResultToDict:
+    def _result(self, channel) -> ReconciliationResult:
+        return ReconciliationResult(
+            success=True,
+            difference=frozenset({7, 3}),
+            rounds=2,
+            channel=channel,
+            encode_s=0.5,
+            decode_s=0.25,
+            extra={"d_hat": 3.5, "params": object()},
+        )
+
+    def test_to_dict_shape(self):
+        ch = Channel()
+        ch.send(Direction.ALICE_TO_BOB, b"abc", round_no=1, label="sketch")
+        out = self._result(ch).to_dict()
+        assert out["success"] is True
+        assert out["d"] == 2
+        assert out["difference"] == [3, 7]
+        assert out["rounds"] == 2
+        assert out["total_bytes"] == 3
+        assert out["bytes_by_label"] == {"sketch": 3}
+        assert out["bytes_by_round"] == {"1": 3}
+        assert out["bytes_by_direction"] == {"alice->bob": 3, "bob->alice": 0}
+        # only JSON-safe extras survive; objects are dropped, not stringified
+        assert out["extra"] == {"d_hat": 3.5}
+        assert "framing_bytes" not in out
+
+    def test_to_dict_framed_channel_reports_framing(self):
+        ch = FramedChannel()
+        ch.record_frame(Direction.ALICE_TO_BOB, b"abc", round_no=1,
+                        label="sketch")
+        out = self._result(ch).to_dict(include_difference=False)
+        assert out["framing_bytes"] == 5
+        assert "difference" not in out
+
+    def test_to_json_round_trips(self):
+        import json
+
+        ch = Channel()
+        ch.send(Direction.BOB_TO_ALICE, b"zz", round_no=1, label="reply")
+        parsed = json.loads(self._result(ch).to_json())
+        assert parsed["total_bytes"] == 2
+        assert parsed["difference"] == [3, 7]
