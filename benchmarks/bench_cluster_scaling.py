@@ -1,0 +1,25 @@
+"""Cluster scaling: delivered reconciliation throughput at 1/2/4 shards
+under the PR-2 concurrent-session workload with per-shard admission and
+journaled (fsync) durability (see ``repro.evaluation.cluster_scaling``)."""
+
+from repro.evaluation import cluster_scaling
+from repro.evaluation.harness import scale_factor
+
+
+def test_cluster_scaling(run_driver):
+    table = run_driver(cluster_scaling.run, "cluster_scaling")
+    by_shards = {r["shards"]: r for r in table.rows}
+    # every shed session must have retried through to success in every
+    # configuration — overload is deferred work, never lost work
+    assert all(r["ok"] == r["sessions"] for r in table.rows)
+    # the single-shard config must actually have been overloaded (its cap
+    # binds), and every apply must have hit a journal
+    assert by_shards[1]["shed"] > 0
+    assert all(r["journal_records"] > 0 for r in table.rows)
+    # capacity scales with shards; at full scale the acceptance bar is
+    # the ISSUE's >= 1.5x at 4 shards (reduced-scale CI smoke runs only
+    # sanity-check the direction)
+    top = max(by_shards)
+    assert by_shards[top]["sessions_per_s"] > by_shards[1]["sessions_per_s"]
+    if scale_factor() >= 1.0:
+        assert by_shards[top]["speedup"] >= 1.5

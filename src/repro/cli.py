@@ -116,7 +116,32 @@ def build_serve_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--set", dest="sets", action="append", default=[], metavar="NAME=FILE",
-        help="preload a named set from a signature file (repeatable)",
+        help="preload (or replace) a named set from a signature file "
+             "(repeatable; recovered sets not named here are kept)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="shard workers behind the consistent-hash router (default 1)",
+    )
+    parser.add_argument(
+        "--data-dir", type=Path, default=None, metavar="DIR",
+        help="journal apply-diffs under DIR and recover named sets from "
+             "it on startup (one subdirectory per shard)",
+    )
+    parser.add_argument(
+        "--max-sessions", type=int, default=0, metavar="N",
+        help="cap concurrent sessions per shard; excess is shed with a "
+             "RETRY frame (default 0 = unlimited)",
+    )
+    parser.add_argument(
+        "--max-decode-queue", type=int, default=0, metavar="N",
+        help="cap queued decode submissions per shard (backpressure; "
+             "default 0 = unlimited)",
+    )
+    parser.add_argument(
+        "--fsync", action="store_true",
+        help="fsync every journal append (durable against power loss, "
+             "not just process crash)",
     )
     parser.add_argument(
         "--window-ms", type=float, default=2.0,
@@ -159,6 +184,20 @@ def build_sync_parser() -> argparse.ArgumentParser:
         help="only learn the difference; do not push A \\ B to the server",
     )
     parser.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="sync N times over one connection (re-reading FILE each "
+             "pass; default 1)",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=0.0, metavar="SECONDS",
+        help="sleep between repeated syncs (default 0)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=3, metavar="N",
+        help="reconnect attempts (jittered backoff) when the server "
+             "sheds the session with RETRY (default 3)",
+    )
+    parser.add_argument(
         "--write", action="store_true",
         help="rewrite FILE with the union after a successful sync",
     )
@@ -175,16 +214,52 @@ def build_sync_parser() -> argparse.ArgumentParser:
 # -- subcommands --------------------------------------------------------------
 
 def cmd_serve(argv: list[str]) -> int:
+    from repro.cluster import AdmissionController, ClusterStore
+    from repro.errors import ReproError
     from repro.service import DecodeCoalescer, ReconciliationServer, SetStore
 
     args = build_serve_parser().parse_args(argv)
-    store = SetStore()
+    if args.shards < 1:
+        print(f"error: --shards must be >= 1, got {args.shards}",
+              file=sys.stderr)
+        return 2
+    if args.max_sessions < 0 or args.max_decode_queue < 0:
+        # -1 is not "unlimited" (0 is): a negative session cap would shed
+        # every connection forever, a negative decode cap crashes asyncio
+        print("error: --max-sessions/--max-decode-queue must be >= 0 "
+              "(0 = unlimited)", file=sys.stderr)
+        return 2
+    if args.fsync and args.data_dir is None:
+        # accepting it silently would promise durability while journaling
+        # nothing at all
+        print("error: --fsync requires --data-dir", file=sys.stderr)
+        return 2
+    preload: list[tuple[str, set[int]]] = []
     for spec in args.sets:
         name, sep, file_spec = spec.partition("=")
         if not sep or not name:
             print(f"error: --set wants NAME=FILE, got {spec!r}", file=sys.stderr)
             return 2
-        store.create(name, load_signatures(Path(file_spec)))
+        preload.append((name, load_signatures(Path(file_spec))))
+
+    # A cluster store (sharded and/or journaled) when asked for one; the
+    # plain in-memory SetStore keeps the PR-2 single-tenant behavior.
+    cluster = args.shards > 1 or args.data_dir is not None
+    store = (
+        ClusterStore(shards=args.shards, data_dir=args.data_dir,
+                     fsync=args.fsync)
+        if cluster
+        else SetStore()
+    )
+    admission = (
+        AdmissionController(
+            shards=args.shards,
+            max_sessions=args.max_sessions,
+            max_decode_queue=args.max_decode_queue,
+        )
+        if args.max_sessions or args.max_decode_queue
+        else None
+    )
     server = ReconciliationServer(
         store,
         host=args.host,
@@ -193,77 +268,170 @@ def cmd_serve(argv: list[str]) -> int:
             window_s=args.window_ms / 1000.0, enabled=not args.no_coalesce
         ),
         create_missing=not args.no_create,
+        admission=admission,
     )
 
-    async def _serve() -> None:
-        await server.start()
-        print(
-            f"# serving on {server.host}:{server.port} "
-            f"sets={store.names() or '[]'}",
-            file=sys.stderr,
-            flush=True,
+    def _stats_args() -> tuple:
+        return (
+            store.stats(),
+            admission.stats() if admission is not None else None,
+            store.cluster_stats() if cluster else None,
         )
+
+    serving = {"up": False}   # did the server actually come up?
+
+    async def _serve() -> None:
+        if cluster:
+            await store.start()
         heartbeat_task = None
-        if args.metrics_every > 0:
-
-            async def heartbeat() -> None:
-                while True:
-                    await asyncio.sleep(args.metrics_every)
-                    print(
-                        server.metrics.to_json(store.stats(), indent=None),
-                        file=sys.stderr,
-                        flush=True,
-                    )
-
-            # hold a strong reference: the loop alone keeps only weak ones
-            heartbeat_task = asyncio.ensure_future(heartbeat())
+        # everything after store.start() runs under its try so a failed
+        # bind or preload still drains the shard workers and closes the
+        # journals instead of abandoning them to loop teardown
         try:
+            for name, values in preload:
+                result = store.create(name, values)
+                if cluster:
+                    await result
+            await server.start()
+            print(
+                f"# serving on {server.host}:{server.port} "
+                f"shards={args.shards} "
+                f"data_dir={args.data_dir or '-'} "
+                f"sets={store.names() or '[]'}",
+                file=sys.stderr,
+                flush=True,
+            )
+            serving["up"] = True
+            if args.metrics_every > 0:
+
+                async def heartbeat() -> None:
+                    while True:
+                        await asyncio.sleep(args.metrics_every)
+                        print(
+                            server.metrics.to_json(*_stats_args(),
+                                                   indent=None),
+                            file=sys.stderr,
+                            flush=True,
+                        )
+
+                # hold a strong reference: the loop keeps only weak ones
+                heartbeat_task = asyncio.ensure_future(heartbeat())
             await server.serve_forever()
         finally:
             if heartbeat_task is not None:
                 heartbeat_task.cancel()
+            if cluster:
+                await store.close()
 
     try:
         asyncio.run(_serve())
     except KeyboardInterrupt:
         pass
+    except (ReproError, OSError) as exc:
+        # startup failure (corrupt data dir, busy port, bad preload):
+        # the usage-error convention, not a traceback + empty metrics
+        print(f"error: cannot serve: {exc}", file=sys.stderr)
+        return 2
     finally:
-        print(server.metrics.to_json(store.stats()), file=sys.stderr)
+        if serving["up"]:
+            print(server.metrics.to_json(*_stats_args()), file=sys.stderr)
     return 0
 
 
 def cmd_sync(argv: list[str]) -> int:
     from repro.errors import ReproError
-    from repro.service import sync_once
+    from repro.service import ClientConnection, ServerBusy
+    from repro.service.wire import backoff_or_raise
 
     args = build_sync_parser().parse_args(argv)
-    values = load_signatures(args.file)
-    try:
-        result = sync_once(
+    if args.repeat < 1:
+        print(f"error: --repeat must be >= 1, got {args.repeat}",
+              file=sys.stderr)
+        return 2
+    # fail fast on a bad file before dialing; pass 1 reuses this load
+    first_values = load_signatures(args.file)
+    max_rounds = args.rounds if args.rounds > 0 else None
+
+    def _connection() -> ClientConnection:
+        return ClientConnection(
             args.host,
             args.port,
-            values,
             set_name=args.set_name,
             seed=args.seed,
-            # 0 = defer to the server-announced design target (params.r)
-            max_rounds=args.rounds if args.rounds > 0 else None,
             bidirectional=not args.one_way,
         )
+
+    async def _sync() -> bool:
+        # admission control sheds with RETRY; honor it with jittered
+        # backoff seeded by the server's own suggested delay.  The retry
+        # budget is shared across the whole run: the server may also shed
+        # a later pass of a --repeat connection (it re-admits per pass).
+        attempts = 0
+
+        async def connect_with_backoff() -> ClientConnection:
+            nonlocal attempts
+            while True:
+                conn = _connection()
+                try:
+                    await conn.connect()
+                    return conn
+                except ServerBusy as busy:
+                    await backoff_or_raise(busy, attempts, args.retries)
+                    attempts += 1
+
+        conn = await connect_with_backoff()
+        all_ok = True
+        try:
+            pass_no = 1
+            while pass_no <= args.repeat:
+                # pass 1 reuses the fail-fast load; later passes re-read
+                # because --write updates the file and external writers
+                # may have appended signatures in the meantime
+                values = (
+                    first_values if pass_no == 1
+                    else load_signatures(args.file)
+                )
+                try:
+                    result = await conn.sync(values, max_rounds=max_rounds)
+                except ServerBusy as busy:
+                    # shed between passes; the server closed us — back
+                    # off, reconnect, and redo this pass
+                    await backoff_or_raise(busy, attempts, args.retries)
+                    attempts += 1
+                    conn = await connect_with_backoff()
+                    continue
+                all_ok = all_ok and result.success
+                if args.write and result.success:
+                    union = sorted(values | result.difference)
+                    args.file.write_text("".join(f"{v}\n" for v in union))
+                _print_result(
+                    result, scheme="service", json_out=args.json,
+                    quiet=args.quiet,
+                    compact=args.repeat > 1,
+                )
+                if pass_no < args.repeat and args.interval > 0:
+                    await asyncio.sleep(args.interval)
+                pass_no += 1
+        finally:
+            await conn.close()
+        return all_ok
+
+    try:
+        ok = asyncio.run(_sync())
     except (ConnectionError, OSError, ReproError, asyncio.IncompleteReadError) as exc:
         print(f"error: cannot sync with {args.host}:{args.port}: {exc}",
               file=sys.stderr)
         return 2
-    if args.write and result.success:
-        union = sorted(values | result.difference)
-        args.file.write_text("".join(f"{v}\n" for v in union))
-    _print_result(result, scheme="service", json_out=args.json,
-                  quiet=args.quiet)
-    return 0 if result.success else 1
+    return 0 if ok else 1
 
 
-def _print_result(result, scheme: str, json_out: bool, quiet: bool) -> None:
+def _print_result(
+    result, scheme: str, json_out: bool, quiet: bool, compact: bool = False
+) -> None:
     if json_out:
-        print(result.to_json())
+        # one JSON document per line under --repeat so consumers can
+        # stream passes; the single-sync output stays pretty-printed
+        print(result.to_json(indent=None if compact else 2))
         return
     for value in sorted(result.difference):
         print(value)

@@ -1,0 +1,45 @@
+"""The cluster layer: sharded, durable storage behind the service.
+
+Pieces (bottom up):
+
+* :mod:`repro.cluster.ring` — consistent-hash ring mapping set names to
+  shards with minimal movement on resize;
+* :mod:`repro.cluster.journal` — per-shard append-only apply-diff
+  journal with checksummed records and atomic snapshot compaction;
+* :mod:`repro.cluster.router` — :class:`ClusterStore`, the async sharded
+  facade the server consults (one asyncio worker task per shard, each
+  owning a :class:`~repro.service.store.SetStore` and its journal);
+* :mod:`repro.cluster.admission` — per-shard session/decode caps that
+  shed overload with the service's RETRY frame.
+"""
+
+from repro.cluster.admission import (
+    DEFAULT_RETRY_AFTER_S,
+    AdmissionController,
+    retry_delay,
+)
+from repro.cluster.journal import (
+    JournalCorruptError,
+    Record,
+    ShardStorage,
+    encode_create,
+    encode_diff,
+    read_records,
+)
+from repro.cluster.ring import DEFAULT_VNODES, HashRing
+from repro.cluster.router import ClusterStore
+
+__all__ = [
+    "AdmissionController",
+    "ClusterStore",
+    "DEFAULT_RETRY_AFTER_S",
+    "DEFAULT_VNODES",
+    "HashRing",
+    "JournalCorruptError",
+    "Record",
+    "ShardStorage",
+    "encode_create",
+    "encode_diff",
+    "read_records",
+    "retry_delay",
+]

@@ -1,0 +1,347 @@
+"""The sharded store: N shard workers behind one async facade.
+
+:class:`ClusterStore` is what ``repro serve --shards N --data-dir DIR``
+hands the reconciliation server instead of a bare
+:class:`~repro.service.store.SetStore`.  A consistent-hash ring
+(:mod:`repro.cluster.ring`) maps every named set to one of N *shard
+workers*; each worker is an asyncio task owning its own ``SetStore`` and
+its own :class:`~repro.cluster.journal.ShardStorage` (journal +
+snapshot), and applies mutations strictly in arrival order through a
+per-shard queue.  That gives the three properties the cluster needs:
+
+* **Independent progress** — sessions for sets on different shards never
+  contend on a store or a journal; only same-shard writes serialize.
+  (Reads — snapshots, sizes — are direct synchronous calls: on one event
+  loop a worker mutates its ``SetStore`` atomically between awaits, so a
+  reader can never observe a half-applied diff.)
+* **Durable acks** — an ``apply_diff`` future resolves only after the
+  diff's journal record is on disk (written via the executor, so shard
+  journals commit in parallel while the event loop keeps serving).
+* **Deterministic recovery** — ``start()`` replays snapshot-then-journal
+  per shard; versions are re-derived by replay, so a recovered store is
+  bit-for-bit the pre-crash store up to the last complete record.
+
+The server's cross-session :class:`~repro.service.scheduler.DecodeCoalescer`
+sits *above* this layer and is deliberately not sharded: decode work from
+sessions on different shards still merges into shared BCH batches.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster.journal import ShardStorage, encode_create, encode_diff
+from repro.cluster.ring import DEFAULT_VNODES, HashRing
+from repro.errors import ReproError
+from repro.service.store import SetStore, Snapshot
+
+
+@dataclass
+class _Shard:
+    """One worker's world: a store, optional durability, and a mailbox."""
+
+    shard_id: int
+    store: SetStore
+    storage: ShardStorage | None
+    queue: asyncio.Queue = field(default_factory=asyncio.Queue)
+    task: asyncio.Task | None = None
+    applies: int = 0
+    creates: int = 0
+    compact_error: str = ""       #: last failed background compaction
+
+
+class ClusterStore:
+    """Sharded, journaled set store with ``SetStore``-compatible semantics.
+
+    Mutations (:meth:`apply_diff`, :meth:`create`, and the create-missing
+    path of :meth:`snapshot`) are coroutines — they resolve after the
+    owning shard worker has applied *and journaled* the change.  Reads
+    are plain synchronous methods, like ``SetStore``'s.
+
+    >>> # inside a coroutine:
+    >>> # store = ClusterStore(shards=4, data_dir="data")
+    >>> # await store.start()
+    >>> # await store.apply_diff("inv", add=[1, 2, 3])
+    """
+
+    def __init__(
+        self,
+        shards: int = 1,
+        data_dir: str | Path | None = None,
+        vnodes: int = DEFAULT_VNODES,
+        fsync: bool = False,
+        compact_min_bytes: int | None = None,
+        compact_factor: int | None = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.ring = HashRing(range(shards), vnodes=vnodes)
+        self.data_dir = Path(data_dir) if data_dir is not None else None
+        storage_kwargs = {"fsync": fsync}
+        if compact_min_bytes is not None:
+            storage_kwargs["compact_min_bytes"] = compact_min_bytes
+        if compact_factor is not None:
+            storage_kwargs["compact_factor"] = compact_factor
+        self._shards = [
+            _Shard(
+                shard_id=i,
+                store=SetStore(),
+                storage=(
+                    ShardStorage(self.data_dir / f"shard-{i:02d}",
+                                 **storage_kwargs)
+                    if self.data_dir is not None
+                    else None
+                ),
+            )
+            for i in range(shards)
+        ]
+        self._started = False
+        self._closing = False
+
+    # -- lifecycle -------------------------------------------------------------
+    async def start(self) -> None:
+        """Recover every shard from disk and start the worker tasks."""
+        if self._started:
+            return
+        try:
+            for shard in self._shards:
+                if shard.storage is not None:
+                    shard.storage.recover(shard.store)
+                shard.task = asyncio.create_task(
+                    self._worker(shard), name=f"shard-{shard.shard_id}"
+                )
+        except BaseException:
+            # partial recovery (e.g. one corrupt shard): unwind the shards
+            # already started so nothing leaks a worker task or journal fd
+            for shard in self._shards:
+                if shard.task is not None:
+                    shard.task.cancel()
+            await asyncio.gather(
+                *(s.task for s in self._shards if s.task is not None),
+                return_exceptions=True,
+            )
+            for shard in self._shards:
+                shard.task = None
+                if shard.storage is not None:
+                    shard.storage.close()
+            raise
+        self._started = True
+        self._closing = False
+
+    async def close(self) -> None:
+        """Drain every worker, flush and close the journals.
+
+        Mutations already queued are applied; anything submitted after
+        close() begins is rejected immediately (never silently stranded
+        on an unserviced queue).
+        """
+        if not self._started:
+            return
+        self._closing = True
+        for shard in self._shards:
+            await shard.queue.put(None)
+        for shard in self._shards:
+            if shard.task is not None:
+                await shard.task
+                shard.task = None
+            if shard.storage is not None:
+                shard.storage.close()
+        self._started = False
+
+    async def __aenter__(self) -> "ClusterStore":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- routing ---------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    def shard_for(self, name: str) -> int:
+        """Which shard owns ``name`` (the server's routing hook)."""
+        return self.ring.lookup(name)
+
+    def _shard(self, name: str) -> _Shard:
+        return self._shards[self.ring.lookup(name)]
+
+    # -- mutations (through the shard worker) ----------------------------------
+    @staticmethod
+    def _as_elements(values) -> np.ndarray:
+        """An owned uint64 array (arrays stay vectorized end to end —
+        store merge and journal encode both take the ndarray fast path;
+        the copy means callers may reuse their buffer after submitting)."""
+        if isinstance(values, np.ndarray):
+            return values.astype(np.uint64, copy=True)
+        return np.fromiter((int(v) for v in values), dtype=np.uint64)
+
+    async def apply_diff(self, name: str, add=(), remove=()) -> int:
+        """Merge a completed session's diff; durable before it resolves."""
+        return await self._submit(
+            self._shard(name), "apply", name,
+            self._as_elements(add), self._as_elements(remove),
+        )
+
+    async def create(self, name: str, values=()) -> None:
+        """Create (or replace) a named set, journaled as full state."""
+        await self._submit(
+            self._shard(name), "create", name, self._as_elements(values)
+        )
+
+    async def flush(self) -> None:
+        """Barrier: resolves after every queued mutation has been applied."""
+        await asyncio.gather(
+            *[self._submit(shard, "sync") for shard in self._shards]
+        )
+
+    async def snapshot(self, name: str, create_missing: bool = False) -> Snapshot:
+        """Freeze one set for a session (creating it, durably, if asked)."""
+        shard = self._shard(name)
+        if name not in shard.store:
+            if not create_missing:
+                # raises UnknownSetError with the standard message
+                return shard.store.snapshot(name, create_missing=False)
+            await self._submit(shard, "create", name, ())
+        return shard.store.snapshot(name)
+
+    def _submit(self, shard: _Shard, op: str, *args) -> asyncio.Future:
+        if not self._started:
+            raise ReproError("ClusterStore.start() before use")
+        if self._closing:
+            raise ReproError("ClusterStore is closing")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        shard.queue.put_nowait((op, args, future))
+        return future
+
+    async def _worker(self, shard: _Shard) -> None:
+        """Apply this shard's mutations in order, journal-first.
+
+        The record hits the disk *before* the store mutates: a failed
+        append leaves the store untouched (the session gets the error,
+        nothing un-journaled becomes visible), and no concurrent snapshot
+        can ever observe state that a crash-recovery would roll back.  A
+        crash between append and mutate merely replays the record — the
+        diff is idempotent union/difference arithmetic.
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await shard.queue.get()
+            if item is None:
+                # fail anything that raced past the _closing gate rather
+                # than stranding its future (a hung session) forever
+                while not shard.queue.empty():
+                    raced = shard.queue.get_nowait()
+                    if raced is not None and not raced[2].done():
+                        raced[2].set_exception(
+                            ReproError("ClusterStore closed")
+                        )
+                return
+            op, args, future = item
+            try:
+                if op == "apply":
+                    name, add, remove = args
+                    if name not in shard.store:
+                        # raise the store's own error *before* journaling:
+                        # a diff record must never precede its CREATE
+                        shard.store.apply_diff(name)
+                    if shard.storage is not None and (
+                        len(add) or len(remove)
+                    ):
+                        # empty diffs (converged re-sync passes) change
+                        # nothing: don't pay a disk write for them
+                        record = encode_diff(name, add, remove)
+                        await loop.run_in_executor(
+                            None, shard.storage.append, record
+                        )
+                    result = shard.store.apply_diff(name, add=add,
+                                                    remove=remove)
+                    shard.applies += 1
+                elif op == "create":
+                    name, values = args
+                    if shard.storage is not None:
+                        record = encode_create(name, values, version=0)
+                        await loop.run_in_executor(
+                            None, shard.storage.append, record
+                        )
+                    shard.store.create(name, values)
+                    result = None
+                    shard.creates += 1
+                else:  # "sync" barrier
+                    result = None
+                if shard.storage is not None and shard.storage.should_compact():
+                    # background maintenance: a failed compaction must not
+                    # be charged to the (already durable, already applied)
+                    # mutation that happened to trigger it
+                    try:
+                        entries = shard.store.items()
+                        await loop.run_in_executor(
+                            None, shard.storage.compact, entries
+                        )
+                        shard.compact_error = ""
+                    except Exception as exc:
+                        shard.compact_error = f"{type(exc).__name__}: {exc}"
+                if not future.done():
+                    future.set_result(result)
+            except Exception as exc:  # surfaced to the awaiting session
+                if not future.done():
+                    future.set_exception(exc)
+
+    # -- reads (synchronous, event-loop consistent) ----------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._shard(name).store
+
+    def names(self) -> list[str]:
+        out: list[str] = []
+        for shard in self._shards:
+            out.extend(shard.store.names())
+        return sorted(out)
+
+    def get(self, name: str) -> set[int]:
+        return self._shard(name).store.get(name)
+
+    def size(self, name: str) -> int:
+        return self._shard(name).store.size(name)
+
+    def version(self, name: str) -> int:
+        return self._shard(name).store.version(name)
+
+    # -- introspection ---------------------------------------------------------
+    def stats(self) -> dict:
+        """Per-set summary (the ``SetStore.stats`` shape, plus the shard)."""
+        out: dict = {}
+        for shard in self._shards:
+            for name, entry in shard.store.stats().items():
+                entry["shard"] = shard.shard_id
+                out[name] = entry
+        return dict(sorted(out.items()))
+
+    def cluster_stats(self) -> dict:
+        """Shard-level summary for metrics: load, queues, journal health."""
+        return {
+            "shards": self.n_shards,
+            "per_shard": [
+                {
+                    "shard": shard.shard_id,
+                    "sets": len(shard.store.names()),
+                    "elements": sum(
+                        shard.store.size(n) for n in shard.store.names()
+                    ),
+                    "applies": shard.applies,
+                    "creates": shard.creates,
+                    "compact_error": shard.compact_error,
+                    "queue_depth": shard.queue.qsize(),
+                    **(
+                        shard.storage.stats()
+                        if shard.storage is not None
+                        else {}
+                    ),
+                }
+                for shard in self._shards
+            ],
+        }

@@ -1,14 +1,28 @@
-"""The reconciliation client: drive one AliceSession over a socket.
+"""The reconciliation client: drive AliceSessions over a socket.
 
-:func:`sync_with_server` is the async primitive (many of them can run
-concurrently against one server — that is the whole point of the service);
-:func:`sync_once` is the blocking convenience wrapper the CLI uses.
+:class:`ClientConnection` is the long-lived primitive: one connection,
+one HELLO handshake, one Tug-of-War estimator — and as many
+reconciliation *passes* as the caller wants (``repro sync --repeat``
+drives it periodically; each pass sends a fresh ESTIMATE and runs a full
+sketch/reply/push exchange against a fresh server-side snapshot).
 
-The returned :class:`~repro.transport.runner.ReconciliationResult` carries
-the client-side view: ``encode_s``/``decode_s`` are Alice's (the server
-aggregates Bob's in its own metrics), the channel is a
-:class:`~repro.service.wire.FramedChannel` so payload accounting matches
-the in-process protocol while framing overhead is reported separately.
+:func:`sync_with_server` is the one-shot wrapper (many of them can run
+concurrently against one server — that is the whole point of the
+service) and honors the server's admission control: when the session is
+shed with a RETRY frame it backs off with jitter and tries again, up to
+``retries`` times, before letting :class:`ServerBusy` escape.
+:func:`sync_once` is the blocking convenience wrapper.
+
+Each pass returns a
+:class:`~repro.transport.runner.ReconciliationResult` carrying the
+client-side view: ``encode_s``/``decode_s`` are Alice's (the server
+aggregates Bob's in its own metrics), the channel is a fresh
+:class:`~repro.service.wire.FramedChannel` per pass so payload
+accounting matches the in-process protocol while framing overhead is
+reported separately.  ``extra`` carries the server-side convergence
+signals: ``snapshot_version`` (the store version the pass reconciled
+against) and ``store_version`` (after its push landed) — equal versions
+across a quiet re-sync mean the set has converged.
 """
 
 from __future__ import annotations
@@ -20,6 +34,7 @@ import numpy as np
 
 from repro.core.messages import ReplyMessage
 from repro.core.sessions import AliceSession, _as_element_array
+from repro.errors import SerializationError
 from repro.estimators.tow import ToWEstimator
 from repro.service.wire import (
     FramedChannel,
@@ -29,7 +44,10 @@ from repro.service.wire import (
     ParamsAnnounce,
     Push,
     Result,
+    Retry,
+    ServerBusy,
     Welcome,
+    backoff_or_raise,
 )
 from repro.transport.runner import ReconciliationResult
 from repro.utils.seeds import derive_seed
@@ -41,66 +59,139 @@ _UNLIMITED_ROUNDS = 64
 _SEED_MASK = (1 << 64) - 1
 
 
-async def sync_with_server(
-    host: str,
-    port: int,
-    values,
-    set_name: str = "default",
-    seed: int = 0,
-    max_rounds: int | None = None,
-    n_sketches: int = 128,
-    family: str = "fast",
-    log_u: int = 32,
-    bidirectional: bool = True,
-    batch: bool = True,
-) -> ReconciliationResult:
-    """Reconcile ``values`` against the server's ``set_name`` set.
+class ClientConnection:
+    """One persistent connection supporting repeated reconciliations.
 
-    The client learns ``A xor B`` (its result difference); with
-    ``bidirectional=True`` (the default) it also pushes ``A \\ B`` so the
-    server's set grows to the union.  ``A ∪ difference`` is then the full
-    union on the client side.
+    >>> # inside a coroutine:
+    >>> # async with ClientConnection(host, port, set_name="inv") as conn:
+    >>> #     first = await conn.sync(my_values)
+    >>> #     ...
+    >>> #     again = await conn.sync(my_values | first.difference)
     """
-    seed = seed & _SEED_MASK
-    arr = _as_element_array(values, log_u)
-    reader, writer = await asyncio.open_connection(host, port)
-    stream = FramedStream(reader, writer, FramedChannel(), role="alice")
-    try:
-        # 1. HELLO / WELCOME
-        await stream.send(
-            FrameType.HELLO,
-            Hello(
-                set_name=set_name,
-                seed=seed,
-                set_size=len(arr),
-                n_sketches=n_sketches,
-                family=family,
-                log_u=log_u,
-                bidirectional=bidirectional,
-            ).serialize(),
-        )
-        _, payload = await stream.recv(expect=FrameType.WELCOME)
-        welcome = Welcome.deserialize(payload)
 
-        # 2. ESTIMATE / PARAMS (§6.2 handshake, client side)
-        estimator = ToWEstimator(
-            n_sketches=n_sketches,
-            seed=derive_seed(seed, "estimator"),
-            family=family,
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        set_name: str = "default",
+        seed: int = 0,
+        n_sketches: int = 128,
+        family: str = "fast",
+        log_u: int = 32,
+        bidirectional: bool = True,
+        batch: bool = True,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.set_name = set_name
+        self.seed = seed & _SEED_MASK
+        self.n_sketches = n_sketches
+        self.family = family
+        self.log_u = log_u
+        self.bidirectional = bidirectional
+        self.batch = batch
+        self.welcome: Welcome | None = None
+        self.passes = 0
+        self._stream: FramedStream | None = None
+        self._estimator: ToWEstimator | None = None
+
+    # -- lifecycle -------------------------------------------------------------
+    async def connect(self) -> Welcome:
+        """Open the connection and run HELLO/WELCOME.
+
+        Raises :class:`ServerBusy` (with the server's suggested delay)
+        when admission control sheds the session with a RETRY frame.
+        """
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        stream = FramedStream(reader, writer, FramedChannel(), role="alice")
+        try:
+            await stream.send(
+                FrameType.HELLO,
+                Hello(
+                    set_name=self.set_name,
+                    seed=self.seed,
+                    n_sketches=self.n_sketches,
+                    family=self.family,
+                    log_u=self.log_u,
+                    bidirectional=self.bidirectional,
+                ).serialize(),
+            )
+            ftype, payload = await stream.recv()
+            if ftype is FrameType.RETRY:
+                retry = Retry.deserialize(payload)
+                raise ServerBusy(retry.retry_after_s, retry.message)
+            if ftype is not FrameType.WELCOME:
+                raise SerializationError(
+                    f"expected WELCOME frame, got {ftype.name}"
+                )
+            self.welcome = Welcome.deserialize(payload)
+        except BaseException:
+            await stream.close()
+            raise
+        self._stream = stream
+        # one estimator per connection, reused across passes — the server
+        # derives the identical salts from the HELLO seed
+        self._estimator = ToWEstimator(
+            n_sketches=self.n_sketches,
+            seed=derive_seed(self.seed, "estimator"),
+            family=self.family,
         )
-        sketch_a = estimator.sketch(arr)
+        return self.welcome
+
+    async def close(self) -> None:
+        if self._stream is not None:
+            await self._stream.close()
+            self._stream = None
+
+    async def __aenter__(self) -> "ClientConnection":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- one reconciliation pass -----------------------------------------------
+    async def sync(
+        self, values, max_rounds: int | None = None
+    ) -> ReconciliationResult:
+        """Reconcile ``values`` against the server's set: one full pass."""
+        if self._stream is None or self._estimator is None:
+            raise SerializationError("connect() before sync()")
+        stream = self._stream
+        self.passes += 1
+        pass_no = self.passes
+        # fresh per-pass accounting (the paper's byte counters are per
+        # reconciliation, not per connection)
+        stream.channel = FramedChannel()
+        arr = _as_element_array(values, self.log_u)
+
+        # 1. ESTIMATE / PARAMS (§6.2 handshake, client side).  On passes
+        # after the first the server re-admits the connection, so RETRY
+        # can arrive here too (the server closes after sending it).
+        sketch_a = self._estimator.sketch(arr)
         await stream.send(
             FrameType.ESTIMATE,
             struct.pack("<I", len(arr))
-            + estimator.serialize(sketch_a, len(arr)),
+            + self._estimator.serialize(sketch_a, len(arr)),
         )
-        _, payload = await stream.recv(expect=FrameType.PARAMS)
+        ftype, payload = await stream.recv()
+        if ftype is FrameType.RETRY:
+            retry = Retry.deserialize(payload)
+            await self.close()
+            raise ServerBusy(retry.retry_after_s, retry.message)
+        if ftype is not FrameType.PARAMS:
+            raise SerializationError(
+                f"expected PARAMS frame, got {ftype.name}"
+            )
         announce = ParamsAnnounce.deserialize(payload)
         params = announce.to_params()
 
-        # 3. Rounds
+        # 2. Rounds
         alice = AliceSession(
-            arr, params, derive_seed(seed, "session"), batch=batch
+            arr,
+            params,
+            derive_seed(self.seed, "session", pass_no),
+            batch=self.batch,
         )
         budget = max_rounds if max_rounds is not None else params.r
         if budget < 1:
@@ -124,16 +215,18 @@ async def sync_with_server(
             alice.handle_reply(reply, round_no)
             rounds_used = round_no
 
-        # 4. Union push + final ack.  One-way syncs still send an (empty)
-        # PUSH so the server sees a clean session end, not an EOF.
+        # 3. Union push + final ack.  One-way syncs still send an (empty)
+        # PUSH so the server sees a clean pass end, not an EOF.
         difference = alice.difference()
         extra: dict = {
             "params": params,
             "d_hat": announce.d_hat,
-            "set_name": set_name,
-            "server_set_size": welcome.set_size,
+            "set_name": self.set_name,
+            "pass_no": pass_no,
+            "server_set_size": announce.set_size,
+            "snapshot_version": announce.set_version,
         }
-        if bidirectional:
+        if self.bidirectional:
             a_only = np.intersect1d(
                 np.fromiter((int(v) for v in difference), dtype=np.uint64),
                 arr,
@@ -149,7 +242,8 @@ async def sync_with_server(
             expect=FrameType.RESULT, round_no=rounds_used + 1
         )
         ack = Result.deserialize(payload)
-        if bidirectional:
+        extra["store_version"] = ack.store_version
+        if self.bidirectional:
             extra["applied"] = ack.applied
             extra["server_set_size_after"] = ack.store_size
 
@@ -162,8 +256,60 @@ async def sync_with_server(
             decode_s=alice.decode_s,
             extra=extra,
         )
-    finally:
-        await stream.close()
+
+
+async def sync_with_server(
+    host: str,
+    port: int,
+    values,
+    set_name: str = "default",
+    seed: int = 0,
+    max_rounds: int | None = None,
+    n_sketches: int = 128,
+    family: str = "fast",
+    log_u: int = 32,
+    bidirectional: bool = True,
+    batch: bool = True,
+    retries: int = 0,
+    retry_base_s: float = 0.05,
+) -> ReconciliationResult:
+    """Reconcile ``values`` against the server's ``set_name`` set, once.
+
+    The client learns ``A xor B`` (its result difference); with
+    ``bidirectional=True`` (the default) it also pushes ``A \\ B`` so the
+    server's set grows to the union.  ``A ∪ difference`` is then the full
+    union on the client side.
+
+    When the server sheds the session (admission control, RETRY frame),
+    up to ``retries`` reconnect attempts are made after a jittered
+    backoff seeded by the server's suggested delay; the final
+    :class:`ServerBusy` escapes if the server stays saturated.
+    """
+    attempt = 0
+    while True:
+        conn = ClientConnection(
+            host,
+            port,
+            set_name=set_name,
+            seed=seed,
+            n_sketches=n_sketches,
+            family=family,
+            log_u=log_u,
+            bidirectional=bidirectional,
+            batch=batch,
+        )
+        try:
+            await conn.connect()
+        except ServerBusy as busy:
+            if not busy.retry_after_s:
+                busy.retry_after_s = retry_base_s
+            await backoff_or_raise(busy, attempt, retries)
+            attempt += 1
+            continue
+        try:
+            return await conn.sync(values, max_rounds=max_rounds)
+        finally:
+            await conn.close()
 
 
 def sync_once(host: str, port: int, values, **kwargs) -> ReconciliationResult:

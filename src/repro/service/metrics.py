@@ -36,8 +36,13 @@ class SessionMetrics:
     success: bool = False
     failed: bool = False          #: connection died before a clean finish
     probe: bool = False           #: closed before HELLO (health check)
+    shed: bool = False            #: rejected at admission with RETRY
     error: str = ""
+    shard: int = -1               #: shard routed to (-1: died before HELLO
+                                  #: routing — not any shard's fault)
+    syncs: int = 0                #: reconciliation passes on this connection
     applied: int = 0              #: elements folded into the store
+    store_version: int = 0        #: set version after the last apply
     encode_s: float = 0.0
     decode_s: float = 0.0
     channel: FramedChannel = field(default_factory=FramedChannel, repr=False)
@@ -49,10 +54,14 @@ class SessionMetrics:
             "peer": self.peer,
             "success": self.success,
             "failed": self.failed,
+            "shed": self.shed,
             "error": self.error,
+            "shard": self.shard,
+            "syncs": self.syncs,
             "rounds": self.rounds,
             "d_hat": self.d_hat,
             "applied": self.applied,
+            "store_version": self.store_version,
             "total_bytes": self.channel.total_bytes,
             "framing_bytes": self.channel.framing_bytes,
             "bytes_by_label": self.channel.bytes_by_label(),
@@ -70,7 +79,10 @@ class ServiceMetrics:
         self.sessions_started = 0
         self.sessions_completed = 0
         self.sessions_failed = 0
+        self.sessions_shed = 0
         self.active_sessions = 0
+        self.syncs_total = 0
+        self.by_shard: dict[int, dict] = {}
         self.rounds_total = 0
         self.payload_bytes = 0
         self.framing_bytes = 0
@@ -95,10 +107,35 @@ class ServiceMetrics:
             # check) is not a session outcome; drop it from the counts
             self.sessions_started -= 1
             return
+        shard = (
+            self.by_shard.setdefault(
+                session.shard,
+                {"completed": 0, "failed": 0, "shed": 0, "syncs": 0},
+            )
+            # protocol failures before HELLO routing (bad version,
+            # garbage frame) reached no shard and must not smear any
+            # shard's counters
+            if session.shard >= 0
+            else None
+        )
+        if session.shed:
+            # admission rejected the session before any work: it is an
+            # overload outcome, not a success or a failure
+            self.sessions_shed += 1
+            if shard is not None:
+                shard["shed"] += 1
+            return
         if session.failed:
             self.sessions_failed += 1
+            if shard is not None:
+                shard["failed"] += 1
         else:
             self.sessions_completed += 1
+            if shard is not None:
+                shard["completed"] += 1
+        self.syncs_total += session.syncs
+        if shard is not None:
+            shard["syncs"] += session.syncs
         self.rounds_total += session.rounds
         self.payload_bytes += session.channel.total_bytes
         self.framing_bytes += session.channel.framing_bytes
@@ -119,15 +156,26 @@ class ServiceMetrics:
             return ok / finished
         return self.sessions_completed / finished
 
-    def snapshot(self, store_stats: dict | None = None) -> dict:
+    def snapshot(
+        self,
+        store_stats: dict | None = None,
+        admission_stats: dict | None = None,
+        cluster_stats: dict | None = None,
+    ) -> dict:
         out = {
             "uptime_s": time.time() - self.started_unix,
             "sessions": {
                 "started": self.sessions_started,
                 "completed": self.sessions_completed,
                 "failed": self.sessions_failed,
+                "shed": self.sessions_shed,
                 "active": self.active_sessions,
                 "success_rate": self.success_rate,
+            },
+            "syncs_total": self.syncs_total,
+            "by_shard": {
+                str(shard): counters
+                for shard, counters in sorted(self.by_shard.items())
             },
             "rounds_total": self.rounds_total,
             "payload_bytes": self.payload_bytes,
@@ -141,7 +189,20 @@ class ServiceMetrics:
             out["coalescer"] = self._coalescer_stats.to_dict()
         if store_stats is not None:
             out["sets"] = store_stats
+        if admission_stats is not None:
+            out["admission"] = admission_stats
+        if cluster_stats is not None:
+            out["cluster"] = cluster_stats
         return out
 
-    def to_json(self, store_stats: dict | None = None, indent: int = 2) -> str:
-        return json.dumps(self.snapshot(store_stats), indent=indent)
+    def to_json(
+        self,
+        store_stats: dict | None = None,
+        admission_stats: dict | None = None,
+        cluster_stats: dict | None = None,
+        indent: int = 2,
+    ) -> str:
+        return json.dumps(
+            self.snapshot(store_stats, admission_stats, cluster_stats),
+            indent=indent,
+        )

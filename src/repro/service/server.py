@@ -12,19 +12,34 @@ Per connection the server speaks the frame protocol of
 
     client                                server
     HELLO(set, seed, ...)     ->
-                              <-          WELCOME(|B|)
+                              <-          WELCOME(|B|)   [or RETRY: shed]
     ESTIMATE(ToW sketch)      ->
                               <-          PARAMS(d_hat, n, t, g, ...)
     SKETCH(round 1)           ->
                               <-          REPLY(round 1)
     ...                                   ...
     PUSH(A \\ B)              ->          (store.apply_diff)
-                              <-          RESULT(applied, |B'|)
+                              <-          RESULT(applied, |B'|, version)
+    [ESTIMATE ...]            ->          (next pass: fresh snapshot)
+
+After RESULT the client may either close (single sync) or send a fresh
+ESTIMATE to reconcile again on the same connection — ``repro sync
+--repeat`` uses this to re-sync periodically without paying a new
+handshake, reusing the per-connection Tug-of-War estimator on both ends.
+
+The store may be a plain :class:`SetStore` or a sharded, journaled
+:class:`~repro.cluster.router.ClusterStore` (whose mutating methods are
+coroutines — the server awaits them, so a RESULT frame implies the diff
+is journaled).  With an
+:class:`~repro.cluster.admission.AdmissionController` attached, sessions
+beyond a shard's cap are shed at HELLO time with a RETRY frame instead
+of being accepted into an unbounded backlog.
 """
 
 from __future__ import annotations
 
 import asyncio
+import inspect
 
 import numpy as np
 
@@ -44,13 +59,18 @@ from repro.service.wire import (
     ParamsAnnounce,
     Push,
     Result,
+    Retry,
     Welcome,
     _unpack_from,
 )
 from repro.utils.seeds import derive_seed
 
-#: Hard cap on rounds per session — a runaway client cannot pin a session.
+#: Hard cap on rounds per reconciliation pass — a runaway client cannot
+#: pin a session.
 MAX_ROUNDS = 64
+
+#: Hard cap on reconciliation passes per connection (``sync --repeat``).
+MAX_PASSES = 1 << 16
 
 #: Hard cap on the client-requested Tug-of-War sketch count: the server
 #: runs O(n_sketches * |B|) hashing per handshake, so this must not be an
@@ -78,8 +98,14 @@ class ReconciliationServer:
         p0: float = 0.99,
         batch: bool = True,
         create_missing: bool = True,
+        admission=None,
     ) -> None:
+        #: a SetStore, or any object with the same surface whose
+        #: ``snapshot``/``apply_diff``/``create`` may be coroutines
+        #: (ClusterStore) — the server awaits whatever they return
         self.store = store if store is not None else SetStore()
+        #: optional :class:`~repro.cluster.admission.AdmissionController`
+        self.admission = admission
         self.host = host
         self.port = port
         self.coalescer = (
@@ -150,10 +176,36 @@ class ReconciliationServer:
             self.metrics.close_session(session)
             await stream.close()
 
+    # -- store access (SetStore methods are plain, ClusterStore's await) -------
+    @staticmethod
+    async def _maybe_await(value):
+        return await value if inspect.isawaitable(value) else value
+
+    def _shard_of(self, name: str) -> int:
+        shard_for = getattr(self.store, "shard_for", None)
+        return shard_for(name) if shard_for is not None else 0
+
+    async def _send_retry(
+        self, stream: FramedStream, shard: int, retry_after: float
+    ) -> None:
+        await stream.send(
+            FrameType.RETRY,
+            Retry(
+                retry_after_s=retry_after,
+                message=f"shard {shard} at capacity",
+            ).serialize(),
+        )
+
+    async def _decode(self, shard: int, codec, deltas):
+        if self.admission is None:
+            return await self.coalescer.decode(codec, deltas)
+        async with self.admission.decode_slot(shard):
+            return await self.coalescer.decode(codec, deltas)
+
     async def _run_session(
         self, stream: FramedStream, session: SessionMetrics
     ) -> None:
-        # 1. HELLO / WELCOME: pick the set, freeze a snapshot.
+        # 1. HELLO: pick the set, admit (or shed), freeze a snapshot.
         try:
             _, payload = await stream.recv(expect=FrameType.HELLO)
         except asyncio.IncompleteReadError as exc:
@@ -163,31 +215,143 @@ class ReconciliationServer:
             raise
         hello = Hello.deserialize(payload)
         session.set_name = hello.set_name
+        if not 1 <= hello.n_sketches <= MAX_ESTIMATOR_SKETCHES:
+            raise SerializationError(
+                f"n_sketches={hello.n_sketches} outside "
+                f"[1, {MAX_ESTIMATOR_SKETCHES}]"
+            )
+        shard = self._shard_of(hello.set_name)
+        session.shard = shard
+        if self.admission is not None:
+            retry_after = self.admission.try_admit(shard)
+            if retry_after is not None:
+                session.shed = True
+                await self._send_retry(stream, shard, retry_after)
+                return
+        # the slot is released while a multi-pass connection idles between
+        # passes (see _admitted_session), so track whether we hold it
+        holding = [self.admission is not None]
+        try:
+            await self._admitted_session(stream, session, hello, shard,
+                                         holding)
+        finally:
+            if holding[0] and self.admission is not None:
+                self.admission.release(shard)
+
+    async def _admitted_session(
+        self,
+        stream: FramedStream,
+        session: SessionMetrics,
+        hello: Hello,
+        shard: int,
+        holding: list[bool],
+    ) -> None:
         existed = hello.set_name in self.store
-        snapshot: Snapshot = self.store.snapshot(
-            hello.set_name, create_missing=self.create_missing
+        snapshot: Snapshot = await self._maybe_await(
+            self.store.snapshot(
+                hello.set_name, create_missing=self.create_missing
+            )
         )
         await stream.send(
             FrameType.WELCOME,
-            Welcome(set_size=len(snapshot), created=not existed).serialize(),
+            Welcome(
+                set_size=len(snapshot),
+                created=not existed,
+                set_version=snapshot.version,
+            ).serialize(),
         )
-
-        # 2. ESTIMATE / PARAMS: the §6.2 Tug-of-War handshake, server side.
-        _, payload = await stream.recv(expect=FrameType.ESTIMATE)
-        params, d_hat = self._negotiate_params(hello, snapshot, payload)
-        session.d_hat = d_hat
-        await stream.send(
-            FrameType.PARAMS,
-            ParamsAnnounce.from_params(params, d_hat).serialize(),
+        # One estimator per connection: its hash salts derive from the
+        # HELLO seed, so repeat passes reuse it on both ends (§6.2).
+        estimator = ToWEstimator(
+            n_sketches=hello.n_sketches,
+            seed=derive_seed(hello.seed, "estimator"),
+            family=hello.family,
         )
+        # Bob-side ToW sketch cache across passes: hashing is O(l * |B|),
+        # which an idle periodic re-sync must not pay when the snapshot
+        # did not move.  Keyed on (version, size): version alone could
+        # collide if the set were replaced mid-connection via create().
+        sketch_b_cache: tuple[tuple[int, int], object] | None = None
 
-        # 3. Reconciliation rounds, decode routed through the coalescer.
+        # 2. Reconciliation passes: ESTIMATE/PARAMS, rounds, PUSH/RESULT —
+        # repeated for as long as the client opens a new pass.
+        for pass_no in range(1, MAX_PASSES + 1):
+            if pass_no > 1:
+                # an idle connection must not pin a capped shard: give the
+                # admission slot back while waiting for the next pass and
+                # re-admit (or shed with RETRY) when one actually opens
+                if self.admission is not None and holding[0]:
+                    self.admission.release(shard)
+                    holding[0] = False
+                try:
+                    _, payload = await stream.recv(expect=FrameType.ESTIMATE)
+                except asyncio.IncompleteReadError as exc:
+                    if not exc.partial:
+                        return   # clean end-of-connection between passes
+                    raise
+                if self.admission is not None:
+                    retry_after = self.admission.try_admit(shard)
+                    if retry_after is not None:
+                        # not session.shed: passes already completed on
+                        # this connection keep counting as completed work
+                        # (admission stats still record the shed event)
+                        await self._send_retry(stream, shard, retry_after)
+                        return
+                    holding[0] = True
+                snapshot = await self._maybe_await(
+                    self.store.snapshot(
+                        hello.set_name, create_missing=self.create_missing
+                    )
+                )
+            else:
+                _, payload = await stream.recv(expect=FrameType.ESTIMATE)
+            cache_key = (snapshot.version, len(snapshot))
+            if sketch_b_cache is not None and sketch_b_cache[0] == cache_key:
+                sketch_b = sketch_b_cache[1]
+            else:
+                sketch_b = estimator.sketch(
+                    np.fromiter(snapshot.values, dtype=np.uint64)
+                )
+                sketch_b_cache = (cache_key, sketch_b)
+            params, d_hat = self._negotiate_params(
+                estimator, hello, sketch_b, payload
+            )
+            session.d_hat = d_hat
+            await stream.send(
+                FrameType.PARAMS,
+                ParamsAnnounce.from_params(
+                    params,
+                    d_hat,
+                    set_size=len(snapshot),
+                    set_version=snapshot.version,
+                ).serialize(),
+            )
+            await self._run_pass(stream, session, hello, shard, snapshot,
+                                 params, pass_no)
+            # counted only once the pass's RESULT is on the wire, so
+            # syncs_total means "reconciliations finished"
+            session.syncs = pass_no
+
+    async def _run_pass(
+        self,
+        stream: FramedStream,
+        session: SessionMetrics,
+        hello: Hello,
+        shard: int,
+        snapshot: Snapshot,
+        params: PBSParams,
+        pass_no: int,
+    ) -> None:
+        """One reconciliation: sketch/reply rounds, then the union push."""
         bob = BobSession(
             snapshot.values,
             params,
-            derive_seed(hello.seed, "session"),
+            derive_seed(hello.seed, "session", pass_no),
             batch=self.batch,
         )
+        # session.rounds accumulates over passes; clients restart their
+        # round numbering every pass
+        rounds_before = session.rounds
         sketches_served = 0
         try:
             while True:
@@ -207,11 +371,11 @@ class ReconciliationServer:
                         payload, params.t, params.m
                     )
                     work = bob.begin_reply(message)
-                    decoded, decode_share = await self.coalescer.decode(
-                        params.codec, work.deltas
+                    decoded, decode_share = await self._decode(
+                        shard, params.codec, work.deltas
                     )
                     reply = bob.finish_reply(work, decoded, decode_share)
-                    session.rounds = message.round_no
+                    session.rounds = rounds_before + message.round_no
                     await stream.send(
                         FrameType.REPLY,
                         reply.serialize(params.t, params.m, params.log_u),
@@ -233,50 +397,44 @@ class ReconciliationServer:
                                 f"push contains {int(bad.sum())} elements "
                                 f"outside [1, 2^{params.log_u})"
                             )
-                        applied = self.store.apply_diff(
-                            hello.set_name, add=elements
+                        applied = await self._maybe_await(
+                            self.store.apply_diff(
+                                hello.set_name, add=elements
+                            )
                         )
-                    session.applied = applied
+                    session.applied += applied
+                    session.store_version = self.store.version(hello.set_name)
                     await stream.send(
                         FrameType.RESULT,
                         Result(
                             success=push.success,
                             applied=applied,
                             store_size=self.store.size(hello.set_name),
+                            store_version=session.store_version,
                         ).serialize(),
                         round_no=session.rounds + 1,
                     )
-                    break
+                    return
                 else:
                     raise SerializationError(
                         f"unexpected {ftype.name} frame mid-session"
                     )
         finally:
-            session.encode_s = bob.encode_s
-            session.decode_s = bob.decode_s
+            session.encode_s += bob.encode_s
+            session.decode_s += bob.decode_s
 
     def _negotiate_params(
-        self, hello: Hello, snapshot: Snapshot, estimate_payload: bytes
+        self,
+        estimator: ToWEstimator,
+        hello: Hello,
+        sketch_b,
+        estimate_payload: bytes,
     ) -> tuple[PBSParams, float]:
         """Estimate d from the client's ToW sketch, optimize (n, t, g)."""
-        if not 1 <= hello.n_sketches <= MAX_ESTIMATOR_SKETCHES:
-            raise SerializationError(
-                f"n_sketches={hello.n_sketches} outside "
-                f"[1, {MAX_ESTIMATOR_SKETCHES}]"
-            )
-        estimator = ToWEstimator(
-            n_sketches=hello.n_sketches,
-            seed=derive_seed(hello.seed, "estimator"),
-            family=hello.family,
-        )
         (size_a,) = _unpack_from("<I", estimate_payload)
-        if size_a != hello.set_size:
-            raise SerializationError(
-                f"estimate sized for |A|={size_a}, hello said {hello.set_size}"
-            )
+        # |A| may legitimately drift from hello.set_size on repeat passes;
+        # the self-declared size in the ESTIMATE payload is authoritative.
         sketch_a = estimator.deserialize(estimate_payload[4:], size_a)
-        arr_b = np.fromiter(snapshot.values, dtype=np.uint64)
-        sketch_b = estimator.sketch(arr_b)
         d_hat = estimator.estimate(sketch_a, sketch_b)
         design_d = ToWEstimator.conservative(max(1, round(d_hat)), self.gamma)
         params = PBSParams.from_d(

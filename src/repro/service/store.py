@@ -58,9 +58,22 @@ class SetStore:
     def __contains__(self, name: str) -> bool:
         return name in self._sets
 
-    def create(self, name: str, values=()) -> None:
-        """Create (or replace) a named set from an iterable of elements."""
-        self._sets[name] = _NamedSet(values={int(v) for v in values})
+    def create(self, name: str, values=(), version: int = 0) -> None:
+        """Create (or replace) a named set from an iterable of elements.
+
+        ``version`` seeds the mutation counter — journal recovery uses it
+        to restore a set at the exact version it had when snapshotted.
+        """
+        self._sets[name] = _NamedSet(
+            values={int(v) for v in values}, version=version
+        )
+
+    def items(self) -> list[tuple[str, frozenset[int], int]]:
+        """``(name, values, version)`` for every set (snapshot compaction)."""
+        return [
+            (name, frozenset(entry.values), entry.version)
+            for name, entry in sorted(self._sets.items())
+        ]
 
     def get(self, name: str) -> set[int]:
         """The live set (a copy — the store's own copy is private)."""
@@ -91,21 +104,23 @@ class SetStore:
         by this session and already added by a concurrent one counts 0).
         """
         entry = self._require(name)
-        changed = 0
-        for v in np.asarray(list(add), dtype=np.uint64):
-            value = int(v)
-            if value not in entry.values:
-                entry.values.add(value)
-                changed += 1
-        for v in np.asarray(list(remove), dtype=np.uint64):
-            value = int(v)
-            if value in entry.values:
-                entry.values.discard(value)
-                changed += 1
+        added = set(self._as_ints(add)) - entry.values
+        entry.values |= added
+        removed = set(self._as_ints(remove)) & entry.values
+        entry.values -= removed
+        changed = len(added) + len(removed)
         if changed:
             entry.version += 1
         entry.reconciles += 1
         return changed
+
+    @staticmethod
+    def _as_ints(values) -> list[int]:
+        """Plain-int elements via numpy (``.tolist()`` unboxes at C speed;
+        large diff pushes arrive as uint64 arrays on the hot apply path)."""
+        if not isinstance(values, np.ndarray):
+            values = np.asarray(list(values), dtype=np.uint64)
+        return values.astype(np.uint64, copy=False).tolist()
 
     # -- introspection ---------------------------------------------------------
     def stats(self) -> dict:

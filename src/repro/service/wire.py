@@ -23,17 +23,21 @@ from __future__ import annotations
 
 import asyncio
 import enum
+import random
 import struct
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.params import PBSParams
-from repro.errors import SerializationError
+from repro.errors import ReproError, SerializationError
 from repro.transport.channel import Channel, Direction
 
 #: Protocol version — bumped on any incompatible frame-format change.
-WIRE_VERSION = 1
+#: v2: RETRY frame (admission control), set-version fields on
+#: WELCOME/PARAMS/RESULT, and multi-pass sessions (a client may send a
+#: fresh ESTIMATE after RESULT to re-sync on the same connection).
+WIRE_VERSION = 2
 
 #: Bytes added to every payload by the frame header (length + type).
 FRAME_HEADER_BYTES = 5
@@ -53,6 +57,7 @@ class FrameType(enum.IntEnum):
     REPLY = 6        #: server -> client: one round's ReplyMessage
     PUSH = 7         #: client -> server: A \\ B elements (bidirectional sync)
     RESULT = 8       #: server -> client: final ack (applied count, store size)
+    RETRY = 9        #: server -> client: shed at admission; back off, retry
     ERROR = 15       #: either direction: fatal error, then close
 
 
@@ -67,6 +72,7 @@ FRAME_LABELS: dict[FrameType, str] = {
     FrameType.REPLY: "reply",
     FrameType.PUSH: "union-push",
     FrameType.RESULT: "control",
+    FrameType.RETRY: "control",
     FrameType.ERROR: "control",
 }
 
@@ -132,11 +138,16 @@ async def read_frame(reader: asyncio.StreamReader) -> tuple[FrameType, bytes]:
 
 @dataclass
 class Hello:
-    """Client session opening: which set, and the shared randomness."""
+    """Client session opening: which set, and the shared randomness.
+
+    |A| is deliberately *not* here: every reconciliation pass declares
+    its own size in its ESTIMATE payload (it may drift between passes of
+    a ``--repeat`` connection), so HELLO carries only per-connection
+    facts.
+    """
 
     set_name: str
     seed: int                 #: session seed both sides derive salts from
-    set_size: int             #: |A|, sizes the estimator wire format
     n_sketches: int = 128     #: Tug-of-War sketch count l
     family: str = "fast"      #: ToW hash family ("fourwise" | "fast")
     log_u: int = 32
@@ -153,10 +164,9 @@ class Hello:
             raise SerializationError("set name too long")
         return (
             struct.pack(
-                "!BQIHBB?",
+                "!BQHBB?",
                 self.version,
                 self.seed,
-                self.set_size,
                 self.n_sketches,
                 _HASH_FAMILIES.index(self.family),
                 self.log_u,
@@ -168,9 +178,9 @@ class Hello:
 
     @classmethod
     def deserialize(cls, data: bytes) -> "Hello":
-        fixed = struct.calcsize("!BQIHBB?")
-        version, seed, set_size, n_sketches, family_ix, log_u, bidi = (
-            _unpack_from("!BQIHBB?", data)
+        fixed = struct.calcsize("!BQHBB?")
+        version, seed, n_sketches, family_ix, log_u, bidi = (
+            _unpack_from("!BQHBB?", data)
         )
         if version != WIRE_VERSION:
             raise SerializationError(
@@ -189,7 +199,6 @@ class Hello:
         return cls(
             set_name=name,
             seed=seed,
-            set_size=set_size,
             n_sketches=n_sketches,
             family=_HASH_FAMILIES[family_ix],
             log_u=log_u,
@@ -204,15 +213,20 @@ class Welcome:
 
     set_size: int         #: |B| at snapshot time
     created: bool         #: True when the named set did not exist before
+    set_version: int = 0  #: store version of the snapshot (race detection)
     version: int = WIRE_VERSION
 
     def serialize(self) -> bytes:
-        return struct.pack("!BI?", self.version, self.set_size, self.created)
+        return struct.pack(
+            "!BI?Q", self.version, self.set_size, self.created,
+            self.set_version,
+        )
 
     @classmethod
     def deserialize(cls, data: bytes) -> "Welcome":
-        version, set_size, created = _unpack_from("!BI?", data)
-        return cls(set_size=set_size, created=created, version=version)
+        version, set_size, created, set_version = _unpack_from("!BI?Q", data)
+        return cls(set_size=set_size, created=created,
+                   set_version=set_version, version=version)
 
 
 @dataclass
@@ -222,6 +236,10 @@ class ParamsAnnounce:
     Announcing (n, t, g, ...) explicitly — rather than having the client
     re-run the optimizer on d_hat — makes the server authoritative and
     keeps a version-skewed client from deriving mismatched parameters.
+
+    On multi-pass connections (``repro sync --repeat``) the server takes
+    a *fresh* snapshot per pass, so PARAMS also carries the snapshot's
+    size and store version — the per-pass equivalent of WELCOME.
     """
 
     d_hat: float
@@ -232,26 +250,38 @@ class ParamsAnnounce:
     r: int
     p0: float
     log_u: int = 32
+    set_size: int = 0     #: |B| of this pass's snapshot
+    set_version: int = 0  #: store version of this pass's snapshot
 
-    _FMT = "!dIIIHHdB"
+    _FMT = "!dIIIHHdBIQ"
 
     def serialize(self) -> bytes:
         return struct.pack(
             self._FMT, self.d_hat, self.n, self.t, self.g,
             self.delta, self.r, self.p0, self.log_u,
+            self.set_size, self.set_version,
         )
 
     @classmethod
     def deserialize(cls, data: bytes) -> "ParamsAnnounce":
-        d_hat, n, t, g, delta, r, p0, log_u = _unpack_from(cls._FMT, data)
+        (d_hat, n, t, g, delta, r, p0, log_u, set_size, set_version) = (
+            _unpack_from(cls._FMT, data)
+        )
         return cls(d_hat=d_hat, n=n, t=t, g=g, delta=delta, r=r, p0=p0,
-                   log_u=log_u)
+                   log_u=log_u, set_size=set_size, set_version=set_version)
 
     @classmethod
-    def from_params(cls, params: PBSParams, d_hat: float) -> "ParamsAnnounce":
+    def from_params(
+        cls,
+        params: PBSParams,
+        d_hat: float,
+        set_size: int = 0,
+        set_version: int = 0,
+    ) -> "ParamsAnnounce":
         return cls(
             d_hat=d_hat, n=params.n, t=params.t, g=params.g,
             delta=params.delta, r=params.r, p0=params.p0, log_u=params.log_u,
+            set_size=set_size, set_version=set_version,
         )
 
     def to_params(self) -> PBSParams:
@@ -289,19 +319,102 @@ class Push:
 
 @dataclass
 class Result:
-    """Server -> client: final ack after the push was applied."""
+    """Server -> client: final ack after the push was applied.
+
+    ``store_version`` is the set's mutation counter after this session's
+    diff landed; comparing it against the snapshot version announced in
+    WELCOME/PARAMS tells the client whether concurrent sessions raced it
+    (version advanced by more than its own apply) and a second pass is
+    needed for full convergence.
+    """
 
     success: bool
     applied: int          #: elements newly added to the server's set
     store_size: int       #: live set size after applying
+    store_version: int = 0  #: set version after this session's apply
 
     def serialize(self) -> bytes:
-        return struct.pack("!?II", self.success, self.applied, self.store_size)
+        return struct.pack(
+            "!?IIQ", self.success, self.applied, self.store_size,
+            self.store_version,
+        )
 
     @classmethod
     def deserialize(cls, data: bytes) -> "Result":
-        success, applied, store_size = _unpack_from("!?II", data)
-        return cls(success=success, applied=applied, store_size=store_size)
+        success, applied, store_size, store_version = _unpack_from(
+            "!?IIQ", data
+        )
+        return cls(success=success, applied=applied, store_size=store_size,
+                   store_version=store_version)
+
+
+@dataclass
+class Retry:
+    """Server -> client: admission control shed this session; back off.
+
+    Sent instead of WELCOME when the target shard is at its session or
+    decode-queue cap, then the connection closes.  ``retry_after_s`` is
+    the server's suggested minimum delay; clients add jitter on top
+    (:func:`repro.cluster.admission.retry_delay`).
+    """
+
+    retry_after_s: float
+    message: str = ""
+
+    def serialize(self) -> bytes:
+        return struct.pack("!d", self.retry_after_s) + self.message.encode(
+            "utf-8"
+        )
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "Retry":
+        (retry_after_s,) = _unpack_from("!d", data)
+        return cls(
+            retry_after_s=retry_after_s,
+            message=data[8:].decode("utf-8", errors="replace"),
+        )
+
+
+class ServerBusy(ReproError):
+    """Raised client-side when the server sheds the session with RETRY."""
+
+    def __init__(self, retry_after_s: float, message: str = "") -> None:
+        super().__init__(
+            message or f"server busy, retry after {retry_after_s:.3f}s"
+        )
+        self.retry_after_s = retry_after_s
+
+
+#: Ceiling for client backoff growth (seconds).
+MAX_BACKOFF_S = 2.0
+
+
+def retry_delay(base_s: float, attempt: int, rng=None) -> float:
+    """Jittered exponential backoff for honoring a RETRY frame.
+
+    ``base_s`` is the server's suggested delay (or a client default),
+    doubled per attempt and scattered uniformly in [0.5x, 1.5x] so a
+    burst of shed clients does not return as the same thundering herd
+    that was just shed.
+    """
+    rng = rng if rng is not None else random
+    delay = min(MAX_BACKOFF_S, max(0.001, base_s) * (2 ** attempt))
+    return delay * (0.5 + rng.random())
+
+
+async def backoff_or_raise(
+    busy: ServerBusy, attempt: int, retries: int, rng=None
+) -> None:
+    """The one RETRY-honoring policy: sleep :func:`retry_delay` seeded by
+    the server's hint, or re-raise ``busy`` once the budget is spent.
+
+    Every shed-and-retry loop (one-shot client, CLI repeat loop, bench
+    fleets) routes through here so the backoff policy cannot silently
+    diverge between them.
+    """
+    if attempt >= retries:
+        raise busy
+    await asyncio.sleep(retry_delay(busy.retry_after_s, attempt, rng))
 
 
 @dataclass
@@ -326,6 +439,7 @@ CONTROL_MESSAGES: dict[FrameType, type] = {
     FrameType.PARAMS: ParamsAnnounce,
     FrameType.PUSH: Push,
     FrameType.RESULT: Result,
+    FrameType.RETRY: Retry,
     FrameType.ERROR: Error,
 }
 
@@ -420,5 +534,8 @@ class FramedStream:
         try:
             self.writer.close()
             await self.writer.wait_closed()
-        except (ConnectionError, OSError):  # peer already gone
+        except (ConnectionError, OSError, RuntimeError):
+            # peer already gone, or the event loop itself is tearing down
+            # (idle multi-pass connections live until EOF, so their tasks
+            # can be reaped at loop shutdown)
             pass

@@ -150,3 +150,14 @@ class TestServeAndSync:
         code = main(["sync", str(a), "--port", "1", "--set", "inv"])
         assert code == 2
         assert "cannot sync" in capsys.readouterr().err
+
+
+class TestServeValidation:
+    def test_negative_caps_are_usage_errors(self, capsys):
+        assert main(["serve", "--max-sessions", "-1"]) == 2
+        assert "max-sessions" in capsys.readouterr().err
+        assert main(["serve", "--max-decode-queue", "-2"]) == 2
+
+    def test_fsync_without_data_dir_is_a_usage_error(self, capsys):
+        assert main(["serve", "--fsync"]) == 2
+        assert "--data-dir" in capsys.readouterr().err

@@ -1,0 +1,280 @@
+"""ClusterStore: sharded routing, durable acks, crash recovery end-to-end.
+
+Written against plain ``asyncio.run`` so the suite does not depend on a
+pytest-asyncio plugin being installed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.cluster import ClusterStore
+from repro.cluster.journal import encode_diff
+from repro.service import ReconciliationServer, sync_with_server
+from repro.service.store import UnknownSetError
+from repro.workloads import SetPairGenerator
+
+NAMES = [f"set-{i}" for i in range(12)]
+
+
+def _populate(store: ClusterStore):
+    async def inner():
+        async with store:
+            for i, name in enumerate(NAMES):
+                await store.create(name, range(10 * i + 1, 10 * i + 8))
+                await store.apply_diff(name, add=[10_000 + i])
+
+    asyncio.run(inner())
+
+
+class TestShardedSemantics:
+    def test_sets_spread_across_shards(self, tmp_path):
+        store = ClusterStore(shards=4, data_dir=tmp_path)
+        _populate(store)
+        shards = {store.shard_for(name) for name in NAMES}
+        assert len(shards) > 1                  # really sharded
+        stats = store.stats()
+        assert set(stats) == set(NAMES)
+        for name in NAMES:
+            assert stats[name]["shard"] == store.shard_for(name)
+
+    def test_setstore_compatible_reads(self, tmp_path):
+        store = ClusterStore(shards=3, data_dir=tmp_path)
+        _populate(store)
+        assert store.names() == sorted(NAMES)
+        assert "set-0" in store and "ghost" not in store
+        assert store.size("set-0") == 8
+        assert store.version("set-0") == 1      # one mutating apply
+        assert 10_000 in store.get("set-0")
+
+    def test_unknown_set_raises_through_worker(self, tmp_path):
+        async def inner():
+            async with ClusterStore(shards=2) as store:
+                with pytest.raises(UnknownSetError):
+                    await store.apply_diff("ghost", add=[1])
+                with pytest.raises(UnknownSetError):
+                    await store.snapshot("ghost", create_missing=False)
+
+        asyncio.run(inner())
+
+    def test_snapshot_create_missing_is_journaled(self, tmp_path):
+        async def inner():
+            async with ClusterStore(shards=2, data_dir=tmp_path) as store:
+                snap = await store.snapshot("fresh", create_missing=True)
+                assert len(snap) == 0
+            async with ClusterStore(shards=2, data_dir=tmp_path) as store2:
+                assert "fresh" in store2
+
+        asyncio.run(inner())
+
+    def test_memory_only_mode_needs_no_disk(self):
+        async def inner():
+            async with ClusterStore(shards=2) as store:
+                await store.create("s", {1, 2})
+                assert await store.apply_diff("s", add=[3]) == 1
+                assert store.get("s") == {1, 2, 3}
+
+        asyncio.run(inner())
+
+
+class TestRecovery:
+    def test_cold_restart_recovers_bit_for_bit(self, tmp_path):
+        store = ClusterStore(shards=4, data_dir=tmp_path)
+        _populate(store)
+        expected = {name: store.get(name) for name in store.names()}
+        versions = {name: store.version(name) for name in store.names()}
+
+        async def restart():
+            async with ClusterStore(shards=4, data_dir=tmp_path) as again:
+                return (
+                    {n: again.get(n) for n in again.names()},
+                    {n: again.version(n) for n in again.names()},
+                )
+
+        recovered, recovered_versions = asyncio.run(restart())
+        assert recovered == expected
+        assert recovered_versions == versions
+
+    def test_killed_shard_mid_write_recovers_to_last_complete_record(
+        self, tmp_path
+    ):
+        """The ISSUE's crash drill: torn journal tail, restart, reconcile."""
+        store = ClusterStore(shards=2, data_dir=tmp_path)
+
+        async def phase1():
+            async with store:
+                await store.create("crash", range(1, 500))
+                await store.apply_diff("crash", add=[9001, 9002])
+
+        asyncio.run(phase1())
+        # simulate SIGKILL mid-append on the owning shard's journal: a
+        # half-written record follows the last durable one
+        shard_dir = tmp_path / f"shard-{store.shard_for('crash'):02d}"
+        journal = shard_dir / "journal.log"
+        torn = encode_diff("crash", add=[9999])
+        journal.write_bytes(journal.read_bytes() + torn[: len(torn) - 4])
+
+        async def phase2():
+            async with ClusterStore(shards=2, data_dir=tmp_path) as again:
+                # recovered to the last complete record: the torn 9999 is
+                # gone, everything acknowledged before it survives
+                assert again.get("crash") == set(range(1, 500)) | {9001, 9002}
+                shard = again.cluster_stats()["per_shard"][
+                    again.shard_for("crash")
+                ]
+                assert shard["tail_error"] != ""
+                # and a fresh reconcile against the recovered set converges
+                pair = SetPairGenerator(universe_bits=32, seed=3).generate(
+                    size_a=600, d=20
+                )
+                await again.create("fresh", pair.b)
+                async with ReconciliationServer(again) as server:
+                    result = await sync_with_server(
+                        "127.0.0.1", server.port, pair.a,
+                        set_name="fresh", seed=5,
+                    )
+                assert result.success
+                assert result.difference == pair.difference
+                assert again.get("fresh") == set(pair.a) | set(pair.b)
+
+        asyncio.run(phase2())
+
+    def test_resize_keeps_unmoved_sets_in_place(self, tmp_path):
+        """Restarting with more shards: sets whose shard assignment did
+        not change recover in place (moved sets are the operator's
+        migration problem, documented in the README)."""
+        store = ClusterStore(shards=2, data_dir=tmp_path)
+        _populate(store)
+        old_ring = store.ring
+        grown = ClusterStore(shards=4, data_dir=tmp_path)
+        unmoved = [
+            n for n in NAMES if old_ring.lookup(n) == grown.ring.lookup(n)
+        ]
+        assert unmoved   # the ring moves only ~half the names 2 -> 4
+
+        async def restart():
+            async with grown:
+                for name in unmoved:
+                    assert grown.get(name) == store.get(name)
+
+        asyncio.run(restart())
+
+
+class TestCompactionUnderLoad:
+    def test_auto_compaction_triggers_and_preserves_state(self, tmp_path):
+        store = ClusterStore(
+            shards=1, data_dir=tmp_path, compact_min_bytes=256,
+            compact_factor=1,
+        )
+
+        async def inner():
+            async with store:
+                await store.create("s", range(1, 50))
+                for i in range(40):
+                    await store.apply_diff("s", add=[1000 + i])
+                await store.flush()
+            stats = store.cluster_stats()["per_shard"][0]
+            assert stats["compactions"] >= 1
+            async with ClusterStore(shards=1, data_dir=tmp_path) as again:
+                assert again.get("s") == store.get("s")
+                assert again.version("s") == store.version("s")
+
+        asyncio.run(inner())
+
+
+class TestJournalFirstOrdering:
+    def test_failed_append_leaves_store_unmutated(self, tmp_path):
+        """Durability contract: nothing un-journaled ever becomes visible.
+        If the WAL append fails (disk full), the apply must error out
+        *without* touching the live set."""
+
+        async def inner():
+            async with ClusterStore(shards=1, data_dir=tmp_path) as store:
+                await store.create("s", {1, 2, 3})
+                shard = store._shards[0]
+                original = shard.storage.append
+
+                def exploding_append(record):
+                    raise OSError("no space left on device")
+
+                shard.storage.append = exploding_append
+                with pytest.raises(OSError):
+                    await store.apply_diff("s", add=[999])
+                # the rejected diff is not in the live set: later sessions
+                # cannot be acked against state a restart would lose
+                assert store.get("s") == {1, 2, 3}
+                assert store.version("s") == 0
+                shard.storage.append = original
+                assert await store.apply_diff("s", add=[999]) == 1
+            async with ClusterStore(shards=1, data_dir=tmp_path) as again:
+                assert again.get("s") == {1, 2, 3, 999}
+
+        asyncio.run(inner())
+
+
+class TestCloseSemantics:
+    def test_close_rejects_and_drains_instead_of_stranding(self, tmp_path):
+        from repro.errors import ReproError
+
+        async def inner():
+            store = ClusterStore(shards=1, data_dir=tmp_path)
+            await store.start()
+            await store.create("s", {1})
+            closing = asyncio.ensure_future(store.close())
+            # submissions racing with close() must fail fast, not hang
+            with pytest.raises(ReproError):
+                await asyncio.wait_for(
+                    store.apply_diff("s", add=[2]), timeout=1.0
+                )
+            await closing
+            # and the store restarts cleanly afterwards
+            await store.start()
+            assert await store.apply_diff("s", add=[3]) == 1
+            await store.close()
+
+        asyncio.run(inner())
+
+    def test_empty_diffs_are_not_journaled(self, tmp_path):
+        async def inner():
+            async with ClusterStore(shards=1, data_dir=tmp_path) as store:
+                await store.create("s", {1, 2})
+                before = store.cluster_stats()["per_shard"][0]
+                # a converged re-sync pass: empty push, nothing to log
+                assert await store.apply_diff("s", add=[], remove=[]) == 0
+                after = store.cluster_stats()["per_shard"][0]
+                assert after["records_appended"] == before["records_appended"]
+                assert after["applies"] == before["applies"] + 1
+
+        asyncio.run(inner())
+
+
+class TestStartFailureCleanup:
+    def test_partial_recovery_failure_unwinds_started_shards(self, tmp_path):
+        from repro.cluster import JournalCorruptError, ShardStorage
+        from repro.service.store import SetStore
+
+        # lay down two healthy shards, then corrupt shard 1's snapshot
+        store = ClusterStore(shards=2, data_dir=tmp_path)
+        _populate(store)
+        victim = ShardStorage(tmp_path / "shard-01")
+        s = SetStore()
+        victim.recover(s)
+        victim.compact(s.items())
+        victim.close()
+        snapshot = tmp_path / "shard-01" / "snapshot.bin"
+        snapshot.write_bytes(snapshot.read_bytes()[:-3])
+
+        async def inner():
+            broken = ClusterStore(shards=2, data_dir=tmp_path)
+            with pytest.raises(JournalCorruptError):
+                await broken.start()
+            # the shard that DID start must be fully unwound: no worker
+            # task left to be destroyed at loop teardown
+            assert all(sh.task is None for sh in broken._shards)
+            from repro.errors import ReproError
+            with pytest.raises(ReproError):
+                await broken.apply_diff("set-0", add=[1])
+
+        asyncio.run(inner())

@@ -13,6 +13,7 @@ import pytest
 
 from repro.errors import SerializationError
 from repro.service import (
+    ClientConnection,
     DecodeCoalescer,
     ReconciliationServer,
     SetStore,
@@ -53,8 +54,8 @@ class TestSingleSession:
         assert result.channel.framing_bytes > 0
         snapshot = server.metrics.snapshot(store.stats())
         assert snapshot["sessions"] == {
-            "started": 1, "completed": 1, "failed": 0, "active": 0,
-            "success_rate": 1.0,
+            "started": 1, "completed": 1, "failed": 0, "shed": 0,
+            "active": 0, "success_rate": 1.0,
         }
         assert snapshot["rounds_total"] == result.rounds
         assert snapshot["decode_s"] > 0
@@ -116,7 +117,7 @@ class TestSingleSession:
                 )
                 writer.write(encode_frame(
                     FrameType.HELLO,
-                    Hello(set_name="inv", seed=1, set_size=0).serialize(),
+                    Hello(set_name="inv", seed=1).serialize(),
                 ))
                 await writer.drain()
                 await read_frame(reader)                  # WELCOME
@@ -183,7 +184,7 @@ class TestSingleSession:
                 )
                 writer.write(encode_frame(
                     FrameType.HELLO,
-                    Hello(set_name="s", seed=1, set_size=10).serialize(),
+                    Hello(set_name="s", seed=1).serialize(),
                 ))
                 await writer.drain()
                 await read_frame(reader)                  # WELCOME
@@ -324,6 +325,41 @@ class TestConcurrentSessions:
 
         asyncio.run(scenario())
 
+    def test_version_exposes_concurrent_races(self):
+        """The convergence signal: each racer sees the other's apply in
+        the final store version, and a quiet second pass leaves it put."""
+        base = set(range(1, 1200))
+        a1 = base | {700_001}
+        a2 = base | {800_001}
+
+        async def scenario():
+            store = SetStore()
+            store.create("shared", base)
+            async with ReconciliationServer(store) as server:
+                r1, r2 = await asyncio.gather(
+                    sync_with_server("127.0.0.1", server.port, a1,
+                                     set_name="shared", seed=1),
+                    sync_with_server("127.0.0.1", server.port, a2,
+                                     set_name="shared", seed=2),
+                )
+                # both snapshotted version 0; two mutating applies landed
+                assert r1.extra["snapshot_version"] == 0
+                assert r2.extra["snapshot_version"] == 0
+                assert max(
+                    r1.extra["store_version"], r2.extra["store_version"]
+                ) == 2
+                # second pass: nothing left to push, version holds still
+                r3 = await sync_with_server(
+                    "127.0.0.1", server.port, a1 | r1.difference,
+                    set_name="shared", seed=3,
+                )
+                assert r3.extra["applied"] == 0
+                assert r3.extra["snapshot_version"] == 2
+                assert r3.extra["store_version"] == 2
+                assert store.version("shared") == 2
+
+        asyncio.run(scenario())
+
     def test_per_session_fallback_still_converges(self):
         set_a, set_b, expected = _pair(seed=31)
 
@@ -341,3 +377,115 @@ class TestConcurrentSessions:
         server, result = asyncio.run(scenario())
         assert result.success and result.difference == expected
         assert server.coalescer.stats.coalesced_batches == 0
+
+
+class TestRepeatSync:
+    """Long-lived connections: many reconciliation passes, one handshake."""
+
+    def test_three_passes_reuse_one_connection(self):
+        base = set(range(1, 1000))
+
+        async def scenario():
+            store = SetStore()
+            store.create("inv", base)
+            async with ReconciliationServer(store) as server:
+                async with ClientConnection(
+                    "127.0.0.1", server.port, set_name="inv", seed=9
+                ) as conn:
+                    values = base | {500_001, 500_002}
+                    r1 = await conn.sync(values)
+                    assert r1.success
+                    assert r1.extra["pass_no"] == 1
+                    assert r1.extra["applied"] == 2
+                    # a third party pushes between our passes
+                    await sync_with_server(
+                        "127.0.0.1", server.port, base | {600_001},
+                        set_name="inv", seed=10,
+                    )
+                    r2 = await conn.sync(values)
+                    assert r2.success
+                    assert r2.extra["pass_no"] == 2
+                    assert r2.difference == frozenset({600_001})
+                    assert r2.extra["applied"] == 0
+                    # pass 3 from the merged view: fully converged
+                    r3 = await conn.sync(values | r2.difference)
+                    assert r3.extra["pass_no"] == 3
+                    assert r3.difference == frozenset()
+                    assert (
+                        r3.extra["snapshot_version"]
+                        == r3.extra["store_version"]
+                        == r2.extra["store_version"]
+                    )
+                    assert conn.passes == 3
+                await asyncio.sleep(0.05)   # let the server see the EOF
+                # the server saw ONE connection carrying three passes
+                assert server.metrics.sessions_completed == 2  # conn + helper
+                recent = server.metrics.snapshot()["recent_sessions"]
+                multi = [s for s in recent if s["syncs"] == 3]
+                assert len(multi) == 1
+            return store
+
+        store = asyncio.run(scenario())
+        assert store.get("inv") == base | {500_001, 500_002, 600_001}
+
+    def test_per_pass_byte_accounting_is_fresh(self):
+        base = set(range(1, 800))
+
+        async def scenario():
+            store = SetStore()
+            store.create("inv", base)
+            async with ReconciliationServer(store) as server:
+                async with ClientConnection(
+                    "127.0.0.1", server.port, set_name="inv", seed=3
+                ) as conn:
+                    r1 = await conn.sync(base | {91_001})
+                    r2 = await conn.sync(base | {91_001})
+                    # each result's channel covers only its own pass —
+                    # totals must not accumulate across passes
+                    assert r1.channel is not r2.channel
+                    assert r2.total_bytes < r1.total_bytes * 3
+                    for r in (r1, r2):
+                        assert r.channel.bytes_by_label()["estimator"] > 0
+
+        asyncio.run(scenario())
+
+    def test_two_repeat_clients_converge_same_set(self):
+        """The ISSUE's convergence drill, on persistent connections."""
+        base = set(range(1, 1500))
+        a1 = base | {100_001, 100_002}
+        a2 = base | {200_001}
+
+        async def scenario():
+            store = SetStore()
+            store.create("shared", base)
+            async with ReconciliationServer(store) as server:
+                async with ClientConnection(
+                    "127.0.0.1", server.port, set_name="shared", seed=1
+                ) as c1, ClientConnection(
+                    "127.0.0.1", server.port, set_name="shared", seed=2
+                ) as c2:
+                    view1, view2 = set(a1), set(a2)
+                    rounds = 0
+                    while True:
+                        rounds += 1
+                        r1, r2 = await asyncio.gather(
+                            c1.sync(view1), c2.sync(view2)
+                        )
+                        view1 |= r1.difference
+                        view2 |= r2.difference
+                        if (
+                            not r1.difference
+                            and not r2.difference
+                            and r1.extra["applied"] == 0
+                            and r2.extra["applied"] == 0
+                        ):
+                            break
+                        assert rounds < 5
+                    union = base | a1 | a2
+                    assert view1 == view2 == union
+                    assert store.get("shared") == union
+                    # exactly three passes: merge, pull the other's push,
+                    # verify nothing moved
+                    assert rounds == 3
+
+        asyncio.run(scenario())

@@ -19,6 +19,7 @@ from repro.service.wire import (
     ParamsAnnounce,
     Push,
     Result,
+    Retry,
     Welcome,
     decode_frames,
     encode_frame,
@@ -30,21 +31,24 @@ SAMPLES = {
     FrameType.HELLO: Hello(
         set_name="inventory/eu-west",
         seed=0xDEADBEEFCAFE,
-        set_size=123_456,
         n_sketches=128,
         family="fourwise",
         log_u=32,
         bidirectional=False,
     ),
-    FrameType.WELCOME: Welcome(set_size=99, created=True),
+    FrameType.WELCOME: Welcome(set_size=99, created=True, set_version=7),
     FrameType.PARAMS: ParamsAnnounce(
-        d_hat=37.25, n=127, t=13, g=4, delta=5, r=3, p0=0.99, log_u=32
+        d_hat=37.25, n=127, t=13, g=4, delta=5, r=3, p0=0.99, log_u=32,
+        set_size=99, set_version=7,
     ),
     FrameType.PUSH: Push(
         success=True,
         elements=np.array([1, 2, 2**32 - 1, 77], dtype=np.uint64),
     ),
-    FrameType.RESULT: Result(success=True, applied=3, store_size=1000),
+    FrameType.RESULT: Result(
+        success=True, applied=3, store_size=1000, store_version=8
+    ),
+    FrameType.RETRY: Retry(retry_after_s=0.25, message="shard 1 at capacity"),
     FrameType.ERROR: Error(message="no such set: 'x'"),
 }
 
@@ -72,7 +76,7 @@ class TestControlMessages:
 
     def test_hello_rejects_non_u64_seed(self):
         with pytest.raises(SerializationError):
-            Hello(set_name="x", seed=1 << 64, set_size=1).serialize()
+            Hello(set_name="x", seed=1 << 64).serialize()
 
     def test_params_announce_reconstructs_pbs_params(self):
         params = PBSParams.from_d(40)
