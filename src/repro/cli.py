@@ -2,16 +2,19 @@
 
 Each input file lists one element per line — either decimal or 0x-hex
 32-bit signatures (the format ``sha1sum | cut`` pipelines produce after
-truncation).  Three modes:
+truncation).  Four modes:
 
     python -m repro alice.txt bob.txt            # in-process reconcile
     python -m repro serve --set inv=bob.txt      # reconciliation server
     python -m repro sync alice.txt --set inv     # client against a server
+    python -m repro rebalance --data-dir d --shards 4   # resize a data dir
 
 The in-process mode reports the symmetric difference and the wire/round
 cost PBS would have paid, and can compare schemes (``--scheme ddigest``).
 ``serve``/``sync`` run the same protocol over real sockets, many sessions
-at a time (see :mod:`repro.service`).
+at a time (see :mod:`repro.service`).  ``rebalance`` migrates a stopped
+cluster data directory to a new shard count without losing a set
+(see :mod:`repro.cluster.rebalance`).
 """
 
 from __future__ import annotations
@@ -120,8 +123,9 @@ def build_serve_parser() -> argparse.ArgumentParser:
              "(repeatable; recovered sets not named here are kept)",
     )
     parser.add_argument(
-        "--shards", type=int, default=1,
-        help="shard workers behind the consistent-hash router (default 1)",
+        "--shards", type=int, default=None,
+        help="shard workers behind the consistent-hash router (default 1; "
+             "must be explicit with --rebalance)",
     )
     parser.add_argument(
         "--data-dir", type=Path, default=None, metavar="DIR",
@@ -144,6 +148,12 @@ def build_serve_parser() -> argparse.ArgumentParser:
              "not just process crash)",
     )
     parser.add_argument(
+        "--rebalance", action="store_true",
+        help="before serving, migrate --data-dir to --shards shards if "
+             "its committed layout differs (default: refuse to start on "
+             "a topology mismatch)",
+    )
+    parser.add_argument(
         "--window-ms", type=float, default=2.0,
         help="decode-coalescing window in milliseconds (default 2.0)",
     )
@@ -158,6 +168,43 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--metrics-every", type=float, default=0.0, metavar="SECONDS",
         help="periodically print a JSON metrics snapshot to stderr",
+    )
+    return parser
+
+
+def build_rebalance_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro rebalance",
+        description="Migrate a cluster data directory to a new shard "
+                    "count (offline; stop the server first). Replays "
+                    "every shard's snapshot+journal, re-journals moved "
+                    "sets into their new shard directories, and commits "
+                    "with an atomic manifest epoch bump — a crash at any "
+                    "point leaves the old layout recoverable and a rerun "
+                    "is idempotent.",
+    )
+    parser.add_argument(
+        "--data-dir", type=Path, required=True, metavar="DIR",
+        help="the journaled cluster directory to migrate",
+    )
+    parser.add_argument(
+        "--shards", type=int, required=True, metavar="N",
+        help="target shard count",
+    )
+    parser.add_argument(
+        "--vnodes", type=int, default=None, metavar="V",
+        help="virtual nodes per shard in the target layout (default: "
+             "128, matching what 'repro serve' runs — a layout committed "
+             "with custom vnodes is migrated back to a servable one)",
+    )
+    parser.add_argument(
+        "--no-fsync", action="store_true",
+        help="skip fsyncs while staging (faster; a machine crash during "
+             "the rebalance may then require rerunning it)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the full machine-readable move plan and outcome",
     )
     return parser
 
@@ -213,14 +260,58 @@ def build_sync_parser() -> argparse.ArgumentParser:
 
 # -- subcommands --------------------------------------------------------------
 
+def cmd_rebalance(argv: list[str]) -> int:
+    import json as _json
+
+    from repro.cluster import DEFAULT_VNODES, rebalance
+    from repro.errors import ReproError
+
+    args = build_rebalance_parser().parse_args(argv)
+    if args.shards < 1:
+        print(f"error: --shards must be >= 1, got {args.shards}",
+              file=sys.stderr)
+        return 2
+    if args.vnodes is not None and args.vnodes < 1:
+        print(f"error: --vnodes must be >= 1, got {args.vnodes}",
+              file=sys.stderr)
+        return 2
+    try:
+        # default to the layout `repro serve` will actually request —
+        # defaulting to the *committed* vnodes would make the mismatch
+        # error's suggested remediation a no-op loop for a directory
+        # committed with custom vnodes
+        vnodes = args.vnodes if args.vnodes is not None else DEFAULT_VNODES
+        result = rebalance(
+            args.data_dir, args.shards, vnodes=vnodes,
+            fsync=not args.no_fsync,
+        )
+    except (ReproError, OSError) as exc:
+        print(f"error: cannot rebalance: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(_json.dumps(result.to_dict(), indent=2))
+    else:
+        print(f"# {result.summary()}", file=sys.stderr)
+    return 0
+
+
 def cmd_serve(argv: list[str]) -> int:
-    from repro.cluster import AdmissionController, ClusterStore
+    from repro.cluster import AdmissionController, ClusterStore, rebalance
     from repro.errors import ReproError
     from repro.service import DecodeCoalescer, ReconciliationServer, SetStore
 
     args = build_serve_parser().parse_args(argv)
-    if args.shards < 1:
-        print(f"error: --shards must be >= 1, got {args.shards}",
+    if args.rebalance and args.shards is None:
+        # the default of 1 must never drive a migration: forgetting
+        # --shards would silently rewrite a sharded cluster down to one
+        # shard — the exact forgotten-flag mistake the manifest's
+        # fail-fast default exists to catch
+        print("error: --rebalance requires an explicit --shards",
+              file=sys.stderr)
+        return 2
+    shards = args.shards if args.shards is not None else 1
+    if shards < 1:
+        print(f"error: --shards must be >= 1, got {shards}",
               file=sys.stderr)
         return 2
     if args.max_sessions < 0 or args.max_decode_queue < 0:
@@ -234,6 +325,23 @@ def cmd_serve(argv: list[str]) -> int:
         # nothing at all
         print("error: --fsync requires --data-dir", file=sys.stderr)
         return 2
+    if args.rebalance:
+        if args.data_dir is None:
+            print("error: --rebalance requires --data-dir", file=sys.stderr)
+            return 2
+        # opt-in migration before binding: a mismatched layout becomes a
+        # journaled move instead of the default fail-fast refusal.  A
+        # directory that does not exist yet has nothing to migrate —
+        # startup initializes it below, so an always-pass---rebalance
+        # deploy script works on first boot too.
+        if args.data_dir.exists():
+            try:
+                result = rebalance(args.data_dir, shards)
+            except (ReproError, OSError) as exc:
+                print(f"error: cannot rebalance: {exc}", file=sys.stderr)
+                return 2
+            if result.changed:
+                print(f"# {result.summary()}", file=sys.stderr, flush=True)
     preload: list[tuple[str, set[int]]] = []
     for spec in args.sets:
         name, sep, file_spec = spec.partition("=")
@@ -244,16 +352,16 @@ def cmd_serve(argv: list[str]) -> int:
 
     # A cluster store (sharded and/or journaled) when asked for one; the
     # plain in-memory SetStore keeps the PR-2 single-tenant behavior.
-    cluster = args.shards > 1 or args.data_dir is not None
+    cluster = shards > 1 or args.data_dir is not None
     store = (
-        ClusterStore(shards=args.shards, data_dir=args.data_dir,
+        ClusterStore(shards=shards, data_dir=args.data_dir,
                      fsync=args.fsync)
         if cluster
         else SetStore()
     )
     admission = (
         AdmissionController(
-            shards=args.shards,
+            shards=shards,
             max_sessions=args.max_sessions,
             max_decode_queue=args.max_decode_queue,
         )
@@ -295,7 +403,7 @@ def cmd_serve(argv: list[str]) -> int:
             await server.start()
             print(
                 f"# serving on {server.host}:{server.port} "
-                f"shards={args.shards} "
+                f"shards={shards} "
                 f"data_dir={args.data_dir or '-'} "
                 f"sets={store.names() or '[]'}",
                 file=sys.stderr,
@@ -452,6 +560,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_serve(argv[1:])
     if argv and argv[0] == "sync":
         return cmd_sync(argv[1:])
+    if argv and argv[0] == "rebalance":
+        return cmd_rebalance(argv[1:])
 
     args = build_parser().parse_args(argv)
     if args.selftest:

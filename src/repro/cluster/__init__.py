@@ -3,12 +3,21 @@
 Pieces (bottom up):
 
 * :mod:`repro.cluster.ring` — consistent-hash ring mapping set names to
-  shards with minimal movement on resize;
+  shards with minimal movement on resize (``diff`` computes the move
+  plan between two layouts);
 * :mod:`repro.cluster.journal` — per-shard append-only apply-diff
-  journal with checksummed records and atomic snapshot compaction;
+  journal with checksummed records and atomic snapshot compaction
+  (epoch-qualified file names, offline replay helpers);
+* :mod:`repro.cluster.manifest` — the committed layout of a data
+  directory (shard count, vnodes, layout epoch); startup refuses a
+  topology mismatch instead of silently remapping sets;
+* :mod:`repro.cluster.rebalance` — offline journaled resize: replay,
+  stage moved sets under the next epoch, commit via one atomic manifest
+  replace (crash-safe, idempotent);
 * :mod:`repro.cluster.router` — :class:`ClusterStore`, the async sharded
   facade the server consults (one asyncio worker task per shard, each
-  owning a :class:`~repro.service.store.SetStore` and its journal);
+  owning a :class:`~repro.service.store.SetStore` and its journal), with
+  a live drain-and-swap :meth:`~ClusterStore.resize`;
 * :mod:`repro.cluster.admission` — per-shard session/decode caps that
   shed overload with the service's RETRY frame.
 """
@@ -24,22 +33,52 @@ from repro.cluster.journal import (
     ShardStorage,
     encode_create,
     encode_diff,
+    journal_filename,
     read_records,
+    replay_shard,
+    snapshot_filename,
+    write_snapshot,
+)
+from repro.cluster.manifest import (
+    MANIFEST_NAME,
+    ClusterManifest,
+    ManifestError,
+    TopologyMismatchError,
+    load_manifest,
+    write_manifest,
+)
+from repro.cluster.rebalance import (
+    RebalanceAborted,
+    RebalanceResult,
+    rebalance,
 )
 from repro.cluster.ring import DEFAULT_VNODES, HashRing
 from repro.cluster.router import ClusterStore
 
 __all__ = [
     "AdmissionController",
+    "ClusterManifest",
     "ClusterStore",
     "DEFAULT_RETRY_AFTER_S",
     "DEFAULT_VNODES",
     "HashRing",
     "JournalCorruptError",
+    "MANIFEST_NAME",
+    "ManifestError",
+    "RebalanceAborted",
+    "RebalanceResult",
     "Record",
     "ShardStorage",
+    "TopologyMismatchError",
     "encode_create",
     "encode_diff",
+    "journal_filename",
+    "load_manifest",
     "read_records",
+    "rebalance",
+    "replay_shard",
     "retry_delay",
+    "snapshot_filename",
+    "write_manifest",
+    "write_snapshot",
 ]

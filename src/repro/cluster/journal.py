@@ -24,6 +24,15 @@ Payloads::
 Elements are 8-byte big-endian unsigned.  A snapshot file is simply a
 sequence of CREATE records (one per named set, version included), so one
 codec serves both files and replaying a snapshot is replaying a journal.
+
+File names are *epoch-qualified*: layout epoch 0 (the pre-manifest
+layout) uses the bare ``snapshot.bin`` / ``journal.log`` names, epoch
+``e > 0`` uses ``snapshot-e{e}.bin`` / ``journal-e{e}.log``.  The
+cluster manifest (:mod:`repro.cluster.manifest`) records which epoch
+each shard directory is at; a rebalance stages a whole new epoch's
+files next to the old ones and commits by atomically replacing the
+manifest, so a crash mid-rebalance never damages the current layout
+(see :mod:`repro.cluster.rebalance`).
 """
 
 from __future__ import annotations
@@ -56,6 +65,16 @@ COMPACT_FACTOR = 4
 
 class JournalCorruptError(ReproError):
     """A snapshot file failed to parse (journals tolerate torn tails)."""
+
+
+def snapshot_filename(epoch: int = 0) -> str:
+    """The snapshot file name for a layout epoch (0 = legacy bare name)."""
+    return "snapshot.bin" if epoch == 0 else f"snapshot-e{epoch}.bin"
+
+
+def journal_filename(epoch: int = 0) -> str:
+    """The journal file name for a layout epoch (0 = legacy bare name)."""
+    return "journal.log" if epoch == 0 else f"journal-e{epoch}.log"
 
 
 @dataclass
@@ -201,11 +220,17 @@ class ShardStorage:
         fsync: bool = False,
         compact_min_bytes: int = COMPACT_MIN_BYTES,
         compact_factor: int = COMPACT_FACTOR,
+        epoch: int = 0,
+        create: bool = True,
     ) -> None:
+        if epoch < 0:
+            raise ValueError(f"epoch must be >= 0, got {epoch}")
         self.directory = Path(directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
-        self.snapshot_path = self.directory / "snapshot.bin"
-        self.journal_path = self.directory / "journal.log"
+        if create:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self.epoch = epoch
+        self.snapshot_path = self.directory / snapshot_filename(epoch)
+        self.journal_path = self.directory / journal_filename(epoch)
         self.fsync = fsync
         self.compact_min_bytes = compact_min_bytes
         self.compact_factor = compact_factor
@@ -218,6 +243,7 @@ class ShardStorage:
         self.recovered_sets = 0
         self.recovered_records = 0
         self.skipped_records = 0
+        self.truncated_bytes = 0
         self.tail_error = ""
 
     # -- recovery --------------------------------------------------------------
@@ -225,7 +251,21 @@ class ShardStorage:
         """Load snapshot-then-journal into ``store`` and open for appends.
 
         The journal file is truncated back to its last complete record so
-        post-recovery appends never follow garbage.
+        post-recovery appends never follow garbage.  A snapshot with a
+        missing or zero-length journal (an operator may legitimately
+        delete a journal to drop its tail) recovers the snapshot state.
+        """
+        self.replay(store, truncate_tail=True)
+        self._journal_file = open(self.journal_path, "ab")
+
+    def replay(self, store: SetStore, truncate_tail: bool = False) -> None:
+        """Load snapshot-then-journal into ``store`` without opening for
+        appends — the read-only half of :meth:`recover`, reused by the
+        offline rebalance (:func:`replay_shard`).
+
+        Unless ``truncate_tail`` is set the files are not modified: a torn
+        tail is merely skipped (and counted in :attr:`truncated_bytes`),
+        which keeps offline planning passes side-effect free.
         """
         if self.snapshot_path.exists():
             data = self.snapshot_path.read_bytes()
@@ -264,10 +304,11 @@ class ShardStorage:
                         self.skipped_records += 1
             self.recovered_records = len(records)
             if offset < len(data):
-                with open(self.journal_path, "r+b") as fh:
-                    fh.truncate(offset)
+                self.truncated_bytes = len(data) - offset
+                if truncate_tail:
+                    with open(self.journal_path, "r+b") as fh:
+                        fh.truncate(offset)
             self._journal_bytes = offset
-        self._journal_file = open(self.journal_path, "ab")
 
     # -- writes ----------------------------------------------------------------
     def append(self, record: bytes) -> None:
@@ -295,25 +336,11 @@ class ShardStorage:
         crash at any point leaves a recoverable pair of files.
         """
         assert self._journal_file is not None, "recover() before compact()"
-        blob = b"".join(
-            encode_create(name, values, version=version)
-            for name, values, version in entries
+        self._snapshot_bytes = write_snapshot(
+            self.directory, entries, epoch=self.epoch, dir_fsync=self.fsync
         )
-        tmp_path = self.snapshot_path.with_suffix(".tmp")
-        with open(tmp_path, "wb") as fh:
-            fh.write(blob)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp_path, self.snapshot_path)
-        if self.fsync:
-            dir_fd = os.open(self.directory, os.O_RDONLY)
-            try:
-                os.fsync(dir_fd)
-            finally:
-                os.close(dir_fd)
         self._journal_file.truncate(0)
         self._journal_file.flush()
-        self._snapshot_bytes = len(blob)
         self._journal_bytes = 0
         self.compactions += 1
 
@@ -336,6 +363,7 @@ class ShardStorage:
 
     def stats(self) -> dict:
         return {
+            "epoch": self.epoch,
             "journal_bytes": self._journal_bytes,
             "snapshot_bytes": self._snapshot_bytes,
             "records_appended": self.records_appended,
@@ -343,5 +371,60 @@ class ShardStorage:
             "recovered_sets": self.recovered_sets,
             "recovered_records": self.recovered_records,
             "skipped_records": self.skipped_records,
+            "truncated_bytes": self.truncated_bytes,
             "tail_error": self.tail_error,
         }
+
+
+# -- offline helpers (rebalance / tooling) -------------------------------------
+
+def write_snapshot(
+    directory: str | Path, entries, epoch: int = 0, dir_fsync: bool = True
+) -> int:
+    """Atomically install ``(name, values, version)`` entries as the
+    directory's snapshot for ``epoch``; returns the snapshot's byte size.
+
+    The file itself is always fsync'd before the rename (a half-written
+    snapshot must never become current); ``dir_fsync`` additionally
+    fsyncs the directory entry, which the offline rebalance wants and a
+    crash-only compaction may skip.  Shared by :meth:`ShardStorage.compact`
+    and the rebalance staging pass.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / snapshot_filename(epoch)
+    blob = b"".join(
+        encode_create(name, values, version=version)
+        for name, values, version in entries
+    )
+    tmp_path = path.with_name(path.name + ".tmp")
+    with open(tmp_path, "wb") as fh:
+        fh.write(blob)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp_path, path)
+    if dir_fsync:
+        dir_fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    return len(blob)
+
+
+def replay_shard(
+    directory: str | Path, epoch: int = 0
+) -> tuple[SetStore, dict]:
+    """Read-only offline replay of one shard directory at one epoch.
+
+    Returns ``(store, stats)`` with the shard's recovered state and the
+    recovery counters (``recovered_sets``, ``tail_error``, ...).  Truly
+    read-only: nothing is modified or created — torn tails are skipped,
+    not truncated, and a missing directory is an empty shard, not a
+    mkdir — so a rebalance planning pass leaves the directory tree
+    byte-identical.
+    """
+    storage = ShardStorage(directory, epoch=epoch, create=False)
+    store = SetStore()
+    storage.replay(store)
+    return store, storage.stats()

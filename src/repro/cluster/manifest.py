@@ -1,0 +1,231 @@
+"""The cluster manifest: which layout a data directory is committed to.
+
+PR 3's cluster layer had a silent data-loss hole: the consistent-hash
+ring re-derives placement from ``--shards`` alone, so restarting a
+journaled data directory with a different shard count silently remapped
+~1/(N+1) of the set names to shards whose journals had never heard of
+them — those sets recovered *empty* while their bytes sat stranded in
+the old shard directories.  The manifest closes the hole by making the
+layout explicit and durable: every ``--data-dir`` carries a
+``manifest.json`` recording the shard count, the vnode count, and a
+monotonically increasing **layout epoch**, plus the epoch each shard
+directory's files were last rewritten at (shard files are epoch-named,
+see :func:`repro.cluster.journal.snapshot_filename`).
+
+:class:`ClusterStore.start` compares the manifest against the requested
+topology and **refuses to start on a mismatch** with
+:class:`TopologyMismatchError` — the fix is ``repro rebalance`` (or
+``repro serve --rebalance``), which migrates the journals and commits
+the new topology by atomically replacing this file
+(:mod:`repro.cluster.rebalance`).  The manifest replace is the single
+commit point of a rebalance: written to a temp file, fsync'd, then
+``os.replace``'d, so it is always either the old layout or the new one.
+
+Pre-manifest data directories (PR 3) are adopted in place: if the
+``shard-NN`` directories on disk match the requested shard count, a
+fresh epoch-0 manifest is written; if they do not, startup refuses just
+as it would on a manifest mismatch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ReproError
+
+MANIFEST_NAME = "manifest.json"
+
+#: Manifest schema version (bump on incompatible layout changes).
+MANIFEST_FORMAT = 1
+
+_SHARD_DIR_RE = re.compile(r"^shard-(\d+)$")
+
+
+class ManifestError(ReproError):
+    """The manifest file is unreadable or structurally invalid."""
+
+
+class TopologyMismatchError(ManifestError):
+    """The requested topology does not match the committed layout.
+
+    Raised instead of silently remapping set names to shards that never
+    journaled them (the PR-3 data-loss bug this module exists to fix).
+    """
+
+
+def shard_dirname(shard: int) -> str:
+    """The on-disk directory name for one shard."""
+    return f"shard-{shard:02d}"
+
+
+@dataclass
+class ClusterManifest:
+    """The committed layout of one cluster data directory."""
+
+    shards: int
+    vnodes: int
+    epoch: int = 0
+    #: layout epoch each shard directory's files were last rewritten at
+    #: (selects the epoch-qualified file names inside ``shard-NN/``)
+    shard_epochs: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ManifestError(f"shards must be >= 1, got {self.shards}")
+        if self.vnodes < 1:
+            raise ManifestError(f"vnodes must be >= 1, got {self.vnodes}")
+        if self.epoch < 0:
+            raise ManifestError(f"epoch must be >= 0, got {self.epoch}")
+        if not self.shard_epochs:
+            self.shard_epochs = [0] * self.shards
+        if len(self.shard_epochs) != self.shards:
+            raise ManifestError(
+                f"shard_epochs has {len(self.shard_epochs)} entries "
+                f"for {self.shards} shards"
+            )
+
+    def shard_epoch(self, shard: int) -> int:
+        return self.shard_epochs[shard]
+
+    def to_dict(self) -> dict:
+        return {
+            "format": MANIFEST_FORMAT,
+            "shards": self.shards,
+            "vnodes": self.vnodes,
+            "epoch": self.epoch,
+            "shard_epochs": list(self.shard_epochs),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, source: str = "manifest") -> "ClusterManifest":
+        if not isinstance(data, dict):
+            raise ManifestError(f"{source}: not a JSON object")
+        if data.get("format") != MANIFEST_FORMAT:
+            raise ManifestError(
+                f"{source}: unsupported manifest format {data.get('format')!r}"
+            )
+        try:
+            return cls(
+                shards=int(data["shards"]),
+                vnodes=int(data["vnodes"]),
+                epoch=int(data["epoch"]),
+                shard_epochs=[int(e) for e in data["shard_epochs"]],
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ManifestError(f"{source}: malformed manifest: {exc}") from None
+
+
+def manifest_path(data_dir: str | Path) -> Path:
+    return Path(data_dir) / MANIFEST_NAME
+
+
+def load_manifest(data_dir: str | Path) -> ClusterManifest | None:
+    """The committed manifest, or ``None`` for a pre-manifest directory."""
+    path = manifest_path(data_dir)
+    if not path.exists():
+        return None
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ManifestError(f"{path}: unreadable manifest: {exc}") from None
+    return ClusterManifest.from_dict(data, source=str(path))
+
+
+def write_manifest(
+    data_dir: str | Path, manifest: ClusterManifest, fsync: bool = True
+) -> None:
+    """Atomically install ``manifest`` as the directory's committed layout.
+
+    Write-temp / fsync / ``os.replace`` (+ directory fsync): readers see
+    either the previous manifest or this one, never a torn file.  This is
+    the *only* commit point a rebalance has.
+    """
+    data_dir = Path(data_dir)
+    data_dir.mkdir(parents=True, exist_ok=True)
+    path = manifest_path(data_dir)
+    tmp_path = path.with_name(MANIFEST_NAME + ".tmp")
+    with open(tmp_path, "w", encoding="utf-8") as fh:
+        json.dump(manifest.to_dict(), fh, indent=2)
+        fh.write("\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp_path, path)
+    if fsync:
+        dir_fd = os.open(data_dir, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+
+
+def discover_shard_dirs(data_dir: str | Path) -> list[int]:
+    """Shard ids with a ``shard-NN`` directory on disk, sorted."""
+    data_dir = Path(data_dir)
+    if not data_dir.exists():
+        return []
+    ids = []
+    for entry in data_dir.iterdir():
+        match = _SHARD_DIR_RE.match(entry.name)
+        if match and entry.is_dir():
+            ids.append(int(match.group(1)))
+    return sorted(ids)
+
+
+def infer_legacy_manifest(
+    data_dir: str | Path, vnodes: int
+) -> ClusterManifest | None:
+    """A synthetic epoch-0 manifest for a pre-manifest (PR 3) directory.
+
+    The shard count is whatever ``shard-NN`` directories exist; the vnode
+    count cannot be recovered from disk, so the caller's is trusted (PR 3
+    deployments used the default).  ``None`` for an empty directory.
+    """
+    ids = discover_shard_dirs(data_dir)
+    if not ids:
+        return None
+    if ids != list(range(len(ids))):
+        raise ManifestError(
+            f"{data_dir}: non-contiguous shard directories {ids} — "
+            f"cannot infer the legacy topology"
+        )
+    return ClusterManifest(shards=len(ids), vnodes=vnodes, epoch=0)
+
+
+def load_or_adopt(
+    data_dir: str | Path, shards: int, vnodes: int
+) -> ClusterManifest:
+    """The startup check: the committed layout, verified against the ask.
+
+    * manifest present and matching — return it;
+    * manifest present and differing — :class:`TopologyMismatchError`
+      (run ``repro rebalance`` first, never silently remap);
+    * no manifest, pre-manifest shard directories matching ``shards`` —
+      adopt: write and return a fresh epoch-0 manifest;
+    * no manifest, shard directories differing — refuse like a mismatch;
+    * empty directory — initialize it with a fresh epoch-0 manifest.
+    """
+    data_dir = Path(data_dir)
+    manifest = load_manifest(data_dir)
+    if manifest is None:
+        manifest = infer_legacy_manifest(data_dir, vnodes=vnodes)
+        if manifest is not None and manifest.shards == shards:
+            write_manifest(data_dir, manifest)
+            return manifest
+    if manifest is None:
+        manifest = ClusterManifest(shards=shards, vnodes=vnodes, epoch=0)
+        write_manifest(data_dir, manifest)
+        return manifest
+    if manifest.shards != shards or manifest.vnodes != vnodes:
+        raise TopologyMismatchError(
+            f"{data_dir} is committed to {manifest.shards} shards / "
+            f"{manifest.vnodes} vnodes (layout epoch {manifest.epoch}) but "
+            f"{shards} shards / {vnodes} vnodes were requested; starting "
+            f"anyway would recover remapped sets empty.  Run "
+            f"'repro rebalance --data-dir {data_dir} --shards {shards}' "
+            f"(or 'repro serve --rebalance') to migrate the journals first."
+        )
+    return manifest

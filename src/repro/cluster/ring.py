@@ -109,6 +109,21 @@ class HashRing:
         """Placement for a batch of names (testing / rebalance planning)."""
         return {name: self.lookup(name) for name in names}
 
+    def diff(self, other: "HashRing", names) -> dict[str, tuple[int, int]]:
+        """The move plan from this ring's layout to ``other``'s.
+
+        Maps each of ``names`` whose owner changes to ``(old_shard,
+        new_shard)``; names that stay put are omitted.  This is what a
+        rebalance (:mod:`repro.cluster.rebalance`) must physically move —
+        for a well-balanced ring, ~``1/(N+1)`` of the names on grow.
+        """
+        moves: dict[str, tuple[int, int]] = {}
+        for name in names:
+            old, new = self.lookup(name), other.lookup(name)
+            if old != new:
+                moves[name] = (old, new)
+        return moves
+
     def load(self, names) -> Counter:
         """How many of ``names`` land on each member shard."""
         counts: Counter = Counter({shard: 0 for shard in self._members})

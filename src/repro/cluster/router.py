@@ -35,6 +35,8 @@ from pathlib import Path
 import numpy as np
 
 from repro.cluster.journal import ShardStorage, encode_create, encode_diff
+from repro.cluster.manifest import ClusterManifest, load_or_adopt, shard_dirname
+from repro.cluster.rebalance import RebalanceResult, rebalance
 from repro.cluster.ring import DEFAULT_VNODES, HashRing
 from repro.errors import ReproError
 from repro.service.store import SetStore, Snapshot
@@ -81,35 +83,54 @@ class ClusterStore:
             raise ValueError(f"shards must be >= 1, got {shards}")
         self.ring = HashRing(range(shards), vnodes=vnodes)
         self.data_dir = Path(data_dir) if data_dir is not None else None
-        storage_kwargs = {"fsync": fsync}
+        self._storage_kwargs = {"fsync": fsync}
         if compact_min_bytes is not None:
-            storage_kwargs["compact_min_bytes"] = compact_min_bytes
+            self._storage_kwargs["compact_min_bytes"] = compact_min_bytes
         if compact_factor is not None:
-            storage_kwargs["compact_factor"] = compact_factor
+            self._storage_kwargs["compact_factor"] = compact_factor
         self._shards = [
-            _Shard(
-                shard_id=i,
-                store=SetStore(),
-                storage=(
-                    ShardStorage(self.data_dir / f"shard-{i:02d}",
-                                 **storage_kwargs)
-                    if self.data_dir is not None
-                    else None
-                ),
-            )
+            _Shard(shard_id=i, store=SetStore(), storage=None)
             for i in range(shards)
         ]
+        #: the committed layout (set by :meth:`start` when journaling)
+        self.manifest: ClusterManifest | None = None
         self._started = False
         self._closing = False
+        self._close_done: asyncio.Event | None = None
+        self._resize_gate: asyncio.Event | None = None
+        # -- resize counters (cluster_stats / metrics) --
+        self.resizes = 0
+        self.sets_moved = 0
 
     # -- lifecycle -------------------------------------------------------------
     async def start(self) -> None:
-        """Recover every shard from disk and start the worker tasks."""
+        """Recover every shard from disk and start the worker tasks.
+
+        With a data dir, the directory's manifest is checked first: a
+        shard/vnode count differing from the committed layout raises
+        :class:`~repro.cluster.manifest.TopologyMismatchError` instead of
+        silently remapping set names to shards that never journaled them
+        (run ``repro rebalance`` — or :meth:`resize` — to migrate).
+        Shard storage opens at each shard's committed layout epoch.
+        """
         if self._started:
             return
+        if self.data_dir is not None:
+            self.manifest = load_or_adopt(
+                self.data_dir, len(self._shards), self.ring.vnodes
+            )
         try:
             for shard in self._shards:
-                if shard.storage is not None:
+                # a fresh mailbox every start: a drained queue from a
+                # previous close() may still hold stop sentinels
+                shard.queue = asyncio.Queue()
+                if self.data_dir is not None:
+                    shard.store = SetStore()   # replay defines the state
+                    shard.storage = ShardStorage(
+                        self.data_dir / shard_dirname(shard.shard_id),
+                        epoch=self.manifest.shard_epoch(shard.shard_id),
+                        **self._storage_kwargs,
+                    )
                     shard.storage.recover(shard.store)
                 shard.task = asyncio.create_task(
                     self._worker(shard), name=f"shard-{shard.shard_id}"
@@ -128,29 +149,157 @@ class ClusterStore:
                 shard.task = None
                 if shard.storage is not None:
                     shard.storage.close()
+                    shard.storage = None
             raise
         self._started = True
         self._closing = False
+        self._close_done = None
 
     async def close(self) -> None:
         """Drain every worker, flush and close the journals.
 
         Mutations already queued are applied; anything submitted after
         close() begins is rejected immediately (never silently stranded
-        on an unserviced queue).
+        on an unserviced queue).  Idempotent and safe in any state: a
+        second (even concurrent) close awaits the first instead of
+        double-draining queues or double-closing journal handles, a
+        close before :meth:`start` is a no-op, and a close racing a
+        :meth:`resize` waits the resize out and then closes the swapped
+        store (close never returns while workers may be restarted).
         """
+        while self._resize_gate is not None:
+            await self._resize_gate.wait()
+        await self._drain()
+
+    async def _drain(self) -> None:
+        """The close body, minus the resize fence (resize drains through
+        here itself — fencing would deadlock on its own gate)."""
+        if self._close_done is not None:
+            await self._close_done.wait()
+            return
         if not self._started:
             return
+        self._close_done = asyncio.Event()
         self._closing = True
-        for shard in self._shards:
-            await shard.queue.put(None)
-        for shard in self._shards:
-            if shard.task is not None:
-                await shard.task
-                shard.task = None
-            if shard.storage is not None:
-                shard.storage.close()
-        self._started = False
+        try:
+            for shard in self._shards:
+                await shard.queue.put(None)
+            for shard in self._shards:
+                if shard.task is not None:
+                    await shard.task
+                    shard.task = None
+                if shard.storage is not None:
+                    # keep the closed storage around: its stats stay
+                    # readable after close; start() replaces it anyway
+                    shard.storage.close()
+            self._started = False
+        finally:
+            self._close_done.set()
+
+    async def resize(self, shards: int, admission=None) -> dict:
+        """Live-resize to ``shards`` shards without losing a byte.
+
+        Drains every shard worker (queued mutations apply and journal
+        first), runs the offline move plan — :func:`rebalance` for a
+        journaled store (in an executor, so reads and the event loop keep
+        serving while it replays and stages), an in-memory redistribution
+        otherwise — then swaps the ring and restarts the workers under
+        the new layout.  Sessions keep working across the swap: reads
+        serve the pre-resize view until the switch, mutations submitted
+        during the resize wait behind a gate and then route through the
+        new ring, and sessions holding pre-resize snapshots re-route
+        their later ``apply_diff`` calls the same way.  If the move plan
+        fails, the store reopens under the old layout (the rebalance
+        commit is atomic, so disk always holds exactly one valid epoch)
+        and the error propagates.
+
+        ``admission`` (the server's per-shard
+        :class:`~repro.cluster.admission.AdmissionController`, if any) is
+        re-shaped to the new shard count after the swap, so caps apply to
+        the new topology immediately.  Returns a summary dict.
+        """
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if not self._started:
+            raise ReproError("ClusterStore.start() before resize()")
+        if self._closing:
+            # a close() is already draining: restarting workers behind
+            # its back would hand the caller a "closed" store that is
+            # secretly alive (leaked tasks, reopened journal handles)
+            raise ReproError("ClusterStore is closing")
+        if self._resize_gate is not None:
+            raise ReproError("a resize is already in progress")
+        old_shards = self.n_shards
+        old_ring = self.ring
+        old_shard_list = self._shards
+        if shards == old_shards:
+            return {
+                "old_shards": old_shards, "new_shards": shards,
+                "moved": 0, "changed": False,
+            }
+        self._resize_gate = asyncio.Event()
+        try:
+            await self._drain()
+            result: RebalanceResult | None = None
+            entries: list[tuple] | None = None
+            if self.data_dir is not None:
+                fsync = self._storage_kwargs.get("fsync", False)
+                result = await asyncio.get_running_loop().run_in_executor(
+                    None,
+                    lambda: rebalance(
+                        self.data_dir, shards, vnodes=old_ring.vnodes,
+                        fsync=fsync,
+                    ),
+                )
+                moved = result.moved_count
+            else:
+                entries = [
+                    (name, values, version)
+                    for shard in self._shards
+                    for name, values, version in shard.store.items()
+                ]
+            self.ring = HashRing(range(shards), vnodes=old_ring.vnodes)
+            self._shards = [
+                _Shard(shard_id=i, store=SetStore(), storage=None)
+                for i in range(shards)
+            ]
+            await self.start()
+            if entries is not None:
+                moved = 0
+                for name, values, version in entries:
+                    target = self.ring.lookup(name)
+                    if old_ring.lookup(name) != target:
+                        moved += 1
+                    self._shards[target].store.create(
+                        name, values, version=version
+                    )
+        except BaseException:
+            # best-effort rollback: reopen under the old layout (a
+            # pre-commit failure left the old manifest current; after a
+            # committed rebalance this restart refuses the stale
+            # topology, and the store stays closed for the caller)
+            self.ring = old_ring
+            self._shards = old_shard_list
+            try:
+                await self.start()
+            except Exception:
+                pass
+            raise
+        finally:
+            gate, self._resize_gate = self._resize_gate, None
+            gate.set()
+        if admission is not None:
+            admission.resize(shards)
+        self.resizes += 1
+        self.sets_moved += moved
+        return {
+            "old_shards": old_shards,
+            "new_shards": shards,
+            "moved": moved,
+            "changed": True,
+            "epoch": self.manifest.epoch if self.manifest is not None else None,
+            "rebalance": result.to_dict() if result is not None else None,
+        }
 
     async def __aenter__(self) -> "ClusterStore":
         await self.start()
@@ -181,8 +330,19 @@ class ClusterStore:
             return values.astype(np.uint64, copy=True)
         return np.fromiter((int(v) for v in values), dtype=np.uint64)
 
+    async def _resize_barrier(self) -> None:
+        """Park mutations while a :meth:`resize` swaps the layout.
+
+        No suspension points separate the wait's resolution from the
+        caller's ``_submit`` (single event loop), so a released waiter
+        always routes through the fully-swapped ring.
+        """
+        while self._resize_gate is not None:
+            await self._resize_gate.wait()
+
     async def apply_diff(self, name: str, add=(), remove=()) -> int:
         """Merge a completed session's diff; durable before it resolves."""
+        await self._resize_barrier()
         return await self._submit(
             self._shard(name), "apply", name,
             self._as_elements(add), self._as_elements(remove),
@@ -190,18 +350,21 @@ class ClusterStore:
 
     async def create(self, name: str, values=()) -> None:
         """Create (or replace) a named set, journaled as full state."""
+        await self._resize_barrier()
         await self._submit(
             self._shard(name), "create", name, self._as_elements(values)
         )
 
     async def flush(self) -> None:
         """Barrier: resolves after every queued mutation has been applied."""
+        await self._resize_barrier()
         await asyncio.gather(
             *[self._submit(shard, "sync") for shard in self._shards]
         )
 
     async def snapshot(self, name: str, create_missing: bool = False) -> Snapshot:
         """Freeze one set for a session (creating it, durably, if asked)."""
+        await self._resize_barrier()
         shard = self._shard(name)
         if name not in shard.store:
             if not create_missing:
@@ -325,6 +488,11 @@ class ClusterStore:
         """Shard-level summary for metrics: load, queues, journal health."""
         return {
             "shards": self.n_shards,
+            "layout": (
+                self.manifest.to_dict() if self.manifest is not None else None
+            ),
+            "resizes": self.resizes,
+            "sets_moved": self.sets_moved,
             "per_shard": [
                 {
                     "shard": shard.shard_id,

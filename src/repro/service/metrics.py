@@ -89,9 +89,32 @@ class ServiceMetrics:
         self.encode_s = 0.0
         self.decode_s = 0.0
         self.applied_total = 0
+        self.sets_moved = 0
+        self.resizes: list[dict] = []
         self._coalescer_stats = coalescer_stats
         self._recent: deque[dict] = deque(maxlen=SESSION_HISTORY)
         self._next_id = 0
+
+    # -- topology events -------------------------------------------------------
+    def record_resize(self, summary: dict) -> None:
+        """Fold one :meth:`ReconciliationServer.resize_store` outcome in.
+
+        ``summary`` is the :meth:`ClusterStore.resize` return value.  The
+        per-event history is kept (resizes are rare operator actions) but
+        bounded: the embedded rebalance detail's per-set ``moved`` name
+        map can be huge and would be re-serialized into every metrics
+        heartbeat, so only its scalar fields are retained.
+        """
+        summary = dict(summary)
+        detail = summary.get("rebalance")
+        if isinstance(detail, dict):
+            summary["rebalance"] = {
+                key: value
+                for key, value in detail.items()
+                if key != "moved"
+            }
+        self.resizes.append(summary)
+        self.sets_moved += int(summary.get("moved", 0) or 0)
 
     # -- session lifecycle -----------------------------------------------------
     def open_session(self, peer: str = "") -> SessionMetrics:
@@ -185,6 +208,9 @@ class ServiceMetrics:
             "applied_total": self.applied_total,
             "recent_sessions": list(self._recent),
         }
+        if self.resizes:
+            out["resizes"] = list(self.resizes)
+            out["sets_moved"] = self.sets_moved
         if self._coalescer_stats is not None:
             out["coalescer"] = self._coalescer_stats.to_dict()
         if store_stats is not None:

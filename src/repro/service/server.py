@@ -148,6 +148,27 @@ class ReconciliationServer:
     async def __aexit__(self, *exc_info) -> None:
         await self.close()
 
+    async def resize_store(self, shards: int) -> dict:
+        """Live-resize a cluster store behind this server.
+
+        Delegates to :meth:`~repro.cluster.router.ClusterStore.resize`
+        (drain, journaled move plan, ring swap) and hands it the
+        admission controller so per-shard caps re-shape atomically under
+        the same drain.  Sessions in flight keep working — their shard
+        ids only label metrics and admission slots, both of which
+        tolerate ids from the old topology.  Recorded in the metrics
+        snapshot (``resizes``).
+        """
+        resize = getattr(self.store, "resize", None)
+        if resize is None:
+            raise ReproError(
+                "store does not support resize() — serve with --shards/"
+                "--data-dir to get a ClusterStore"
+            )
+        summary = await resize(shards, admission=self.admission)
+        self.metrics.record_resize(summary)
+        return summary
+
     # -- per-connection protocol ----------------------------------------------
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -229,14 +250,20 @@ class ReconciliationServer:
                 await self._send_retry(stream, shard, retry_after)
                 return
         # the slot is released while a multi-pass connection idles between
-        # passes (see _admitted_session), so track whether we hold it
-        holding = [self.admission is not None]
+        # passes (see _admitted_session), so track whether we hold it —
+        # [held, incarnation]: the incarnation token pairs the eventual
+        # release with this admission even if resizes reshape the shard
+        # ids in between
+        holding = [
+            self.admission is not None,
+            self.admission.incarnation(shard) if self.admission else 0,
+        ]
         try:
             await self._admitted_session(stream, session, hello, shard,
                                          holding)
         finally:
             if holding[0] and self.admission is not None:
-                self.admission.release(shard)
+                self.admission.release(shard, holding[1])
 
     async def _admitted_session(
         self,
@@ -244,7 +271,7 @@ class ReconciliationServer:
         session: SessionMetrics,
         hello: Hello,
         shard: int,
-        holding: list[bool],
+        holding: list,
     ) -> None:
         existed = hello.set_name in self.store
         snapshot: Snapshot = await self._maybe_await(
@@ -281,7 +308,7 @@ class ReconciliationServer:
                 # admission slot back while waiting for the next pass and
                 # re-admit (or shed with RETRY) when one actually opens
                 if self.admission is not None and holding[0]:
-                    self.admission.release(shard)
+                    self.admission.release(shard, holding[1])
                     holding[0] = False
                 try:
                     _, payload = await stream.recv(expect=FrameType.ESTIMATE)
@@ -298,6 +325,7 @@ class ReconciliationServer:
                         await self._send_retry(stream, shard, retry_after)
                         return
                     holding[0] = True
+                    holding[1] = self.admission.incarnation(shard)
                 snapshot = await self._maybe_await(
                     self.store.snapshot(
                         hello.set_name, create_missing=self.create_missing

@@ -165,6 +165,112 @@ class TestShardStorage:
         storage.compact(store.items())
         assert not storage.should_compact()
 
+    def test_snapshot_with_missing_journal_recovers_snapshot_state(
+        self, tmp_path
+    ):
+        """An operator may delete a journal (e.g. to drop a bad tail);
+        recovery must fall back to the snapshot, not raise or start
+        empty."""
+        storage = ShardStorage(tmp_path / "shard")
+        store = SetStore()
+        storage.recover(store)
+        store.create("inv", {1, 2, 3})
+        storage.append(encode_create("inv", {1, 2, 3}, version=4))
+        storage.compact(store.items())
+        storage.close()
+        (tmp_path / "shard" / "journal.log").unlink()
+
+        recovered = SetStore()
+        storage2 = ShardStorage(tmp_path / "shard")
+        storage2.recover(recovered)
+        assert recovered.get("inv") == {1, 2, 3}
+        assert storage2.recovered_sets == 1
+        assert storage2.recovered_records == 0
+        # and the shard is immediately writable again
+        storage2.append(encode_diff("inv", add=[9]))
+        storage2.close()
+        final = SetStore()
+        storage3 = ShardStorage(tmp_path / "shard")
+        storage3.recover(final)
+        storage3.close()
+        assert final.get("inv") == {1, 2, 3, 9}
+
+    def test_snapshot_with_zero_length_journal_recovers(self, tmp_path):
+        storage = ShardStorage(tmp_path / "shard")
+        store = SetStore()
+        storage.recover(store)
+        store.create("s", {5, 6})
+        storage.append(encode_create("s", {5, 6}))
+        storage.compact(store.items())
+        storage.close()
+        (tmp_path / "shard" / "journal.log").write_bytes(b"")
+
+        recovered = SetStore()
+        storage2 = ShardStorage(tmp_path / "shard")
+        storage2.recover(recovered)
+        storage2.close()
+        assert recovered.get("s") == {5, 6}
+        assert storage2.tail_error == ""
+        assert storage2.truncated_bytes == 0
+
+    def test_truncated_bytes_counted_in_stats(self, tmp_path):
+        storage = ShardStorage(tmp_path / "shard")
+        store = SetStore()
+        storage.recover(store)
+        storage.append(encode_create("s", {1}))
+        storage.close()
+        torn = encode_diff("s", add=[2, 3])
+        journal = tmp_path / "shard" / "journal.log"
+        journal.write_bytes(journal.read_bytes() + torn[:7])
+
+        storage2 = ShardStorage(tmp_path / "shard")
+        storage2.recover(SetStore())
+        storage2.close()
+        assert storage2.stats()["truncated_bytes"] == 7
+        assert storage2.stats()["tail_error"] != ""
+
+    def test_epoch_qualified_filenames(self, tmp_path):
+        from repro.cluster.journal import journal_filename, snapshot_filename
+
+        assert snapshot_filename(0) == "snapshot.bin"
+        assert journal_filename(0) == "journal.log"
+        storage = ShardStorage(tmp_path / "shard", epoch=3)
+        store = SetStore()
+        storage.recover(store)
+        store.create("s", {1})
+        storage.append(encode_create("s", {1}))
+        storage.compact(store.items())
+        storage.close()
+        assert (tmp_path / "shard" / "snapshot-e3.bin").exists()
+        assert (tmp_path / "shard" / "journal-e3.log").exists()
+        assert not (tmp_path / "shard" / "snapshot.bin").exists()
+        # epochs are isolated: epoch 0 sees none of epoch 3's state
+        blank = SetStore()
+        other = ShardStorage(tmp_path / "shard", epoch=0)
+        other.recover(blank)
+        other.close()
+        assert "s" not in blank
+
+    def test_replay_shard_is_read_only(self, tmp_path):
+        from repro.cluster.journal import replay_shard
+
+        storage = ShardStorage(tmp_path / "shard")
+        store = SetStore()
+        storage.recover(store)
+        storage.append(encode_create("s", {1, 2}))
+        storage.close()
+        torn = encode_diff("s", add=[3])
+        journal = tmp_path / "shard" / "journal.log"
+        damaged = journal.read_bytes() + torn[: len(torn) - 2]
+        journal.write_bytes(damaged)
+
+        replayed, stats = replay_shard(tmp_path / "shard")
+        assert replayed.get("s") == {1, 2}
+        assert stats["truncated_bytes"] == len(torn) - 2
+        # the torn tail was *not* truncated: planning passes leave the
+        # current layout byte-identical
+        assert journal.read_bytes() == damaged
+
     def test_corrupt_snapshot_is_fatal(self, tmp_path):
         storage = ShardStorage(tmp_path / "shard")
         store = SetStore()

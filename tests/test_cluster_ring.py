@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.cluster.ring import HashRing
@@ -81,19 +83,53 @@ class TestMinimalMovement:
         assert ring.assignments(names) == before
 
 
+class TestMovePlan:
+    def test_diff_names_exactly_the_moved_sets(self):
+        names = _names(2000)
+        old, new = HashRing(range(4)), HashRing(range(6))
+        moves = old.diff(new, names)
+        for name in names:
+            if name in moves:
+                assert moves[name] == (old.lookup(name), new.lookup(name))
+                assert moves[name][0] != moves[name][1]
+            else:
+                assert old.lookup(name) == new.lookup(name)
+
+    def test_diff_to_self_is_empty(self):
+        ring = HashRing(range(3))
+        assert ring.diff(HashRing(range(3)), _names(500)) == {}
+
+    def test_diff_on_shrink_moves_only_removed_shards_sets(self):
+        names = _names(2000)
+        old, new = HashRing(range(5)), HashRing(range(3))
+        for name, (src, dst) in old.diff(new, names).items():
+            assert src in (3, 4)      # only evicted shards lose sets
+            assert dst in (0, 1, 2)
+
+
 class TestEdgeCases:
     def test_empty_ring_rejects_lookup(self):
         with pytest.raises(ValueError):
             HashRing().lookup("x")
 
-    def test_duplicate_member_rejected(self):
-        ring = HashRing([0])
-        with pytest.raises(ValueError):
+    def test_duplicate_member_rejected_without_corruption(self):
+        """A duplicate add must raise *and leave the ring untouched* —
+        a half-inserted vnode list would silently mis-route names."""
+        ring = HashRing([0, 1])
+        before = ring.assignments(_names(300))
+        with pytest.raises(ValueError, match="0"):
             ring.add(0)
+        assert ring.members == [0, 1]
+        assert ring.assignments(_names(300)) == before
+        assert len(ring._points) == 2 * ring.vnodes
 
-    def test_remove_unknown_rejected(self):
-        with pytest.raises(ValueError):
-            HashRing([0]).remove(7)
+    def test_remove_unknown_rejected_without_corruption(self):
+        ring = HashRing([0, 1])
+        before = ring.assignments(_names(300))
+        with pytest.raises(ValueError, match="7"):
+            ring.remove(7)
+        assert ring.members == [0, 1]
+        assert ring.assignments(_names(300)) == before
 
     def test_single_shard_owns_everything(self):
         ring = HashRing([3])
@@ -102,3 +138,52 @@ class TestEdgeCases:
     def test_vnodes_must_be_positive(self):
         with pytest.raises(ValueError):
             HashRing(range(2), vnodes=0)
+
+
+class TestAddRemoveProperty:
+    """Randomized add/remove round-trips against a rebuilt-from-scratch
+    model: membership and placement must always equal a fresh ring built
+    from the surviving members, and invalid ops must never half-update
+    the vnode point list."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_op_sequences_match_fresh_ring(self, seed):
+        rng = random.Random(seed)
+        names = _names(400)
+        ring = HashRing(vnodes=32)
+        members: set[int] = set()
+        for _ in range(120):
+            shard = rng.randrange(8)
+            if rng.random() < 0.5:
+                if shard in members:
+                    with pytest.raises(ValueError):
+                        ring.add(shard)
+                else:
+                    ring.add(shard)
+                    members.add(shard)
+            else:
+                if shard not in members:
+                    with pytest.raises(ValueError):
+                        ring.remove(shard)
+                else:
+                    ring.remove(shard)
+                    members.discard(shard)
+            assert set(ring.members) == members
+            assert len(ring._points) == len(members) * ring.vnodes
+            assert ring._points == sorted(ring._points)
+            if members:
+                fresh = HashRing(sorted(members), vnodes=32)
+                assert ring.assignments(names) == fresh.assignments(names)
+
+    @pytest.mark.parametrize("seed", [10, 11])
+    def test_add_remove_round_trip_restores_placement(self, seed):
+        rng = random.Random(seed)
+        names = _names(300)
+        ring = HashRing(range(3), vnodes=32)
+        before = ring.assignments(names)
+        extras = rng.sample(range(100, 200), 5)
+        for shard in extras:
+            ring.add(shard)
+        for shard in rng.sample(extras, len(extras)):   # remove in any order
+            ring.remove(shard)
+        assert ring.assignments(names) == before

@@ -141,25 +141,34 @@ class TestRecovery:
 
         asyncio.run(phase2())
 
-    def test_resize_keeps_unmoved_sets_in_place(self, tmp_path):
-        """Restarting with more shards: sets whose shard assignment did
-        not change recover in place (moved sets are the operator's
-        migration problem, documented in the README)."""
+    def test_resize_without_rebalance_refuses_to_start(self, tmp_path):
+        """Restarting with a different shard count used to silently
+        remap ~1/(N+1) of the names to shards whose journals never heard
+        of them — those sets recovered *empty*.  The manifest turns that
+        silent data loss into a fail-fast refusal; a rebalance then makes
+        the same restart recover every set bit-for-bit."""
+        from repro.cluster import TopologyMismatchError, rebalance
+
         store = ClusterStore(shards=2, data_dir=tmp_path)
         _populate(store)
-        old_ring = store.ring
         grown = ClusterStore(shards=4, data_dir=tmp_path)
-        unmoved = [
-            n for n in NAMES if old_ring.lookup(n) == grown.ring.lookup(n)
-        ]
-        assert unmoved   # the ring moves only ~half the names 2 -> 4
 
-        async def restart():
-            async with grown:
-                for name in unmoved:
-                    assert grown.get(name) == store.get(name)
+        async def restart_mismatched():
+            with pytest.raises(TopologyMismatchError, match="rebalance"):
+                await grown.start()
 
-        asyncio.run(restart())
+        asyncio.run(restart_mismatched())
+
+        result = rebalance(tmp_path, 4)
+        assert result.changed and result.moved_count > 0
+
+        async def restart_rebalanced():
+            async with ClusterStore(shards=4, data_dir=tmp_path) as again:
+                for name in NAMES:
+                    assert again.get(name) == store.get(name)
+                    assert again.version(name) == store.version(name)
+
+        asyncio.run(restart_rebalanced())
 
 
 class TestCompactionUnderLoad:
@@ -232,6 +241,52 @@ class TestCloseSemantics:
             # and the store restarts cleanly afterwards
             await store.start()
             assert await store.apply_diff("s", add=[3]) == 1
+            await store.close()
+
+        asyncio.run(inner())
+
+    def test_close_before_start_is_a_safe_no_op(self, tmp_path):
+        async def inner():
+            store = ClusterStore(shards=2, data_dir=tmp_path)
+            await store.close()          # never started: nothing to do
+            await store.close()
+            # and the store still starts and works normally afterwards
+            async with store:
+                await store.create("s", {1})
+                assert store.get("s") == {1}
+
+        asyncio.run(inner())
+
+    def test_double_close_is_idempotent(self, tmp_path):
+        async def inner():
+            store = ClusterStore(shards=2, data_dir=tmp_path)
+            await store.start()
+            await store.create("s", {1, 2})
+            await store.close()
+            await store.close()          # second close: no double-drain,
+            await store.close()          # no double-closed journal handle
+            await store.start()          # and restart still works
+            assert await store.apply_diff("s", add=[3]) == 1
+            await store.close()
+
+        asyncio.run(inner())
+
+    def test_concurrent_close_calls_await_one_drain(self, tmp_path):
+        """Two racing close() calls must not enqueue two stop sentinels
+        (a stale sentinel would make the next start()'s worker exit
+        immediately, stranding every future mutation)."""
+
+        async def inner():
+            store = ClusterStore(shards=2, data_dir=tmp_path)
+            await store.start()
+            await store.create("s", {1})
+            await asyncio.gather(store.close(), store.close(), store.close())
+            await store.start()
+            # the restarted workers must actually serve (a leaked stop
+            # sentinel would hang this await forever)
+            assert await asyncio.wait_for(
+                store.apply_diff("s", add=[9]), timeout=5.0
+            ) == 1
             await store.close()
 
         asyncio.run(inner())
