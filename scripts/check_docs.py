@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Documentation CI: links resolve, CLI examples match the real CLI.
+
+Guards against doc rot in README.md, ROADMAP.md, and docs/:
+
+1. every relative markdown link points at a file that exists;
+2. every backticked repo path (``src/...py``, ``docs/...md``, ...)
+   points at a file that exists;
+3. every ``repro ...`` invocation shown in the docs names a subcommand
+   that exists and only flags that subcommand actually accepts
+   (validated against the live argparse parsers);
+4. ``repro <cmd> --help`` actually runs (exit 0) for every subcommand
+   the docs mention.
+
+Run directly (``python scripts/check_docs.py``) or via
+``tests/test_docs.py`` so the tier-1 suite enforces it too.  Exit code
+is the number of problems found.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shlex
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro import cli  # noqa: E402  (path bootstrap above)
+
+#: Subcommand name -> its argparse parser factory (None = the bare
+#: two-file reconcile mode).
+PARSERS = {
+    None: cli.build_parser,
+    "serve": cli.build_serve_parser,
+    "sync": cli.build_sync_parser,
+    "rebalance": cli.build_rebalance_parser,
+}
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_PATH_RE = re.compile(
+    r"`((?:src|docs|tests|benchmarks|examples|scripts)/[\w./-]+\.(?:py|md))`"
+)
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def doc_files() -> list[Path]:
+    files = [REPO / "README.md", REPO / "ROADMAP.md"]
+    files.extend(sorted((REPO / "docs").glob("**/*.md")))
+    return [f for f in files if f.exists()]
+
+
+def check_links(path: Path, text: str, errors: list[str]) -> None:
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{path.relative_to(REPO)}:{line_no}: broken link "
+                    f"-> {target}"
+                )
+        for match in CODE_PATH_RE.finditer(line):
+            if not (REPO / match.group(1)).exists():
+                errors.append(
+                    f"{path.relative_to(REPO)}:{line_no}: backticked "
+                    f"path does not exist -> {match.group(1)}"
+                )
+
+
+def repro_invocations(text: str):
+    """Yield ``repro ...`` command lines from fenced blocks and inline
+    code spans (continuation backslashes joined, comments stripped)."""
+    in_fence = False
+    pending = ""
+    for line in text.splitlines():
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            pending = ""
+            continue
+        if in_fence:
+            candidate = (pending + " " + line.strip()).strip() if pending \
+                else line.strip()
+            if candidate.endswith("\\"):
+                pending = candidate[:-1].strip()
+                continue
+            pending = ""
+            candidate = candidate.split("#", 1)[0].strip()
+            if candidate.startswith(("repro ", "python -m repro ")):
+                yield candidate
+        else:
+            for span in re.findall(r"`(repro [^`]+)`", line):
+                yield span.split("#", 1)[0].strip()
+
+
+def check_cli_line(command: str, errors: list[str], used: set) -> None:
+    command = re.sub(r"^python -m repro", "repro", command)
+    try:
+        tokens = shlex.split(command)
+    except ValueError:
+        return   # prose in a code span, not a runnable example
+    tokens = tokens[1:]                       # drop "repro"
+    sub = tokens[0] if tokens and tokens[0] in PARSERS else None
+    if sub is not None:
+        tokens = tokens[1:]
+    used.add(sub)
+    parser = PARSERS[sub]()
+    known = set(parser._option_string_actions)
+    for token in tokens:
+        if not token.startswith("--"):
+            continue
+        # prose like `--shards/--data-dir/--fsync` lists several flags
+        for piece in token.split("/"):
+            flag = piece.split("=", 1)[0]
+            if flag.startswith("--") and flag not in known:
+                mode = f"repro {sub}" if sub else "repro"
+                errors.append(
+                    f"doc example uses unknown flag {flag!r} for "
+                    f"'{mode}': {command!r}"
+                )
+
+
+def check_help(used: set, errors: list[str]) -> None:
+    for sub in sorted(used, key=str):
+        argv = [sys.executable, "-m", "repro"]
+        if sub is not None:
+            argv.append(sub)
+        argv.append("--help")
+        proc = subprocess.run(
+            argv, capture_output=True, text=True, timeout=60,
+            cwd=REPO,
+            env={**os.environ, "PYTHONPATH": str(REPO / "src")},
+        )
+        if proc.returncode != 0:
+            errors.append(
+                f"'repro {sub or ''} --help' exited "
+                f"{proc.returncode}: {proc.stderr.strip()[:200]}"
+            )
+
+
+def main() -> int:
+    errors: list[str] = []
+    used: set = set()
+    files = doc_files()
+    if len(files) < 3:
+        errors.append(f"expected README/ROADMAP/docs markdown, found {files}")
+    for path in files:
+        text = path.read_text(encoding="utf-8")
+        check_links(path, text, errors)
+        for command in repro_invocations(text):
+            check_cli_line(command, errors, used)
+    check_help(used, errors)
+    for problem in errors:
+        print(f"doc-check: {problem}", file=sys.stderr)
+    checked = ", ".join(str(p.relative_to(REPO)) for p in files)
+    print(
+        f"doc-check: {len(files)} files ({checked}); "
+        f"{len(used)} CLI modes exercised; {len(errors)} problem(s)"
+    )
+    return min(len(errors), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

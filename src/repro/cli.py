@@ -128,6 +128,12 @@ def build_serve_parser() -> argparse.ArgumentParser:
              "must be explicit with --rebalance)",
     )
     parser.add_argument(
+        "--workers", choices=("inline", "proc"), default="inline",
+        help="shard executor: 'inline' runs shard workers as asyncio "
+             "tasks on one core (default); 'proc' runs one subprocess "
+             "per shard so BCH decode CPU scales across cores",
+    )
+    parser.add_argument(
         "--data-dir", type=Path, default=None, metavar="DIR",
         help="journal apply-diffs under DIR and recover named sets from "
              "it on startup (one subdirectory per shard)",
@@ -350,12 +356,21 @@ def cmd_serve(argv: list[str]) -> int:
             return 2
         preload.append((name, load_signatures(Path(file_spec))))
 
-    # A cluster store (sharded and/or journaled) when asked for one; the
-    # plain in-memory SetStore keeps the PR-2 single-tenant behavior.
-    cluster = shards > 1 or args.data_dir is not None
+    # A cluster store (sharded, journaled, and/or multi-process) when
+    # asked for one; the plain in-memory SetStore keeps the PR-2
+    # single-tenant behavior.
+    cluster = (
+        shards > 1 or args.data_dir is not None or args.workers == "proc"
+    )
     store = (
-        ClusterStore(shards=shards, data_dir=args.data_dir,
-                     fsync=args.fsync)
+        ClusterStore(
+            shards=shards,
+            data_dir=args.data_dir,
+            fsync=args.fsync,
+            executor="subprocess" if args.workers == "proc" else "inline",
+            worker_window_s=args.window_ms / 1000.0,
+            worker_coalesce=not args.no_coalesce,
+        )
         if cluster
         else SetStore()
     )
@@ -389,6 +404,22 @@ def cmd_serve(argv: list[str]) -> int:
     serving = {"up": False}   # did the server actually come up?
 
     async def _serve() -> None:
+        import signal as _signal
+        from contextlib import suppress
+
+        loop = asyncio.get_running_loop()
+        # Graceful shutdown on SIGINT *and* SIGTERM (systemd stop, docker
+        # stop, CI cleanup): stop accepting, drain the shard workers,
+        # reap worker subprocesses, close the journals — never leave
+        # orphaned children or un-flushed WAL tails behind.
+        stop = asyncio.Event()
+        handled: list = []
+        for sig in (_signal.SIGINT, _signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+                handled.append(sig)
+            except (NotImplementedError, RuntimeError):
+                pass   # non-Unix event loop: KeyboardInterrupt still works
         if cluster:
             await store.start()
         heartbeat_task = None
@@ -404,6 +435,7 @@ def cmd_serve(argv: list[str]) -> int:
             print(
                 f"# serving on {server.host}:{server.port} "
                 f"shards={shards} "
+                f"workers={args.workers} "
                 f"data_dir={args.data_dir or '-'} "
                 f"sets={store.names() or '[]'}",
                 file=sys.stderr,
@@ -424,12 +456,29 @@ def cmd_serve(argv: list[str]) -> int:
 
                 # hold a strong reference: the loop keeps only weak ones
                 heartbeat_task = asyncio.ensure_future(heartbeat())
-            await server.serve_forever()
+            serve_task = asyncio.create_task(server.serve_forever())
+            stop_task = asyncio.create_task(stop.wait())
+            done, _ = await asyncio.wait(
+                {serve_task, stop_task},
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+            if serve_task in done:
+                stop_task.cancel()
+                with suppress(asyncio.CancelledError):
+                    await stop_task
+                await serve_task   # propagate bind/accept errors
+            else:
+                serve_task.cancel()
+                with suppress(asyncio.CancelledError):
+                    await serve_task
+                await server.close()
         finally:
             if heartbeat_task is not None:
                 heartbeat_task.cancel()
             if cluster:
                 await store.close()
+            for sig in handled:
+                loop.remove_signal_handler(sig)
 
     try:
         asyncio.run(_serve())

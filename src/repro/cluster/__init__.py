@@ -15,9 +15,13 @@ Pieces (bottom up):
   stage moved sets under the next epoch, commit via one atomic manifest
   replace (crash-safe, idempotent);
 * :mod:`repro.cluster.router` — :class:`ClusterStore`, the async sharded
-  facade the server consults (one asyncio worker task per shard, each
-  owning a :class:`~repro.service.store.SetStore` and its journal), with
-  a live drain-and-swap :meth:`~ClusterStore.resize`;
+  facade the server consults (one worker per shard, each owning a
+  :class:`~repro.service.store.SetStore` and its journal), with a live
+  drain-and-swap :meth:`~ClusterStore.resize`;
+* :mod:`repro.cluster.proc` — the ``subprocess`` shard executor: shard
+  workers as child processes speaking the service framing as an
+  internal RPC, so BCH decode CPU scales across cores
+  (``repro serve --workers proc``);
 * :mod:`repro.cluster.admission` — per-shard session/decode caps that
   shed overload with the service's RETRY frame.
 """
@@ -47,6 +51,12 @@ from repro.cluster.manifest import (
     load_manifest,
     write_manifest,
 )
+from repro.cluster.proc import (
+    DEFAULT_RESTART_BACKOFF_S,
+    WorkerSupervisor,
+    WorkerUnavailableError,
+    fork_safe_cpu_count,
+)
 from repro.cluster.rebalance import (
     RebalanceAborted,
     RebalanceResult,
@@ -59,6 +69,7 @@ __all__ = [
     "AdmissionController",
     "ClusterManifest",
     "ClusterStore",
+    "DEFAULT_RESTART_BACKOFF_S",
     "DEFAULT_RETRY_AFTER_S",
     "DEFAULT_VNODES",
     "HashRing",
@@ -70,8 +81,11 @@ __all__ = [
     "Record",
     "ShardStorage",
     "TopologyMismatchError",
+    "WorkerSupervisor",
+    "WorkerUnavailableError",
     "encode_create",
     "encode_diff",
+    "fork_safe_cpu_count",
     "journal_filename",
     "load_manifest",
     "read_records",

@@ -40,7 +40,20 @@ DEFAULT_RETRY_AFTER_S = 0.05
 
 
 class AdmissionController:
-    """Per-shard session and decode-queue caps for one server process."""
+    """Per-shard session and decode-queue caps for one server process.
+
+    Lifecycle of a slot: :meth:`try_admit` at HELLO (``None`` =
+    admitted, a float = shed with RETRY carrying that delay), paired
+    with exactly one :meth:`release` carrying the :meth:`incarnation`
+    token captured at admit time (so releases that straddle a
+    :meth:`resize` cannot corrupt a re-created shard's counts).
+    :meth:`decode_slot` is the mid-session backpressure context manager.
+    Caps of 0 mean unlimited.  The controller is executor-agnostic: it
+    counts sessions and decode submissions per shard id, whether the
+    shard worker is an asyncio task or a subprocess (worker *downtime*
+    shedding is separate — the server consults
+    ``ClusterStore.shard_available`` before admitting).
+    """
 
     def __init__(
         self,

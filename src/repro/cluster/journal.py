@@ -37,6 +37,7 @@ manifest, so a crash mid-rebalance never damages the current layout
 
 from __future__ import annotations
 
+import asyncio
 import os
 import struct
 from dataclasses import dataclass, field
@@ -209,9 +210,17 @@ def read_records(data: bytes) -> tuple[list[Record], int, str]:
 class ShardStorage:
     """One shard's on-disk state: ``snapshot.bin`` + ``journal.log``.
 
-    The caller (the shard worker in :mod:`repro.cluster.router`) owns
-    serialization — appends must not interleave — and decides *when* to
-    compact; this class owns the bytes and the crash-safety protocol.
+    The caller owns serialization — appends must not interleave — and
+    decides *when* to compact; this class owns the bytes and the
+    crash-safety protocol.  There is exactly one writing owner per shard
+    directory: the inline shard worker task
+    (:mod:`repro.cluster.router`) or the shard's worker subprocess
+    (:mod:`repro.cluster.proc`), selected by the store's executor.
+
+    Lifecycle: :meth:`recover` (replay + open for appends), then any
+    number of :meth:`append` / :meth:`compact` calls, then
+    :meth:`close` (idempotent).  :meth:`replay` is the read-only half
+    used by offline tooling (:func:`replay_shard`, the rebalance).
     """
 
     def __init__(
@@ -374,6 +383,75 @@ class ShardStorage:
             "truncated_bytes": self.truncated_bytes,
             "tail_error": self.tail_error,
         }
+
+
+# -- the shared journal-first mutation protocol --------------------------------
+
+async def apply_mutation(store: SetStore, storage: ShardStorage | None,
+                         op: str, args: tuple):
+    """Apply one shard mutation with the journal-first protocol.
+
+    This is the *single* definition of how a shard worker mutates —
+    the inline executor's task loop and the subprocess executor's child
+    both route through it, which is what keeps the two executors'
+    stores and journals bit-for-bit interchangeable:
+
+    * ``apply`` ``(name, add, remove)`` — raise the store's own
+      :class:`UnknownSetError` *before* journaling (a DIFF record must
+      never precede its CREATE), skip the disk write for empty diffs
+      (converged re-sync passes change nothing), journal, then mutate;
+      returns the changed-element count.
+    * ``create`` / ``restore`` ``(name, values, version)`` — journal the
+      full-state CREATE record, then replace the set.
+    * ``sync`` — a no-op ordering barrier.
+
+    The record hits the disk *before* the store mutates: a failed append
+    leaves the store untouched, and no concurrent snapshot can observe
+    state that a crash-recovery would roll back.  Appends run in the
+    default thread-pool executor so journals commit in parallel across
+    shards while the event loop keeps serving.
+    """
+    loop = asyncio.get_running_loop()
+    if op == "apply":
+        name, add, remove = args
+        if name not in store:
+            # raise the store's own error *before* journaling
+            store.apply_diff(name)
+        if storage is not None and (len(add) or len(remove)):
+            record = encode_diff(name, add, remove)
+            await loop.run_in_executor(None, storage.append, record)
+        return store.apply_diff(name, add=add, remove=remove)
+    if op in ("create", "restore"):
+        name, values, version = args
+        if storage is not None:
+            record = encode_create(name, values, version=version)
+            await loop.run_in_executor(None, storage.append, record)
+        store.create(name, values, version=version)
+        return None
+    if op == "sync":
+        return None
+    raise ReproError(f"unknown shard mutation op {op!r}")
+
+
+async def compact_if_due(store: SetStore,
+                         storage: ShardStorage | None) -> str | None:
+    """Run a due background compaction; shared by both executors.
+
+    Returns ``None`` when no compaction was due, ``""`` after a
+    successful one, and the error string after a failed one — a failed
+    compaction must never be charged to the (already durable, already
+    applied) mutation that happened to trigger it.
+    """
+    if storage is None or not storage.should_compact():
+        return None
+    try:
+        entries = store.items()
+        await asyncio.get_running_loop().run_in_executor(
+            None, storage.compact, entries
+        )
+        return ""
+    except Exception as exc:
+        return f"{type(exc).__name__}: {exc}"
 
 
 # -- offline helpers (rebalance / tooling) -------------------------------------

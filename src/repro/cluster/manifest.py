@@ -64,7 +64,18 @@ def shard_dirname(shard: int) -> str:
 
 @dataclass
 class ClusterManifest:
-    """The committed layout of one cluster data directory."""
+    """The committed layout of one cluster data directory.
+
+    Fields: ``shards`` and ``vnodes`` fix the consistent-hash ring (and
+    therefore every set's placement); ``epoch`` is the monotonically
+    increasing layout epoch bumped by each committed rebalance; and
+    ``shard_epochs[i]`` records which epoch shard *i*'s files were last
+    rewritten at, selecting the epoch-qualified file names inside
+    ``shard-NN/`` (an unaffected shard keeps its older epoch's files
+    byte-identical across rebalances).  The subprocess executor hands
+    each worker child its shard's epoch, so every process has an
+    explicit, versioned view of which files it owns.
+    """
 
     shards: int
     vnodes: int

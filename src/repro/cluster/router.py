@@ -4,26 +4,43 @@
 hands the reconciliation server instead of a bare
 :class:`~repro.service.store.SetStore`.  A consistent-hash ring
 (:mod:`repro.cluster.ring`) maps every named set to one of N *shard
-workers*; each worker is an asyncio task owning its own ``SetStore`` and
-its own :class:`~repro.cluster.journal.ShardStorage` (journal +
-snapshot), and applies mutations strictly in arrival order through a
-per-shard queue.  That gives the three properties the cluster needs:
+workers*; each worker owns its own ``SetStore`` and its own
+:class:`~repro.cluster.journal.ShardStorage` (journal + snapshot), and
+applies mutations strictly in arrival order.  Two executors decide what
+a "worker" physically is:
+
+* ``executor="inline"`` (default) — one asyncio task per shard on the
+  server's event loop, fed through a per-shard queue.  Zero extra
+  processes; decode CPU is bounded by one core.
+* ``executor="subprocess"`` (``repro serve --workers proc``) — one child
+  process per shard (:mod:`repro.cluster.proc`), driven over a loopback
+  socket speaking the service's frame format as an internal RPC.  The
+  parent keeps a read *mirror* of each shard's ``SetStore`` (updated in
+  ack order, so reads stay synchronous and versions stay bit-for-bit),
+  proxies mutations and BCH decode work to the owning child, and
+  respawns-and-replays a worker that dies.  Decode CPU scales across
+  cores; each worker batches decode work with its own coalescer.
+
+Either way the cluster keeps its three core properties:
 
 * **Independent progress** — sessions for sets on different shards never
   contend on a store or a journal; only same-shard writes serialize.
-  (Reads — snapshots, sizes — are direct synchronous calls: on one event
-  loop a worker mutates its ``SetStore`` atomically between awaits, so a
-  reader can never observe a half-applied diff.)
-* **Durable acks** — an ``apply_diff`` future resolves only after the
-  diff's journal record is on disk (written via the executor, so shard
-  journals commit in parallel while the event loop keeps serving).
+  (Reads — snapshots, sizes — are direct synchronous calls against
+  event-loop-consistent state: the inline worker's store, or the proc
+  executor's mirror.)
+* **Durable acks** — an ``apply_diff`` resolves only after the diff's
+  journal record is on disk (via the thread-pool executor inline, via
+  the child's journal-first apply loop in proc mode), so shard journals
+  commit in parallel while the event loop keeps serving.
 * **Deterministic recovery** — ``start()`` replays snapshot-then-journal
   per shard; versions are re-derived by replay, so a recovered store is
   bit-for-bit the pre-crash store up to the last complete record.
 
-The server's cross-session :class:`~repro.service.scheduler.DecodeCoalescer`
-sits *above* this layer and is deliberately not sharded: decode work from
-sessions on different shards still merges into shared BCH batches.
+With the inline executor the server's cross-session
+:class:`~repro.service.scheduler.DecodeCoalescer` sits *above* this
+layer and batches decode work across all shards; in proc mode each
+worker coalesces its own shard's sessions instead (see
+:meth:`ClusterStore.decode_remote`).
 """
 
 from __future__ import annotations
@@ -34,17 +51,37 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.cluster.journal import ShardStorage, encode_create, encode_diff
+from repro.cluster.journal import (
+    ShardStorage,
+    apply_mutation,
+    compact_if_due,
+)
 from repro.cluster.manifest import ClusterManifest, load_or_adopt, shard_dirname
+from repro.cluster.proc import (
+    DEFAULT_RESTART_BACKOFF_S,
+    RpcType,
+    WorkerHandle,
+    WorkerSupervisor,
+    WorkerUnavailableError,
+)
 from repro.cluster.rebalance import RebalanceResult, rebalance
 from repro.cluster.ring import DEFAULT_VNODES, HashRing
 from repro.errors import ReproError
+from repro.service.scheduler import DEFAULT_WINDOW_S
 from repro.service.store import SetStore, Snapshot
+
+EXECUTORS = ("inline", "subprocess")
 
 
 @dataclass
 class _Shard:
-    """One worker's world: a store, optional durability, and a mailbox."""
+    """One worker's world: a store, optional durability, and a mailbox.
+
+    Inline executor: ``store`` is the shard's authoritative ``SetStore``
+    and ``task``/``queue`` drive it.  Subprocess executor: ``store`` is
+    the parent's read mirror, ``worker`` is the RPC handle to the child
+    that owns the authoritative state and journal.
+    """
 
     shard_id: int
     store: SetStore
@@ -54,6 +91,12 @@ class _Shard:
     applies: int = 0
     creates: int = 0
     compact_error: str = ""       #: last failed background compaction
+    # -- subprocess executor only --
+    worker: WorkerHandle | None = None
+    restarts: int = 0             #: successful respawns after worker death
+    restart_error: str = ""       #: last failed respawn attempt (diagnosis)
+    last_storage_stats: dict = field(default_factory=dict)
+    last_coalescer_stats: dict = field(default_factory=dict)
 
 
 class ClusterStore:
@@ -64,8 +107,16 @@ class ClusterStore:
     owning shard worker has applied *and journaled* the change.  Reads
     are plain synchronous methods, like ``SetStore``'s.
 
+    ``executor`` picks where the shard workers run — ``"inline"``
+    (asyncio tasks; default) or ``"subprocess"`` (one child process per
+    shard: decode CPU scales across cores, workers are respawned on
+    death, and :meth:`decode_remote` / :meth:`shard_available` become
+    live).  Both executors expose identical semantics and identical
+    on-disk formats; a data dir written by one recovers under the other.
+
     >>> # inside a coroutine:
-    >>> # store = ClusterStore(shards=4, data_dir="data")
+    >>> # store = ClusterStore(shards=4, data_dir="data",
+    >>> #                      executor="subprocess")
     >>> # await store.start()
     >>> # await store.apply_diff("inv", add=[1, 2, 3])
     """
@@ -78,11 +129,35 @@ class ClusterStore:
         fsync: bool = False,
         compact_min_bytes: int | None = None,
         compact_factor: int | None = None,
+        executor: str = "inline",
+        worker_window_s: float = DEFAULT_WINDOW_S,
+        worker_coalesce: bool = True,
+        restart_backoff_s: float = DEFAULT_RESTART_BACKOFF_S,
     ) -> None:
+        """``executor`` selects how shard workers run: ``"inline"``
+        (asyncio tasks, the default) or ``"subprocess"`` (one child
+        process per shard — decode CPU scales across cores; see
+        :mod:`repro.cluster.proc`).  ``worker_window_s`` /
+        ``worker_coalesce`` configure each subprocess worker's own
+        decode coalescer (``repro serve --window-ms`` /
+        ``--no-coalesce``), and ``restart_backoff_s`` is the pause
+        before a dead worker is respawned (all ignored inline).
+        """
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {EXECUTORS}, got {executor!r}"
+            )
         self.ring = HashRing(range(shards), vnodes=vnodes)
         self.data_dir = Path(data_dir) if data_dir is not None else None
+        self.executor = executor
+        self.worker_window_s = worker_window_s
+        self.worker_coalesce = worker_coalesce
+        self.restart_backoff_s = restart_backoff_s
+        #: RETRY hint the server sends for sessions hitting a shard whose
+        #: worker is down (a restart is usually one backoff away)
+        self.unavailable_retry_after_s = restart_backoff_s
         self._storage_kwargs = {"fsync": fsync}
         if compact_min_bytes is not None:
             self._storage_kwargs["compact_min_bytes"] = compact_min_bytes
@@ -98,6 +173,13 @@ class ClusterStore:
         self._closing = False
         self._close_done: asyncio.Event | None = None
         self._resize_gate: asyncio.Event | None = None
+        self._supervisor: WorkerSupervisor | None = None
+        self._restart_tasks: set[asyncio.Task] = set()
+        if executor != "subprocess":
+            # shadow the method: consumers feature-test with
+            # getattr(store, "decode_remote", None) and the inline
+            # executor has no remote decode surface
+            self.decode_remote = None
         # -- resize counters (cluster_stats / metrics) --
         self.resizes = 0
         self.sets_moved = 0
@@ -119,6 +201,15 @@ class ClusterStore:
             self.manifest = load_or_adopt(
                 self.data_dir, len(self._shards), self.ring.vnodes
             )
+        if self.executor == "subprocess":
+            # _closing drops *before* the spawns: a worker that comes up
+            # and dies again inside this window must schedule a restart
+            # (the death callback ignores deaths only while closing)
+            self._closing = False
+            await self._start_proc()
+            self._started = True
+            self._close_done = None
+            return
         try:
             for shard in self._shards:
                 # a fresh mailbox every start: a drained queue from a
@@ -158,6 +249,12 @@ class ClusterStore:
     async def close(self) -> None:
         """Drain every worker, flush and close the journals.
 
+        Under the subprocess executor this also reaps every worker
+        child: each gets a CLOSE RPC (applying queued mutations and
+        closing its journal first) and is then joined — escalating to
+        terminate/kill only if it hangs — so no orphan processes or
+        stray tmp files survive a graceful shutdown.
+
         Mutations already queued are applied; anything submitted after
         close() begins is rejected immediately (never silently stranded
         on an unserviced queue).  Idempotent and safe in any state: a
@@ -182,28 +279,203 @@ class ClusterStore:
         self._close_done = asyncio.Event()
         self._closing = True
         try:
-            for shard in self._shards:
-                await shard.queue.put(None)
-            for shard in self._shards:
-                if shard.task is not None:
-                    await shard.task
-                    shard.task = None
-                if shard.storage is not None:
-                    # keep the closed storage around: its stats stay
-                    # readable after close; start() replaces it anyway
-                    shard.storage.close()
+            if self.executor == "subprocess":
+                await self._close_proc()
+            else:
+                for shard in self._shards:
+                    await shard.queue.put(None)
+                for shard in self._shards:
+                    if shard.task is not None:
+                        await shard.task
+                        shard.task = None
+                    if shard.storage is not None:
+                        # keep the closed storage around: its stats stay
+                        # readable after close; start() replaces it anyway
+                        shard.storage.close()
             self._started = False
         finally:
             self._close_done.set()
+
+    # -- subprocess executor lifecycle -----------------------------------------
+    def _shard_dir(self, shard_id: int) -> Path | None:
+        if self.data_dir is None:
+            return None
+        return self.data_dir / shard_dirname(shard_id)
+
+    def _shard_epoch(self, shard_id: int) -> int:
+        return (
+            self.manifest.shard_epoch(shard_id)
+            if self.manifest is not None
+            else 0
+        )
+
+    @staticmethod
+    def _mirror_from(entries) -> SetStore:
+        store = SetStore()
+        for name, values, version in entries:
+            store.create(name, values, version=version)
+        return store
+
+    async def _start_proc(self) -> None:
+        """Spawn one worker child per shard and seed the read mirrors."""
+        supervisor = WorkerSupervisor(
+            window_s=self.worker_window_s,
+            coalesce=self.worker_coalesce,
+            **self._storage_kwargs,
+        )
+        await supervisor.start()
+        self._supervisor = supervisor
+        results = await asyncio.gather(
+            *[
+                supervisor.spawn(
+                    shard.shard_id,
+                    self._shard_dir(shard.shard_id),
+                    self._shard_epoch(shard.shard_id),
+                    self._on_worker_death,
+                )
+                for shard in self._shards
+            ],
+            return_exceptions=True,
+        )
+        failure = next(
+            (r for r in results if isinstance(r, BaseException)), None
+        )
+        if failure is not None:
+            # partial spawn (e.g. one corrupt shard journal): reap the
+            # children that did come up so nothing outlives the error —
+            # including any replacement a death-during-start restart
+            # may have already installed on a shard
+            for result in results:
+                if not isinstance(result, BaseException):
+                    await result[0].close(graceful=False)
+            for shard in self._shards:
+                if shard.worker is not None and shard.worker.alive:
+                    await shard.worker.close(graceful=False)
+            await supervisor.close()
+            self._supervisor = None
+            raise failure
+        for shard, (handle, entries, stats) in zip(self._shards, results):
+            if shard.worker is not None and shard.worker.alive:
+                # this shard's original worker died during the spawn
+                # window and a restart already installed (and seeded the
+                # mirror from) a fresh one — keep it, reap the corpse
+                await handle.close(graceful=False)
+                continue
+            shard.store = self._mirror_from(entries)
+            shard.worker = handle
+            shard.storage = None
+            shard.last_storage_stats = dict(stats)
+
+    async def _close_proc(self) -> None:
+        """Gracefully stop every worker child and reap the processes."""
+        for task in list(self._restart_tasks):
+            task.cancel()
+        if self._restart_tasks:
+            await asyncio.gather(
+                *self._restart_tasks, return_exceptions=True
+            )
+            self._restart_tasks.clear()
+        for shard in self._shards:
+            if shard.worker is not None:
+                stats = await shard.worker.close()
+                if stats:
+                    # the post-close journal counters stay readable,
+                    # like the inline executor's closed ShardStorage
+                    shard.last_storage_stats = dict(stats)
+        if self._supervisor is not None:
+            await self._supervisor.close()
+            self._supervisor = None
+
+    def _on_worker_death(self, shard_id: int) -> None:
+        """Reader-task callback: a worker died unexpectedly — heal it.
+
+        Deliberately *not* gated on ``_started``: a worker that reports
+        READY and then dies while the remaining shards are still
+        spawning (start() in progress) must heal like any other death,
+        or its shard would shed sessions forever.  Only a closing store
+        lets deaths lie.
+        """
+        if self._closing or self._supervisor is None:
+            return
+        if not 0 <= shard_id < len(self._shards):
+            return
+        shard = self._shards[shard_id]
+        task = asyncio.create_task(
+            self._restart_worker(shard), name=f"shard-{shard_id}-restart"
+        )
+        self._restart_tasks.add(task)
+        task.add_done_callback(self._restart_tasks.discard)
+
+    async def _restart_worker(self, shard: _Shard) -> None:
+        """Respawn a dead worker after a backoff; the child replays its
+        journal and the mirror is rebuilt from the replayed state (which
+        may include journaled-but-unacked mutations from the crash — the
+        standard at-least-once WAL outcome)."""
+        backoff = self.restart_backoff_s
+        while True:
+            await asyncio.sleep(backoff)
+            if (
+                self._closing
+                or self._supervisor is None
+                or shard not in self._shards       # resized away meanwhile
+                or (shard.worker is not None and shard.worker.alive)
+            ):
+                return
+            if shard.worker is not None:
+                # reap the condemned handle before its successor opens
+                # the same journal: close() terminates the old child if
+                # it is somehow still running (a parent-side reader
+                # failure, not a real death — two live children must
+                # never append to one journal) and releases its socket
+                # and process object
+                await shard.worker.close(graceful=False)
+            try:
+                handle, entries, stats = await self._supervisor.spawn(
+                    shard.shard_id,
+                    self._shard_dir(shard.shard_id),
+                    self._shard_epoch(shard.shard_id),
+                    self._on_worker_death,
+                )
+            except Exception as exc:
+                # keep trying, but leave the why in cluster_stats — a
+                # shard that can never come back (unreplayable journal,
+                # spawn failures) must be diagnosable while it sheds
+                shard.restart_error = f"{type(exc).__name__}: {exc}"
+                backoff = min(backoff * 2, 5.0)
+                continue
+            shard.store = self._mirror_from(entries)
+            shard.worker = handle
+            shard.last_storage_stats = dict(stats)
+            shard.restarts += 1
+            shard.restart_error = ""
+            return
+
+    def shard_available(self, shard_id: int) -> bool:
+        """Is the shard's worker able to take new sessions right now?
+
+        Always true inline; in proc mode false while the shard's child
+        is dead or restarting (the server sheds new sessions for it with
+        RETRY instead of queueing against a corpse).  A stale shard id
+        from before a shrink reports available — admission control owns
+        that case.
+        """
+        if self.executor != "subprocess" or not self._started:
+            return True
+        if not 0 <= shard_id < len(self._shards):
+            return True
+        worker = self._shards[shard_id].worker
+        return worker is not None and worker.alive
 
     async def resize(self, shards: int, admission=None) -> dict:
         """Live-resize to ``shards`` shards without losing a byte.
 
         Drains every shard worker (queued mutations apply and journal
-        first), runs the offline move plan — :func:`rebalance` for a
-        journaled store (in an executor, so reads and the event loop keep
-        serving while it replays and stages), an in-memory redistribution
-        otherwise — then swaps the ring and restarts the workers under
+        first; subprocess workers are closed and later respawned under
+        the new layout), runs the offline move plan — :func:`rebalance`
+        for a journaled store (in an executor, so reads and the event
+        loop keep serving while it replays and stages), an in-memory
+        redistribution otherwise — then swaps the ring and restarts the
+        workers under
         the new layout.  Sessions keep working across the swap: reads
         serve the pre-resize view until the switch, mutations submitted
         during the resize wait behind a gate and then route through the
@@ -238,10 +510,10 @@ class ClusterStore:
                 "moved": 0, "changed": False,
             }
         self._resize_gate = asyncio.Event()
+        result: RebalanceResult | None = None
+        entries: list[tuple] | None = None
         try:
             await self._drain()
-            result: RebalanceResult | None = None
-            entries: list[tuple] | None = None
             if self.data_dir is not None:
                 fsync = self._storage_kwargs.get("fsync", False)
                 result = await asyncio.get_running_loop().run_in_executor(
@@ -270,18 +542,45 @@ class ClusterStore:
                     target = self.ring.lookup(name)
                     if old_ring.lookup(name) != target:
                         moved += 1
-                    self._shards[target].store.create(
-                        name, values, version=version
-                    )
+                    target_shard = self._shards[target]
+                    if target_shard.worker is not None:
+                        # proc executor: the child owns the state — push
+                        # the versioned create through it (mirror updates
+                        # on the ack, like any other mutation)
+                        await self._proc_restore(
+                            target_shard, name, values, version
+                        )
+                    else:
+                        target_shard.store.create(
+                            name, values, version=version
+                        )
         except BaseException:
             # best-effort rollback: reopen under the old layout (a
             # pre-commit failure left the old manifest current; after a
             # committed rebalance this restart refuses the stale
-            # topology, and the store stays closed for the caller)
+            # topology, and the store stays closed for the caller).  If
+            # the new layout's workers already started (a failure in the
+            # restore loop), drain them first — otherwise start() would
+            # see _started and silently do nothing, stranding the store
+            # half-swapped (and, in proc mode, leaking worker children).
+            if self._started:
+                try:
+                    await self._drain()
+                except Exception:
+                    pass
             self.ring = old_ring
             self._shards = old_shard_list
             try:
                 await self.start()
+                if entries is not None and self.executor == "subprocess":
+                    # in-memory proc rollback: the respawned children
+                    # start empty — push the saved entries back through
+                    # them under the old ring
+                    for name, values, version in entries:
+                        await self._proc_restore(
+                            self._shards[old_ring.lookup(name)],
+                            name, values, version,
+                        )
             except Exception:
                 pass
             raise
@@ -373,26 +672,111 @@ class ClusterStore:
             await self._submit(shard, "create", name, ())
         return shard.store.snapshot(name)
 
-    def _submit(self, shard: _Shard, op: str, *args) -> asyncio.Future:
+    def _submit(self, shard: _Shard, op: str, *args):
+        """Route one mutation to the shard's worker; returns an awaitable
+        (a queue-backed future inline, a coroutine in proc mode)."""
         if not self._started:
             raise ReproError("ClusterStore.start() before use")
         if self._closing:
             raise ReproError("ClusterStore is closing")
+        if self.executor == "subprocess":
+            return self._proc_submit(shard, op, args)
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         shard.queue.put_nowait((op, args, future))
         return future
 
-    async def _worker(self, shard: _Shard) -> None:
-        """Apply this shard's mutations in order, journal-first.
+    async def _proc_submit(self, shard: _Shard, op: str, args):
+        """One mutation RPC to the shard's child, mirror updated on ack.
 
-        The record hits the disk *before* the store mutates: a failed
-        append leaves the store untouched (the session gets the error,
-        nothing un-journaled becomes visible), and no concurrent snapshot
-        can ever observe state that a crash-recovery would roll back.  A
-        crash between append and mutate merely replays the record — the
-        diff is idempotent union/difference arithmetic.
+        The mirror callback runs in the worker handle's reader task, in
+        reply order — which is the child's apply order — so the mirror's
+        contents and versions track the child's bit-for-bit.
         """
-        loop = asyncio.get_running_loop()
+        worker = shard.worker
+        if worker is None or not worker.alive:
+            raise WorkerUnavailableError(
+                f"shard {shard.shard_id} worker is down (restarting)"
+            )
+        if op == "apply":
+            name, add, remove = args
+
+            def on_apply(body):
+                shard.store.apply_diff(name, add=add, remove=remove)
+                shard.applies += 1
+                shard.last_storage_stats = body[1] or shard.last_storage_stats
+
+            result, _ = await worker.call(
+                RpcType.APPLY, (name, add, remove), on_ok=on_apply
+            )
+            return result
+        if op == "create":
+            (name, values) = args
+
+            def on_create(body):
+                shard.store.create(name, values)
+                shard.creates += 1
+                shard.last_storage_stats = body[1] or shard.last_storage_stats
+
+            await worker.call(
+                RpcType.CREATE, (name, values, 0), on_ok=on_create
+            )
+            return None
+        await worker.call(RpcType.SYNC, None)   # "sync" barrier
+        return None
+
+    async def _proc_restore(self, shard: _Shard, name, values, version) -> None:
+        """Versioned create through the child (in-memory resize path)."""
+
+        def on_restore(body):
+            shard.store.create(name, values, version=version)
+            shard.last_storage_stats = body[1] or shard.last_storage_stats
+
+        await shard.worker.call(
+            RpcType.RESTORE, (name, values, version), on_ok=on_restore
+        )
+
+    async def decode_remote(self, shard_id: int, codec, deltas):
+        """Decode sketch deltas on the shard's worker process (proc mode).
+
+        The server routes each session's BCH decode work here instead of
+        its own in-process coalescer, so decode CPU runs on the worker's
+        core; the worker's own :class:`DecodeCoalescer` still merges
+        submissions from concurrent sessions of that shard into shared
+        ``decode_many`` batches.  Returns the same ``(decoded, seconds)``
+        contract as :meth:`DecodeCoalescer.decode`.  Raises
+        :class:`~repro.cluster.proc.WorkerUnavailableError` while the
+        worker is dead or the shard id predates a shrink — the session
+        fails and the client retries under the new conditions.
+        """
+        if self.executor != "subprocess":
+            raise ReproError("decode_remote requires the subprocess executor")
+        await self._resize_barrier()
+        if not 0 <= shard_id < len(self._shards):
+            raise WorkerUnavailableError(
+                f"shard {shard_id} no longer exists (cluster resized)"
+            )
+        shard = self._shards[shard_id]
+        worker = shard.worker
+        if worker is None or not worker.alive:
+            raise WorkerUnavailableError(
+                f"shard {shard_id} worker is down (restarting)"
+            )
+        decoded, share, stats = await worker.call(
+            RpcType.DECODE, (codec.field.m, codec.t, deltas)
+        )
+        shard.last_coalescer_stats = stats
+        return decoded, share
+
+    async def _worker(self, shard: _Shard) -> None:
+        """Apply this shard's mutations in order (inline executor).
+
+        The journal-first protocol itself — raise-before-journal,
+        empty-diff skip, append-then-mutate, compaction charging — is
+        :func:`repro.cluster.journal.apply_mutation` /
+        :func:`~repro.cluster.journal.compact_if_due`, shared verbatim
+        with the subprocess executor's child loop so the two executors
+        cannot drift apart.
+        """
         while True:
             item = await shard.queue.get()
             if item is None:
@@ -407,48 +791,20 @@ class ClusterStore:
                 return
             op, args, future = item
             try:
+                if op == "create":
+                    args = (*args, 0)   # public creates journal version 0
+                result = await apply_mutation(
+                    shard.store, shard.storage, op, args
+                )
                 if op == "apply":
-                    name, add, remove = args
-                    if name not in shard.store:
-                        # raise the store's own error *before* journaling:
-                        # a diff record must never precede its CREATE
-                        shard.store.apply_diff(name)
-                    if shard.storage is not None and (
-                        len(add) or len(remove)
-                    ):
-                        # empty diffs (converged re-sync passes) change
-                        # nothing: don't pay a disk write for them
-                        record = encode_diff(name, add, remove)
-                        await loop.run_in_executor(
-                            None, shard.storage.append, record
-                        )
-                    result = shard.store.apply_diff(name, add=add,
-                                                    remove=remove)
                     shard.applies += 1
                 elif op == "create":
-                    name, values = args
-                    if shard.storage is not None:
-                        record = encode_create(name, values, version=0)
-                        await loop.run_in_executor(
-                            None, shard.storage.append, record
-                        )
-                    shard.store.create(name, values)
-                    result = None
                     shard.creates += 1
-                else:  # "sync" barrier
-                    result = None
-                if shard.storage is not None and shard.storage.should_compact():
-                    # background maintenance: a failed compaction must not
-                    # be charged to the (already durable, already applied)
-                    # mutation that happened to trigger it
-                    try:
-                        entries = shard.store.items()
-                        await loop.run_in_executor(
-                            None, shard.storage.compact, entries
-                        )
-                        shard.compact_error = ""
-                    except Exception as exc:
-                        shard.compact_error = f"{type(exc).__name__}: {exc}"
+                compact_error = await compact_if_due(
+                    shard.store, shard.storage
+                )
+                if compact_error is not None:
+                    shard.compact_error = compact_error
                 if not future.done():
                     future.set_result(result)
             except Exception as exc:  # surfaced to the awaiting session
@@ -485,31 +841,54 @@ class ClusterStore:
         return dict(sorted(out.items()))
 
     def cluster_stats(self) -> dict:
-        """Shard-level summary for metrics: load, queues, journal health."""
+        """Shard-level summary for metrics: load, queues, journal health.
+
+        In proc mode each shard entry additionally carries a ``worker``
+        block (pid, liveness, restart count — how crash recovery
+        surfaces in metrics) and, once decode work has flowed, the
+        worker-local ``coalescer`` counters; journal stats come from the
+        child's last acknowledgement.
+        """
         return {
             "shards": self.n_shards,
+            "executor": self.executor,
             "layout": (
                 self.manifest.to_dict() if self.manifest is not None else None
             ),
             "resizes": self.resizes,
             "sets_moved": self.sets_moved,
-            "per_shard": [
-                {
-                    "shard": shard.shard_id,
-                    "sets": len(shard.store.names()),
-                    "elements": sum(
-                        shard.store.size(n) for n in shard.store.names()
-                    ),
-                    "applies": shard.applies,
-                    "creates": shard.creates,
-                    "compact_error": shard.compact_error,
-                    "queue_depth": shard.queue.qsize(),
-                    **(
-                        shard.storage.stats()
-                        if shard.storage is not None
-                        else {}
-                    ),
-                }
-                for shard in self._shards
-            ],
+            "worker_restarts": sum(s.restarts for s in self._shards),
+            "per_shard": [self._shard_stats(shard) for shard in self._shards],
         }
+
+    def _shard_stats(self, shard: _Shard) -> dict:
+        entry = {
+            "shard": shard.shard_id,
+            "sets": len(shard.store.names()),
+            "elements": sum(
+                shard.store.size(n) for n in shard.store.names()
+            ),
+            "applies": shard.applies,
+            "creates": shard.creates,
+            "compact_error": shard.compact_error,
+            "queue_depth": shard.queue.qsize(),
+        }
+        if self.executor == "subprocess":
+            entry["worker"] = {
+                "pid": shard.worker.pid if shard.worker is not None else None,
+                "alive": bool(shard.worker is not None
+                              and shard.worker.alive),
+                "restarts": shard.restarts,
+                "restart_error": shard.restart_error,
+                "death_reason": (
+                    shard.worker.death_reason
+                    if shard.worker is not None
+                    else ""
+                ),
+            }
+            entry.update(shard.last_storage_stats)
+            if shard.last_coalescer_stats:
+                entry["coalescer"] = shard.last_coalescer_stats
+        elif shard.storage is not None:
+            entry.update(shard.storage.stats())
+        return entry

@@ -62,6 +62,15 @@ _SEED_MASK = (1 << 64) - 1
 class ClientConnection:
     """One persistent connection supporting repeated reconciliations.
 
+    Lifecycle: :meth:`connect` (HELLO/WELCOME; raises
+    :class:`ServerBusy` if shed with RETRY), then any number of
+    :meth:`sync` passes (each a full ESTIMATE/PARAMS + rounds + PUSH/
+    RESULT exchange against a fresh server snapshot; later passes may
+    also raise :class:`ServerBusy`, after which the server has closed
+    the connection), then :meth:`close`.  Usable as an async context
+    manager.  :attr:`welcome` holds the handshake ack, :attr:`passes`
+    the number of syncs issued.
+
     >>> # inside a coroutine:
     >>> # async with ClientConnection(host, port, set_name="inv") as conn:
     >>> #     first = await conn.sync(my_values)

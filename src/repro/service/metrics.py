@@ -6,6 +6,12 @@ plain-JSON dict (the ``repro serve --metrics-every`` heartbeat and the
 throughput benchmark both consume it); per-session detail reuses the same
 field names as :meth:`ReconciliationResult.to_dict` so downstream tooling
 can treat service sessions and in-process runs uniformly.
+
+Cluster-level state (shard load, journal health, and — under the
+subprocess executor — per-worker pid/liveness/restart counts) rides in
+via the ``cluster_stats`` argument of :meth:`ServiceMetrics.snapshot`,
+sourced from :meth:`ClusterStore.cluster_stats`; see
+``docs/operations.md`` ("Reading metrics") for the field-by-field guide.
 """
 
 from __future__ import annotations

@@ -13,6 +13,12 @@ Submissions are grouped by codec shape ``(field, m, t)`` — any two PBS
 sessions designed for the same difference scale share a shape, and rows
 from different codecs of the same shape are interchangeable because the
 sketch format depends only on the field and capacity.
+
+The coalescer runs wherever the decoding happens: in the server process
+(inline shard executor — one coalescer spanning every shard's sessions)
+or inside each shard worker subprocess (``repro serve --workers proc`` —
+one coalescer per worker, batching that shard's concurrent sessions; see
+:mod:`repro.cluster.proc`).
 """
 
 from __future__ import annotations

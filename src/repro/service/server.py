@@ -206,22 +206,46 @@ class ReconciliationServer:
         shard_for = getattr(self.store, "shard_for", None)
         return shard_for(name) if shard_for is not None else 0
 
+    def _shard_ready(self, shard: int) -> bool:
+        """False while the shard's worker process is dead/restarting
+        (subprocess executor); new sessions are shed with RETRY instead
+        of being accepted against a worker that cannot answer."""
+        available = getattr(self.store, "shard_available", None)
+        return available is None or available(shard)
+
+    def _unavailable_retry_s(self) -> float:
+        return float(
+            getattr(self.store, "unavailable_retry_after_s", 0.25)
+        )
+
     async def _send_retry(
-        self, stream: FramedStream, shard: int, retry_after: float
+        self, stream: FramedStream, shard: int, retry_after: float,
+        reason: str = "at capacity",
     ) -> None:
         await stream.send(
             FrameType.RETRY,
             Retry(
                 retry_after_s=retry_after,
-                message=f"shard {shard} at capacity",
+                message=f"shard {shard} {reason}",
             ).serialize(),
         )
 
     async def _decode(self, shard: int, codec, deltas):
+        """Decode one round's deltas — in-process (coalesced across all
+        sessions) by default, or on the owning shard's worker process
+        when the store runs the subprocess executor (each worker then
+        coalesces its own shard's sessions).  Admission decode-queue
+        caps apply identically in both paths."""
+        remote = getattr(self.store, "decode_remote", None)
+        decode = (
+            (lambda: remote(shard, codec, deltas))
+            if remote is not None
+            else (lambda: self.coalescer.decode(codec, deltas))
+        )
         if self.admission is None:
-            return await self.coalescer.decode(codec, deltas)
+            return await decode()
         async with self.admission.decode_slot(shard):
-            return await self.coalescer.decode(codec, deltas)
+            return await decode()
 
     async def _run_session(
         self, stream: FramedStream, session: SessionMetrics
@@ -243,6 +267,15 @@ class ReconciliationServer:
             )
         shard = self._shard_of(hello.set_name)
         session.shard = shard
+        if not self._shard_ready(shard):
+            # the shard's worker process is down (crash + restart in
+            # progress): shed before consuming an admission slot
+            session.shed = True
+            await self._send_retry(
+                stream, shard, self._unavailable_retry_s(),
+                reason="worker restarting",
+            )
+            return
         if self.admission is not None:
             retry_after = self.admission.try_admit(shard)
             if retry_after is not None:
@@ -316,6 +349,12 @@ class ReconciliationServer:
                     if not exc.partial:
                         return   # clean end-of-connection between passes
                     raise
+                if not self._shard_ready(shard):
+                    await self._send_retry(
+                        stream, shard, self._unavailable_retry_s(),
+                        reason="worker restarting",
+                    )
+                    return
                 if self.admission is not None:
                     retry_after = self.admission.try_admit(shard)
                     if retry_after is not None:

@@ -89,10 +89,18 @@ def _unpack_from(fmt: str, data: bytes, offset: int = 0) -> tuple:
         raise SerializationError(f"malformed control payload: {exc}") from exc
 
 
-def encode_frame(ftype: FrameType, payload: bytes) -> bytes:
-    """One wire frame: big-endian length, type byte, payload."""
+def encode_frame(
+    ftype: FrameType, payload: bytes, max_bytes: int = MAX_FRAME_BYTES
+) -> bytes:
+    """One wire frame: big-endian length, type byte, payload.
+
+    ``max_bytes`` is the abuse cap for this frame's body — the client
+    protocol default, or the larger internal-RPC bound
+    (:data:`repro.cluster.proc.RPC_MAX_FRAME_BYTES`) for same-host
+    worker traffic such as a recovered shard's state dump.
+    """
     body_len = 1 + len(payload)
-    if body_len > MAX_FRAME_BYTES:
+    if body_len > max_bytes:
         raise SerializationError(f"frame body of {body_len} bytes exceeds cap")
     return struct.pack("!IB", body_len, int(ftype)) + payload
 
@@ -116,19 +124,30 @@ def decode_frames(buffer: bytes) -> list[tuple[FrameType, bytes]]:
     return out
 
 
-async def read_frame(reader: asyncio.StreamReader) -> tuple[FrameType, bytes]:
+async def read_frame(
+    reader: asyncio.StreamReader,
+    frame_enum: type = None,
+    max_bytes: int = MAX_FRAME_BYTES,
+) -> tuple[FrameType, bytes]:
     """Read exactly one frame from a stream.
 
     Raises :class:`asyncio.IncompleteReadError` on EOF mid-frame and
     :class:`SerializationError` on a malformed header.
+
+    ``frame_enum`` selects which discriminator enum the type byte is
+    decoded against — :class:`FrameType` (the client protocol) by
+    default.  The subprocess shard executor
+    (:mod:`repro.cluster.proc`) reuses the identical framing for its
+    internal RPC with its own type enum and a larger ``max_bytes``.
     """
+    frame_enum = frame_enum if frame_enum is not None else FrameType
     header = await reader.readexactly(4)
     (body_len,) = struct.unpack("!I", header)
-    if body_len < 1 or body_len > MAX_FRAME_BYTES:
+    if body_len < 1 or body_len > max_bytes:
         raise SerializationError(f"bad frame length {body_len}")
     body = await reader.readexactly(body_len)
     try:
-        ftype = FrameType(body[0])
+        ftype = frame_enum(body[0])
     except ValueError as exc:
         raise SerializationError(f"unknown frame type {body[0]}") from exc
     return ftype, body[1:]
