@@ -135,8 +135,18 @@ def build_serve_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--data-dir", type=Path, default=None, metavar="DIR",
-        help="journal apply-diffs under DIR and recover named sets from "
+        help="persist apply-diffs under DIR and recover named sets from "
              "it on startup (one subdirectory per shard)",
+    )
+    parser.add_argument(
+        "--storage", choices=("journal", "sqlite"), default=None,
+        help="per-shard storage backend (requires --data-dir): 'journal' "
+             "keeps every set in RAM behind an append-only journal "
+             "(default); 'sqlite' keeps sets in one WAL-mode SQLite file "
+             "per shard and materializes them lazily, for stores bigger "
+             "than RAM.  A directory committed to the other backend "
+             "refuses to start — convert it with 'repro rebalance "
+             "--storage' (or --rebalance here)",
     )
     parser.add_argument(
         "--max-sessions", type=int, default=0, metavar="N",
@@ -182,20 +192,26 @@ def build_rebalance_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro rebalance",
         description="Migrate a cluster data directory to a new shard "
-                    "count (offline; stop the server first). Replays "
-                    "every shard's snapshot+journal, re-journals moved "
-                    "sets into their new shard directories, and commits "
-                    "with an atomic manifest epoch bump — a crash at any "
-                    "point leaves the old layout recoverable and a rerun "
-                    "is idempotent.",
+                    "count and/or storage backend (offline; stop the "
+                    "server first). Replays every shard through its "
+                    "committed backend, stages moved sets into their new "
+                    "shard directories through the target backend, and "
+                    "commits with an atomic manifest epoch bump — a "
+                    "crash at any point leaves the old layout "
+                    "recoverable and a rerun is idempotent.",
     )
     parser.add_argument(
         "--data-dir", type=Path, required=True, metavar="DIR",
-        help="the journaled cluster directory to migrate",
+        help="the cluster data directory to migrate",
     )
     parser.add_argument(
         "--shards", type=int, required=True, metavar="N",
         help="target shard count",
+    )
+    parser.add_argument(
+        "--storage", choices=("journal", "sqlite"), default=None,
+        help="also convert the shard files to this storage backend "
+             "(default: keep the directory's committed backend)",
     )
     parser.add_argument(
         "--vnodes", type=int, default=None, metavar="V",
@@ -289,7 +305,7 @@ def cmd_rebalance(argv: list[str]) -> int:
         vnodes = args.vnodes if args.vnodes is not None else DEFAULT_VNODES
         result = rebalance(
             args.data_dir, args.shards, vnodes=vnodes,
-            fsync=not args.no_fsync,
+            fsync=not args.no_fsync, storage=args.storage,
         )
     except (ReproError, OSError) as exc:
         print(f"error: cannot rebalance: {exc}", file=sys.stderr)
@@ -302,7 +318,12 @@ def cmd_rebalance(argv: list[str]) -> int:
 
 
 def cmd_serve(argv: list[str]) -> int:
-    from repro.cluster import AdmissionController, ClusterStore, rebalance
+    from repro.cluster import (
+        AdmissionController,
+        ClusterConfig,
+        open_cluster,
+        rebalance,
+    )
     from repro.errors import ReproError
     from repro.service import DecodeCoalescer, ReconciliationServer, SetStore
 
@@ -331,6 +352,11 @@ def cmd_serve(argv: list[str]) -> int:
         # nothing at all
         print("error: --fsync requires --data-dir", file=sys.stderr)
         return 2
+    if args.storage is not None and args.data_dir is None:
+        # same trap: naming a backend while persisting nothing
+        print("error: --storage requires --data-dir", file=sys.stderr)
+        return 2
+    storage = args.storage if args.storage is not None else "journal"
     if args.rebalance:
         if args.data_dir is None:
             print("error: --rebalance requires --data-dir", file=sys.stderr)
@@ -342,7 +368,8 @@ def cmd_serve(argv: list[str]) -> int:
         # deploy script works on first boot too.
         if args.data_dir.exists():
             try:
-                result = rebalance(args.data_dir, shards)
+                result = rebalance(args.data_dir, shards,
+                                   storage=args.storage)
             except (ReproError, OSError) as exc:
                 print(f"error: cannot rebalance: {exc}", file=sys.stderr)
                 return 2
@@ -363,13 +390,16 @@ def cmd_serve(argv: list[str]) -> int:
         shards > 1 or args.data_dir is not None or args.workers == "proc"
     )
     store = (
-        ClusterStore(
-            shards=shards,
-            data_dir=args.data_dir,
-            fsync=args.fsync,
-            executor="subprocess" if args.workers == "proc" else "inline",
-            worker_window_s=args.window_ms / 1000.0,
-            worker_coalesce=not args.no_coalesce,
+        open_cluster(
+            args.data_dir,
+            ClusterConfig(
+                shards=shards,
+                storage=storage,
+                fsync=args.fsync,
+                executor="subprocess" if args.workers == "proc" else "inline",
+                worker_window_s=args.window_ms / 1000.0,
+                worker_coalesce=not args.no_coalesce,
+            ),
         )
         if cluster
         else SetStore()
@@ -437,6 +467,7 @@ def cmd_serve(argv: list[str]) -> int:
                 f"shards={shards} "
                 f"workers={args.workers} "
                 f"data_dir={args.data_dir or '-'} "
+                f"storage={storage if args.data_dir else '-'} "
                 f"sets={store.names() or '[]'}",
                 file=sys.stderr,
                 flush=True,

@@ -5,19 +5,32 @@ Pieces (bottom up):
 * :mod:`repro.cluster.ring` — consistent-hash ring mapping set names to
   shards with minimal movement on resize (``diff`` computes the move
   plan between two layouts);
-* :mod:`repro.cluster.journal` — per-shard append-only apply-diff
-  journal with checksummed records and atomic snapshot compaction
-  (epoch-qualified file names, offline replay helpers);
+* :mod:`repro.cluster.storage` — the :class:`StorageBackend` contract:
+  what it means to persist one shard (durable-before-visible ordering,
+  iteration, staging, compaction), plus the shared mutation protocol
+  both executors route through;
+* :mod:`repro.cluster.journal` — :class:`JournalBackend`: per-shard
+  append-only apply-diff journal with checksummed records and atomic
+  snapshot compaction (epoch-qualified file names, offline replay
+  helpers) — the in-RAM backend;
+* :mod:`repro.cluster.sqlite` — :class:`SqliteBackend`: one WAL-mode
+  SQLite file per shard with lazily materialized sets — the
+  bigger-than-RAM backend (``repro serve --storage sqlite``);
 * :mod:`repro.cluster.manifest` — the committed layout of a data
-  directory (shard count, vnodes, layout epoch); startup refuses a
-  topology mismatch instead of silently remapping sets;
-* :mod:`repro.cluster.rebalance` — offline journaled resize: replay,
-  stage moved sets under the next epoch, commit via one atomic manifest
-  replace (crash-safe, idempotent);
+  directory (shard count, vnodes, layout epoch, storage backend);
+  startup refuses a topology *or storage* mismatch instead of silently
+  recovering sets empty;
+* :mod:`repro.cluster.rebalance` — offline resize / backend conversion:
+  replay through the committed backend, stage under the next epoch
+  through the new one, commit via one atomic manifest replace
+  (crash-safe, idempotent);
+* :mod:`repro.cluster.config` — :class:`ClusterConfig` +
+  :func:`open_cluster`, the front door that replaced the keyword
+  sprawl on ``ClusterStore(...)``;
 * :mod:`repro.cluster.router` — :class:`ClusterStore`, the async sharded
   facade the server consults (one worker per shard, each owning a
-  :class:`~repro.service.store.SetStore` and its journal), with a live
-  drain-and-swap :meth:`~ClusterStore.resize`;
+  :class:`~repro.service.store.SetStore` and its storage backend), with
+  a live drain-and-swap :meth:`~ClusterStore.resize`;
 * :mod:`repro.cluster.proc` — the ``subprocess`` shard executor: shard
   workers as child processes speaking the service framing as an
   internal RPC, so BCH decode CPU scales across cores
@@ -31,10 +44,16 @@ from repro.cluster.admission import (
     AdmissionController,
     retry_delay,
 )
+from repro.cluster.config import (
+    CONFIG_FIELDS,
+    EXECUTORS,
+    ClusterConfig,
+    open_cluster,
+)
 from repro.cluster.journal import (
+    JournalBackend,
     JournalCorruptError,
     Record,
-    ShardStorage,
     encode_create,
     encode_diff,
     journal_filename,
@@ -47,6 +66,7 @@ from repro.cluster.manifest import (
     MANIFEST_NAME,
     ClusterManifest,
     ManifestError,
+    StorageMismatchError,
     TopologyMismatchError,
     load_manifest,
     write_manifest,
@@ -64,15 +84,28 @@ from repro.cluster.rebalance import (
 )
 from repro.cluster.ring import DEFAULT_VNODES, HashRing
 from repro.cluster.router import ClusterStore
+from repro.cluster.sqlite import SqliteBackend
+from repro.cluster.storage import (
+    BACKEND_NAMES,
+    StorageBackend,
+    StorageCorruptError,
+    backend_class,
+    open_backend,
+)
 
 __all__ = [
     "AdmissionController",
+    "BACKEND_NAMES",
+    "CONFIG_FIELDS",
+    "ClusterConfig",
     "ClusterManifest",
     "ClusterStore",
     "DEFAULT_RESTART_BACKOFF_S",
     "DEFAULT_RETRY_AFTER_S",
     "DEFAULT_VNODES",
+    "EXECUTORS",
     "HashRing",
+    "JournalBackend",
     "JournalCorruptError",
     "MANIFEST_NAME",
     "ManifestError",
@@ -80,14 +113,21 @@ __all__ = [
     "RebalanceResult",
     "Record",
     "ShardStorage",
+    "SqliteBackend",
+    "StorageBackend",
+    "StorageCorruptError",
+    "StorageMismatchError",
     "TopologyMismatchError",
     "WorkerSupervisor",
     "WorkerUnavailableError",
+    "backend_class",
     "encode_create",
     "encode_diff",
     "fork_safe_cpu_count",
     "journal_filename",
     "load_manifest",
+    "open_backend",
+    "open_cluster",
     "read_records",
     "rebalance",
     "replay_shard",
@@ -96,3 +136,19 @@ __all__ = [
     "write_manifest",
     "write_snapshot",
 ]
+
+
+def __getattr__(name: str):
+    # Pre-PR-6 import path for the journal backend; kept working with a
+    # deprecation nudge toward the backend-neutral name.
+    if name == "ShardStorage":
+        import warnings
+
+        warnings.warn(
+            "repro.cluster.ShardStorage is deprecated; use "
+            "repro.cluster.JournalBackend (or open_backend('journal', ...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return JournalBackend
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

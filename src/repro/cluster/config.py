@@ -1,0 +1,120 @@
+"""Cluster construction: one config object instead of kwarg sprawl.
+
+``ClusterStore(...)`` had grown nine keyword arguments threaded through
+``repro serve``, the rebalance, and every test that builds a cluster —
+and PR 6's storage backends would have made it eleven.
+:class:`ClusterConfig` gathers every knob that shapes a cluster into a
+single validated, frozen dataclass, and :func:`open_cluster` is the
+front door::
+
+    from repro.cluster import ClusterConfig, open_cluster
+
+    config = ClusterConfig(shards=4, storage="sqlite", fsync=True)
+    async with open_cluster(data_dir, config) as store:
+        ...
+
+``data_dir`` stays a positional argument rather than a config field:
+the config describes *how* a cluster behaves, the data dir says *which*
+durable state it owns — the same config is routinely reused across
+directories (tests, benchmarks, blue/green restarts).
+
+The pre-PR-6 keyword constructor still works via a shim on
+``ClusterStore`` that emits :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.cluster.proc import DEFAULT_RESTART_BACKOFF_S, DEFAULT_WINDOW_S
+from repro.cluster.ring import DEFAULT_VNODES
+from repro.cluster.storage import BACKEND_NAMES
+
+#: Shard executor names: ``inline`` (one asyncio task per shard) or
+#: ``subprocess`` (one worker child per shard).
+EXECUTORS = ("inline", "subprocess")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything that shapes a :class:`~repro.cluster.router.ClusterStore`.
+
+    Grouped by concern — topology (``shards``, ``vnodes``), storage
+    (``storage`` backend name plus the tuning knobs forwarded to it),
+    and execution (``executor`` and the worker knobs).  ``None`` tuning
+    values mean "the backend's default"."""
+
+    # -- topology --
+    shards: int = 1
+    vnodes: int = DEFAULT_VNODES
+    # -- storage --
+    storage: str = "journal"
+    fsync: bool = False
+    compact_min_bytes: int | None = None
+    compact_factor: int | None = None
+    #: LRU cap on materialized sets per shard (sqlite backend only)
+    cache_sets: int | None = None
+    # -- execution --
+    executor: str = "inline"
+    worker_window_s: float = DEFAULT_WINDOW_S
+    worker_coalesce: bool = True
+    restart_backoff_s: float = DEFAULT_RESTART_BACKOFF_S
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {self.vnodes}")
+        if self.storage not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown storage backend {self.storage!r}; expected one "
+                f"of " + ", ".join(BACKEND_NAMES)
+            )
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {EXECUTORS}, "
+                f"got {self.executor!r}"
+            )
+        if self.worker_window_s < 0:
+            raise ValueError(
+                f"worker_window_s must be >= 0, got {self.worker_window_s}"
+            )
+        if self.restart_backoff_s < 0:
+            raise ValueError(
+                f"restart_backoff_s must be >= 0, got "
+                f"{self.restart_backoff_s}"
+            )
+
+    def storage_kwargs(self) -> dict:
+        """The tuning kwargs for :func:`repro.cluster.storage.open_backend`
+        (``None`` values omitted so backend defaults apply)."""
+        kwargs = {"fsync": self.fsync}
+        for key in ("compact_min_bytes", "compact_factor", "cache_sets"):
+            value = getattr(self, key)
+            if value is not None:
+                kwargs[key] = value
+        return kwargs
+
+    def replace(self, **changes) -> "ClusterConfig":
+        """A copy with ``changes`` applied (dataclasses.replace, spelled
+        as a method so call sites don't import it)."""
+        import dataclasses
+
+        return dataclasses.replace(self, **changes)
+
+
+#: The ClusterConfig field names — the shim in ``ClusterStore.__init__``
+#: accepts exactly these as legacy keywords.
+CONFIG_FIELDS = tuple(f.name for f in fields(ClusterConfig))
+
+
+def open_cluster(data_dir=None, config: ClusterConfig | None = None):
+    """Build a :class:`~repro.cluster.router.ClusterStore`.
+
+    ``data_dir=None`` is a memory-only cluster.  The store is returned
+    un-started; use ``async with`` (or ``await store.start()``) as
+    before.  Imports the router lazily so config construction stays
+    cheap for tooling."""
+    from repro.cluster.router import ClusterStore
+
+    return ClusterStore(data_dir=data_dir, config=config)

@@ -37,7 +37,6 @@ manifest, so a crash mid-rebalance never damages the current layout
 
 from __future__ import annotations
 
-import asyncio
 import os
 import struct
 from dataclasses import dataclass, field
@@ -45,9 +44,31 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.cluster.storage import (
+    StorageBackend,
+    StorageCorruptError,
+    apply_mutation,
+    compact_if_due,
+)
 from repro.core.checksum import set_checksum
 from repro.errors import ReproError
 from repro.service.store import SetStore, UnknownSetError
+
+__all__ = [
+    "JournalBackend",
+    "JournalCorruptError",
+    "Record",
+    "ShardStorage",
+    "apply_mutation",
+    "compact_if_due",
+    "encode_create",
+    "encode_diff",
+    "journal_filename",
+    "read_records",
+    "replay_shard",
+    "snapshot_filename",
+    "write_snapshot",
+]
 
 OP_CREATE = 1
 OP_DIFF = 2
@@ -64,7 +85,7 @@ COMPACT_MIN_BYTES = 1 << 16
 COMPACT_FACTOR = 4
 
 
-class JournalCorruptError(ReproError):
+class JournalCorruptError(StorageCorruptError):
     """A snapshot file failed to parse (journals tolerate torn tails)."""
 
 
@@ -207,21 +228,35 @@ def read_records(data: bytes) -> tuple[list[Record], int, str]:
     return records, offset, ""
 
 
-class ShardStorage:
+class JournalBackend(StorageBackend):
     """One shard's on-disk state: ``snapshot.bin`` + ``journal.log``.
 
-    The caller owns serialization — appends must not interleave — and
-    decides *when* to compact; this class owns the bytes and the
-    crash-safety protocol.  There is exactly one writing owner per shard
-    directory: the inline shard worker task
-    (:mod:`repro.cluster.router`) or the shard's worker subprocess
-    (:mod:`repro.cluster.proc`), selected by the store's executor.
+    The original (PR 3) storage backend, now behind the
+    :class:`repro.cluster.storage.StorageBackend` protocol — the
+    whole store lives in memory and every byte is replayed at open, so
+    it is the low-latency choice for stores that fit in RAM
+    (``SqliteBackend`` is the bigger-than-RAM one).  The caller owns
+    serialization — appends must not interleave — and decides *when* to
+    compact; this class owns the bytes and the crash-safety protocol.
+    There is exactly one writing owner per shard directory: the inline
+    shard worker task (:mod:`repro.cluster.router`) or the shard's
+    worker subprocess (:mod:`repro.cluster.proc`), selected by the
+    store's executor.
 
-    Lifecycle: :meth:`recover` (replay + open for appends), then any
-    number of :meth:`append` / :meth:`compact` calls, then
-    :meth:`close` (idempotent).  :meth:`replay` is the read-only half
-    used by offline tooling (:func:`replay_shard`, the rebalance).
+    Lifecycle: :meth:`open_store` (replay + open for appends), then any
+    number of :meth:`record_diff` / :meth:`record_create` /
+    :meth:`compact` calls, then :meth:`close` (idempotent).
+    :meth:`replay` is the read-only half used by offline tooling
+    (:func:`replay_shard`, the rebalance).  Durable writes are
+    ``concurrent_writes`` (appends run on worker threads while the event
+    loop serves) and honour the durable-before-visible ordering of
+    :mod:`repro.cluster.storage`.
     """
+
+    name = "journal"
+    concurrent_writes = True
+    compact_from_entries = True
+    TUNING = frozenset({"fsync", "compact_min_bytes", "compact_factor"})
 
     def __init__(
         self,
@@ -254,6 +289,51 @@ class ShardStorage:
         self.skipped_records = 0
         self.truncated_bytes = 0
         self.tail_error = ""
+
+    # -- StorageBackend protocol ----------------------------------------------
+    def open_store(self) -> SetStore:
+        """Recover snapshot-then-journal into a fresh live store.
+
+        Replay runs with the persistence hook unset (recovered records
+        must not be re-journaled); the hook is wired afterwards so any
+        direct ``store.apply_diff`` / ``store.create`` is journal-first.
+        """
+        store = SetStore()
+        self.recover(store)
+        store.persistence = self
+        return store
+
+    def record_create(self, name: str, values, version: int = 0) -> None:
+        """Durably append one full-state CREATE record."""
+        self.append(encode_create(name, values, version=version))
+
+    def record_diff(self, name: str, add=(), remove=()) -> None:
+        """Durably append one DIFF record (caller validated the target)."""
+        self.append(encode_diff(name, add=add, remove=remove))
+
+    def iter_sets(self):
+        """``(name, values, version)`` from the committed files.
+
+        Re-reads snapshot + journal from disk (offline readers open
+        their own ``create=False`` instance; the live owner's appends
+        are flushed on every write, so its committed state is on disk
+        too).  Replays via a scratch instance so this instance's
+        recovery counters stay truthful."""
+        scratch = JournalBackend(self.directory, epoch=self.epoch,
+                                 create=False)
+        store = SetStore()
+        scratch.replay(store)
+        yield from store.items()
+
+    @classmethod
+    def data_filenames(cls, epoch: int = 0) -> set:
+        return {snapshot_filename(epoch), journal_filename(epoch)}
+
+    @classmethod
+    def stage(cls, directory, entries, epoch: int = 0,
+              fsync: bool = True) -> int:
+        return write_snapshot(directory, entries, epoch=epoch,
+                              dir_fsync=fsync)
 
     # -- recovery --------------------------------------------------------------
     def recover(self, store: SetStore) -> None:
@@ -385,73 +465,15 @@ class ShardStorage:
         }
 
 
-# -- the shared journal-first mutation protocol --------------------------------
+# The shared durable-first mutation protocol (``apply_mutation`` /
+# ``compact_if_due``) lives in :mod:`repro.cluster.storage` now that it
+# serves every backend; both names are re-imported above so historical
+# ``from repro.cluster.journal import apply_mutation`` call sites keep
+# working.
 
-async def apply_mutation(store: SetStore, storage: ShardStorage | None,
-                         op: str, args: tuple):
-    """Apply one shard mutation with the journal-first protocol.
-
-    This is the *single* definition of how a shard worker mutates —
-    the inline executor's task loop and the subprocess executor's child
-    both route through it, which is what keeps the two executors'
-    stores and journals bit-for-bit interchangeable:
-
-    * ``apply`` ``(name, add, remove)`` — raise the store's own
-      :class:`UnknownSetError` *before* journaling (a DIFF record must
-      never precede its CREATE), skip the disk write for empty diffs
-      (converged re-sync passes change nothing), journal, then mutate;
-      returns the changed-element count.
-    * ``create`` / ``restore`` ``(name, values, version)`` — journal the
-      full-state CREATE record, then replace the set.
-    * ``sync`` — a no-op ordering barrier.
-
-    The record hits the disk *before* the store mutates: a failed append
-    leaves the store untouched, and no concurrent snapshot can observe
-    state that a crash-recovery would roll back.  Appends run in the
-    default thread-pool executor so journals commit in parallel across
-    shards while the event loop keeps serving.
-    """
-    loop = asyncio.get_running_loop()
-    if op == "apply":
-        name, add, remove = args
-        if name not in store:
-            # raise the store's own error *before* journaling
-            store.apply_diff(name)
-        if storage is not None and (len(add) or len(remove)):
-            record = encode_diff(name, add, remove)
-            await loop.run_in_executor(None, storage.append, record)
-        return store.apply_diff(name, add=add, remove=remove)
-    if op in ("create", "restore"):
-        name, values, version = args
-        if storage is not None:
-            record = encode_create(name, values, version=version)
-            await loop.run_in_executor(None, storage.append, record)
-        store.create(name, values, version=version)
-        return None
-    if op == "sync":
-        return None
-    raise ReproError(f"unknown shard mutation op {op!r}")
-
-
-async def compact_if_due(store: SetStore,
-                         storage: ShardStorage | None) -> str | None:
-    """Run a due background compaction; shared by both executors.
-
-    Returns ``None`` when no compaction was due, ``""`` after a
-    successful one, and the error string after a failed one — a failed
-    compaction must never be charged to the (already durable, already
-    applied) mutation that happened to trigger it.
-    """
-    if storage is None or not storage.should_compact():
-        return None
-    try:
-        entries = store.items()
-        await asyncio.get_running_loop().run_in_executor(
-            None, storage.compact, entries
-        )
-        return ""
-    except Exception as exc:
-        return f"{type(exc).__name__}: {exc}"
+#: Pre-PR-6 name of :class:`JournalBackend` (plain alias here;
+#: ``repro.cluster.ShardStorage`` additionally warns).
+ShardStorage = JournalBackend
 
 
 # -- offline helpers (rebalance / tooling) -------------------------------------
@@ -502,7 +524,7 @@ def replay_shard(
     mkdir — so a rebalance planning pass leaves the directory tree
     byte-identical.
     """
-    storage = ShardStorage(directory, epoch=epoch, create=False)
+    storage = JournalBackend(directory, epoch=epoch, create=False)
     store = SetStore()
     storage.replay(store)
     return store, storage.stats()

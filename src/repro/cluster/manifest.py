@@ -40,7 +40,12 @@ from repro.errors import ReproError
 MANIFEST_NAME = "manifest.json"
 
 #: Manifest schema version (bump on incompatible layout changes).
-MANIFEST_FORMAT = 1
+#: Format 2 (PR 6) added the ``storage`` backend field; format-1 files
+#: are still read, with ``storage`` defaulting to ``"journal"`` (the
+#: only backend that existed when they were written).
+MANIFEST_FORMAT = 2
+
+_READABLE_FORMATS = (1, 2)
 
 _SHARD_DIR_RE = re.compile(r"^shard-(\d+)$")
 
@@ -54,6 +59,17 @@ class TopologyMismatchError(ManifestError):
 
     Raised instead of silently remapping set names to shards that never
     journaled them (the PR-3 data-loss bug this module exists to fix).
+    """
+
+
+class StorageMismatchError(ManifestError):
+    """The requested storage backend does not match the committed one.
+
+    The shard files on disk belong to the committed backend; opening
+    them with another would recover every set empty (the new backend
+    sees no files of its own) — the storage twin of
+    :class:`TopologyMismatchError`, fixed the same way: an offline
+    ``repro rebalance --storage`` converts the shard files first.
     """
 
 
@@ -83,6 +99,9 @@ class ClusterManifest:
     #: layout epoch each shard directory's files were last rewritten at
     #: (selects the epoch-qualified file names inside ``shard-NN/``)
     shard_epochs: list[int] = field(default_factory=list)
+    #: storage backend name the shard files were written by
+    #: (:data:`repro.cluster.storage.BACKEND_NAMES`)
+    storage: str = "journal"
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -91,6 +110,10 @@ class ClusterManifest:
             raise ManifestError(f"vnodes must be >= 1, got {self.vnodes}")
         if self.epoch < 0:
             raise ManifestError(f"epoch must be >= 0, got {self.epoch}")
+        if not self.storage or not isinstance(self.storage, str):
+            raise ManifestError(
+                f"storage must be a backend name, got {self.storage!r}"
+            )
         if not self.shard_epochs:
             self.shard_epochs = [0] * self.shards
         if len(self.shard_epochs) != self.shards:
@@ -109,13 +132,14 @@ class ClusterManifest:
             "vnodes": self.vnodes,
             "epoch": self.epoch,
             "shard_epochs": list(self.shard_epochs),
+            "storage": self.storage,
         }
 
     @classmethod
     def from_dict(cls, data: dict, source: str = "manifest") -> "ClusterManifest":
         if not isinstance(data, dict):
             raise ManifestError(f"{source}: not a JSON object")
-        if data.get("format") != MANIFEST_FORMAT:
+        if data.get("format") not in _READABLE_FORMATS:
             raise ManifestError(
                 f"{source}: unsupported manifest format {data.get('format')!r}"
             )
@@ -125,6 +149,7 @@ class ClusterManifest:
                 vnodes=int(data["vnodes"]),
                 epoch=int(data["epoch"]),
                 shard_epochs=[int(e) for e in data["shard_epochs"]],
+                storage=str(data.get("storage", "journal")),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ManifestError(f"{source}: malformed manifest: {exc}") from None
@@ -207,27 +232,34 @@ def infer_legacy_manifest(
 
 
 def load_or_adopt(
-    data_dir: str | Path, shards: int, vnodes: int
+    data_dir: str | Path, shards: int, vnodes: int,
+    storage: str = "journal",
 ) -> ClusterManifest:
     """The startup check: the committed layout, verified against the ask.
 
     * manifest present and matching — return it;
-    * manifest present and differing — :class:`TopologyMismatchError`
+    * manifest present and differing (topology *or* storage backend) —
+      :class:`TopologyMismatchError` / :class:`StorageMismatchError`
       (run ``repro rebalance`` first, never silently remap);
     * no manifest, pre-manifest shard directories matching ``shards`` —
-      adopt: write and return a fresh epoch-0 manifest;
+      adopt: write and return a fresh epoch-0 journal manifest (legacy
+      directories are journal-format by definition; a sqlite ask then
+      refuses with the mismatch error);
     * no manifest, shard directories differing — refuse like a mismatch;
-    * empty directory — initialize it with a fresh epoch-0 manifest.
+    * empty directory — initialize it with a fresh epoch-0 manifest
+      committed to ``storage``.
     """
     data_dir = Path(data_dir)
     manifest = load_manifest(data_dir)
     if manifest is None:
-        manifest = infer_legacy_manifest(data_dir, vnodes=vnodes)
-        if manifest is not None and manifest.shards == shards:
-            write_manifest(data_dir, manifest)
-            return manifest
+        adopted = infer_legacy_manifest(data_dir, vnodes=vnodes)
+        if adopted is not None and adopted.shards == shards:
+            write_manifest(data_dir, adopted)
+        manifest = adopted
     if manifest is None:
-        manifest = ClusterManifest(shards=shards, vnodes=vnodes, epoch=0)
+        manifest = ClusterManifest(
+            shards=shards, vnodes=vnodes, epoch=0, storage=storage
+        )
         write_manifest(data_dir, manifest)
         return manifest
     if manifest.shards != shards or manifest.vnodes != vnodes:
@@ -238,5 +270,14 @@ def load_or_adopt(
             f"anyway would recover remapped sets empty.  Run "
             f"'repro rebalance --data-dir {data_dir} --shards {shards}' "
             f"(or 'repro serve --rebalance') to migrate the journals first."
+        )
+    if manifest.storage != storage:
+        raise StorageMismatchError(
+            f"{data_dir} is committed to the {manifest.storage!r} storage "
+            f"backend but {storage!r} was requested; the shard files on "
+            f"disk are {manifest.storage} files, so starting anyway would "
+            f"recover every set empty.  Run 'repro rebalance --data-dir "
+            f"{data_dir} --shards {shards} --storage {storage}' to convert "
+            f"the shard files first."
         )
     return manifest

@@ -6,7 +6,8 @@ simple, and bounded by **one core**: PR 1's batched BCH decode engine
 saturates a single CPU no matter how many shards are configured.  This
 module is the ``subprocess`` executor: each shard worker becomes a child
 process that owns the shard's :class:`~repro.service.store.SetStore` and
-:class:`~repro.cluster.journal.ShardStorage` (journal + snapshot) for
+:class:`~repro.cluster.storage.StorageBackend` (journal files or the
+SQLite store, per the cluster config) for
 its shard directory, and the router proxies mutations *and decode work*
 to it over a local socket speaking the service's own length-prefixed
 framing (:mod:`repro.service.wire`) as an internal RPC.  Decode CPU then
@@ -72,10 +73,11 @@ import sys
 from dataclasses import dataclass
 
 from repro.bch.codec import BCHCodec
-from repro.cluster.journal import (
-    ShardStorage,
+from repro.cluster.storage import (
+    StorageBackend,
     apply_mutation,
     compact_if_due,
+    open_backend,
 )
 from repro.errors import ReproError
 from repro.gf import field_for
@@ -145,11 +147,13 @@ class WorkerConfig:
     port: int                  #: parent's loopback RPC listener
     token: bytes               #: supervisor secret the child must present
     generation: int            #: spawn counter (stale children don't match)
-    shard_dir: str | None      #: journal directory (None = in-memory shard)
+    shard_dir: str | None      #: storage directory (None = in-memory shard)
     epoch: int = 0             #: layout epoch of the shard's files
+    storage: str = "journal"   #: storage backend name (see cluster.storage)
     fsync: bool = False
     compact_min_bytes: int | None = None
     compact_factor: int | None = None
+    cache_sets: int | None = None   #: sqlite backend's LRU cap
     #: worker-local decode-coalescer window (the service default)
     window_s: float = DEFAULT_WINDOW_S
     coalesce: bool = True      #: False = decode each session separately
@@ -173,16 +177,21 @@ def worker_main(config: WorkerConfig) -> None:
 
 
 async def _worker_async(cfg: WorkerConfig) -> None:
-    store = SetStore()
-    storage: ShardStorage | None = None
+    storage: StorageBackend | None = None
     if cfg.shard_dir is not None:
-        kwargs = {"fsync": cfg.fsync, "epoch": cfg.epoch}
+        kwargs = {"fsync": cfg.fsync}
         if cfg.compact_min_bytes is not None:
             kwargs["compact_min_bytes"] = cfg.compact_min_bytes
         if cfg.compact_factor is not None:
             kwargs["compact_factor"] = cfg.compact_factor
-        storage = ShardStorage(cfg.shard_dir, **kwargs)
-        storage.recover(store)
+        if cfg.cache_sets is not None:
+            kwargs["cache_sets"] = cfg.cache_sets
+        storage = open_backend(
+            cfg.storage, cfg.shard_dir, epoch=cfg.epoch, **kwargs
+        )
+        store = storage.open_store()
+    else:
+        store = SetStore()
     reader, writer = await asyncio.open_connection("127.0.0.1", cfg.port)
     worker = _Worker(cfg, store, storage, reader, writer)
     try:
@@ -294,7 +303,7 @@ class _Worker:
 
     async def _mutation_loop(self) -> None:
         """Apply mutations in arrival order via the *shared*
-        journal-first protocol (:func:`repro.cluster.journal.
+        durable-first protocol (:func:`repro.cluster.storage.
         apply_mutation` — the same code the inline executor runs, so the
         executors stay bit-for-bit interchangeable)."""
         while True:
@@ -514,10 +523,14 @@ class WorkerSupervisor:
         window_s: float = DEFAULT_WINDOW_S,
         coalesce: bool = True,
         batch: bool = True,
+        storage: str = "journal",
+        cache_sets: int | None = None,
     ) -> None:
+        self.storage = storage
         self.fsync = fsync
         self.compact_min_bytes = compact_min_bytes
         self.compact_factor = compact_factor
+        self.cache_sets = cache_sets
         self.window_s = window_s
         self.coalesce = coalesce
         self.batch = batch
@@ -608,9 +621,11 @@ class WorkerSupervisor:
             generation=generation,
             shard_dir=str(shard_dir) if shard_dir is not None else None,
             epoch=epoch,
+            storage=self.storage,
             fsync=self.fsync,
             compact_min_bytes=self.compact_min_bytes,
             compact_factor=self.compact_factor,
+            cache_sets=self.cache_sets,
             window_s=self.window_s,
             coalesce=self.coalesce,
             batch=self.batch,

@@ -1,36 +1,44 @@
 """Offline, journaled shard rebalance: resize without losing a byte.
 
-``rebalance(data_dir, shards)`` migrates a journaled cluster directory
-from its committed topology (the manifest's) to a new shard count, fixing
-PR 3's silent data-loss bug: previously the ring remapped ~1/(N+1) of the
-set names on resize while their journal/snapshot bytes stayed in the old
-shard directories, so moved sets recovered **empty**.
+``rebalance(data_dir, shards)`` migrates a cluster directory from its
+committed topology (the manifest's) to a new shard count, fixing PR 3's
+silent data-loss bug: previously the ring remapped ~1/(N+1) of the set
+names on resize while their shard-file bytes stayed in the old shard
+directories, so moved sets recovered **empty**.  Since PR 6 the same
+procedure also converts between storage backends
+(``rebalance(..., storage="sqlite")``): every shard's sets are read
+through the committed backend's iterator and staged through the new
+backend's writer, so ``journal`` and ``sqlite`` directories migrate in
+either direction with versions preserved.
 
 The protocol (all offline — run it against a stopped server, or let
 :meth:`ClusterStore.resize` drain the workers first):
 
-1. **Replay** every committed shard directory read-only
-   (:func:`repro.cluster.journal.replay_shard`) into a full
-   ``name -> (values, version, source_shard)`` map.  Torn journal tails
-   are skipped, not truncated: the planning pass leaves the current
-   layout byte-identical.
+1. **Replay** every committed shard directory read-only through the
+   committed backend (:meth:`repro.cluster.storage.StorageBackend.iter_sets`)
+   into a full ``name -> (values, version, source_shard)`` map.  Torn
+   journal tails are skipped, not truncated: the planning pass leaves
+   the current layout byte-identical.
 2. **Plan** placement under the new ring.  A shard is *affected* when
-   its set membership changes (it gains or loses at least one set) or it
-   is brand new; unaffected shards keep their files untouched.
-3. **Stage** each affected shard's complete new state as an
-   epoch-qualified snapshot — §2.2.3-checksummed CREATE records
-   (versions preserved), written via temp-file + fsync + rename under
-   the *next* layout epoch's file name, next to the current epoch's
-   files.  Nothing the committed manifest references is modified.
+   its set membership changes (it gains or loses at least one set), it
+   is brand new, or the run converts storage backends (every surviving
+   shard is then rewritten in the new format); unaffected shards keep
+   their files untouched.
+3. **Stage** each affected shard's complete new state through the *new*
+   backend's :meth:`~repro.cluster.storage.StorageBackend.stage`
+   (versions preserved, written atomically under the *next* layout
+   epoch's file names, next to the current epoch's files).  Nothing the
+   committed manifest references is modified.
 4. **Commit** by atomically replacing ``manifest.json`` with the new
-   shard count, the bumped epoch, and the per-shard epoch map.  This is
-   the single commit point: a crash any time before it leaves the old
-   epoch fully valid (stale staged files are orphans a rerun simply
-   overwrites — the whole procedure is idempotent); a crash any time
-   after it leaves the new epoch fully recoverable.
+   shard count, storage backend, the bumped epoch, and the per-shard
+   epoch map.  This is the single commit point: a crash any time before
+   it leaves the old epoch fully valid (stale staged files are orphans
+   a rerun simply overwrites — the whole procedure is idempotent); a
+   crash any time after it leaves the new epoch fully recoverable.
 5. **Sweep** (best effort, post-commit): delete files from superseded
-   epochs and shard directories beyond the new count.  A crash here
-   costs only disk space; the next rebalance sweeps again.
+   epochs — including the old backend's files after a conversion — and
+   shard directories beyond the new count.  A crash here costs only
+   disk space; the next rebalance sweeps again.
 
 Shrinking is the same procedure — sets from removed shards are staged
 into survivors and the orphaned ``shard-NN`` directories are swept after
@@ -43,12 +51,6 @@ import shutil
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.cluster.journal import (
-    journal_filename,
-    replay_shard,
-    snapshot_filename,
-    write_snapshot,
-)
 from repro.cluster.manifest import (
     ClusterManifest,
     discover_shard_dirs,
@@ -58,6 +60,7 @@ from repro.cluster.manifest import (
     write_manifest,
 )
 from repro.cluster.ring import DEFAULT_VNODES, HashRing
+from repro.cluster.storage import backend_class
 from repro.errors import ReproError
 
 
@@ -76,6 +79,10 @@ class RebalanceResult:
     old_epoch: int
     new_epoch: int
     vnodes: int
+    #: storage backend the directory was committed to before / after
+    #: (differing means this run converted the shard files)
+    old_storage: str = "journal"
+    new_storage: str = "journal"
     sets_total: int = 0
     #: name -> (source_shard, destination_shard) for every physically
     #: moved set
@@ -93,6 +100,10 @@ class RebalanceResult:
     def moved_count(self) -> int:
         return len(self.moved)
 
+    @property
+    def converted(self) -> bool:
+        return self.old_storage != self.new_storage
+
     def to_dict(self) -> dict:
         return {
             "data_dir": self.data_dir,
@@ -102,6 +113,8 @@ class RebalanceResult:
             "old_epoch": self.old_epoch,
             "new_epoch": self.new_epoch,
             "vnodes": self.vnodes,
+            "old_storage": self.old_storage,
+            "new_storage": self.new_storage,
             "sets_total": self.sets_total,
             "moved_count": self.moved_count,
             "moved": {name: list(pair) for name, pair in sorted(self.moved.items())},
@@ -114,10 +127,17 @@ class RebalanceResult:
         if not self.changed:
             return (
                 f"{self.data_dir}: already at {self.new_shards} shards "
-                f"(layout epoch {self.new_epoch}); nothing to do"
+                f"on {self.new_storage} storage (layout epoch "
+                f"{self.new_epoch}); nothing to do"
             )
+        storage_part = (
+            f", storage {self.old_storage} -> {self.new_storage}"
+            if self.converted
+            else ""
+        )
         return (
-            f"{self.data_dir}: {self.old_shards} -> {self.new_shards} shards, "
+            f"{self.data_dir}: {self.old_shards} -> {self.new_shards} shards"
+            f"{storage_part}, "
             f"layout epoch {self.old_epoch} -> {self.new_epoch}; moved "
             f"{self.moved_count}/{self.sets_total} sets, rewrote shards "
             f"{self.rewritten_shards}"
@@ -128,24 +148,23 @@ class RebalanceResult:
 def _sweep_stale(data_dir: Path, manifest: ClusterManifest) -> list[str]:
     """Post-commit cleanup: drop files the committed manifest never reads.
 
-    Only our own artifacts are touched — ``snapshot*``/``journal*`` files
-    whose epoch is not the shard's committed one, leftover ``*.tmp``
-    staging files, and whole ``shard-NN`` directories beyond the
-    committed shard count.  Best effort by design: everything here is
-    invisible to recovery, so a crash mid-sweep is merely disk space.
+    Only our own artifacts are touched — ``snapshot*`` / ``journal*`` /
+    ``store*`` files whose (backend, epoch) is not the shard's committed
+    one, leftover ``*.tmp`` staging files, and whole ``shard-NN``
+    directories beyond the committed shard count.  Best effort by
+    design: everything here is invisible to recovery, so a crash
+    mid-sweep is merely disk space.
     """
     removed: list[str] = []
+    committed = backend_class(manifest.storage)
     for shard in range(manifest.shards):
         directory = data_dir / shard_dirname(shard)
         if not directory.exists():
             continue
-        keep = {
-            snapshot_filename(manifest.shard_epoch(shard)),
-            journal_filename(manifest.shard_epoch(shard)),
-        }
+        keep = committed.data_filenames(manifest.shard_epoch(shard))
         for entry in directory.iterdir():
             stale = entry.name not in keep and (
-                entry.name.startswith(("snapshot", "journal"))
+                entry.name.startswith(("snapshot", "journal", "store"))
                 or entry.name.endswith(".tmp")
             )
             if entry.is_file() and stale:
@@ -158,20 +177,43 @@ def _sweep_stale(data_dir: Path, manifest: ClusterManifest) -> list[str]:
     return removed
 
 
+def _iter_committed_shard(
+    data_dir: Path, shard: int, epoch: int, storage: str
+):
+    """Read-only ``(name, values, version)`` iteration of one committed
+    shard directory through its backend; an absent shard (no directory,
+    or no backend files at ``epoch``) yields nothing.  Side-effect free
+    on the directory tree: backends open with ``create=False`` and torn
+    journal tails are skipped, not truncated."""
+    directory = data_dir / shard_dirname(shard)
+    cls = backend_class(storage)
+    if not any((directory / fn).exists() for fn in cls.data_filenames(epoch)):
+        return
+    backend = cls(directory, epoch=epoch, create=False)
+    try:
+        yield from backend.iter_sets()
+    finally:
+        backend.close()
+
+
 def rebalance(
     data_dir: str | Path,
     shards: int,
     vnodes: int = DEFAULT_VNODES,
     fsync: bool = True,
     crash_at: str | None = None,
+    storage: str | None = None,
 ) -> RebalanceResult:
     """Migrate ``data_dir`` to ``shards`` shards; see the module docstring.
 
-    Idempotent: rerunning after a crash (or against an already-migrated
-    directory) is safe; a no-op run still sweeps stale staging files from
-    a previously interrupted attempt.  ``crash_at`` ("after-stage" |
-    "after-commit") raises :class:`RebalanceAborted` at that point — the
-    crash-injection hook the recovery drills use.
+    ``storage=None`` keeps the committed backend; naming one converts
+    the shard files to it in the same staged-then-committed pass (a
+    conversion rewrites every surviving shard even when the topology is
+    unchanged).  Idempotent: rerunning after a crash (or against an
+    already-migrated directory) is safe; a no-op run still sweeps stale
+    staging files from a previously interrupted attempt.  ``crash_at``
+    ("after-stage" | "after-commit") raises :class:`RebalanceAborted` at
+    that point — the crash-injection hook the recovery drills use.
 
     Must not run concurrently with a server holding the same directory
     open (stop it, or use :meth:`ClusterStore.resize`, which drains the
@@ -179,6 +221,8 @@ def rebalance(
     """
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
+    if storage is not None:
+        backend_class(storage)  # fail fast on an unknown backend name
     data_dir = Path(data_dir)
     if not data_dir.exists():
         # a typo'd path must not be silently mkdir'd into a fresh,
@@ -199,14 +243,22 @@ def rebalance(
             write_manifest(data_dir, manifest, fsync=fsync)
     if manifest is None:
         # a fresh directory: nothing to migrate, just commit the layout
-        manifest = ClusterManifest(shards=shards, vnodes=vnodes, epoch=0)
+        new_storage = storage or "journal"
+        manifest = ClusterManifest(
+            shards=shards, vnodes=vnodes, epoch=0, storage=new_storage
+        )
         write_manifest(data_dir, manifest, fsync=fsync)
         return RebalanceResult(
             data_dir=str(data_dir), changed=False,
             old_shards=shards, new_shards=shards,
             old_epoch=0, new_epoch=0, vnodes=vnodes,
+            old_storage=new_storage, new_storage=new_storage,
         )
-    if manifest.shards == shards and manifest.vnodes == vnodes:
+    old_storage = manifest.storage
+    new_storage = storage or old_storage
+    converting = new_storage != old_storage
+    if manifest.shards == shards and manifest.vnodes == vnodes \
+            and not converting:
         # already there — but a crashed earlier attempt may have left
         # staged files behind; sweep them so they cannot outlive epochs
         removed = _sweep_stale(data_dir, manifest)
@@ -215,26 +267,26 @@ def rebalance(
             data_dir=str(data_dir), changed=False,
             old_shards=manifest.shards, new_shards=shards,
             old_epoch=manifest.epoch, new_epoch=manifest.epoch,
-            vnodes=vnodes, removed_dirs=removed,
+            vnodes=vnodes, old_storage=old_storage,
+            new_storage=new_storage, removed_dirs=removed,
         )
 
     old_ring = HashRing(range(manifest.shards), vnodes=manifest.vnodes)
     new_ring = HashRing(range(shards), vnodes=vnodes)
 
-    # 1. replay: the full committed state, and where each set lives now
+    # 1. replay: the full committed state, and where each set lives now,
+    # read through the backend the manifest is committed to
     states: dict[str, tuple] = {}      # name -> (values, version)
     location: dict[str, int] = {}      # name -> source shard
     for source in range(manifest.shards):
-        store, _ = replay_shard(
-            data_dir / shard_dirname(source),
-            epoch=manifest.shard_epoch(source),
-        )
-        for name, values, version in store.items():
+        for name, values, version in _iter_committed_shard(
+            data_dir, source, manifest.shard_epoch(source), old_storage
+        ):
             if name in location:
                 raise ReproError(
                     f"{data_dir}: set {name!r} found on both shard "
                     f"{location[name]} and shard {source}; refusing to "
-                    f"guess — repair the journals first"
+                    f"guess — repair the shard files first"
                 )
             states[name] = (values, version)
             location[name] = source
@@ -261,9 +313,13 @@ def rebalance(
         dst for _, dst in moved.values()
     }
     affected.update(range(manifest.shards, shards))   # brand-new shards
+    if converting:
+        # every surviving shard's files are rewritten in the new format
+        affected.update(range(shards))
 
-    # 3. stage: complete new state per affected surviving shard, under
-    # the next epoch's file names (the committed epoch reads none of it)
+    # 3. stage: complete new state per affected surviving shard, written
+    # by the *new* backend under the next epoch's file names (the
+    # committed epoch reads none of it)
     new_epoch = manifest.epoch + 1
     rewritten = sorted(shard for shard in affected if shard < shards)
     entries_by_shard: dict[int, list] = {shard: [] for shard in rewritten}
@@ -271,10 +327,11 @@ def rebalance(
         if targets[name] in entries_by_shard:
             values, version = states[name]
             entries_by_shard[targets[name]].append((name, values, version))
+    stager = backend_class(new_storage)
     for shard in rewritten:
-        write_snapshot(
+        stager.stage(
             data_dir / shard_dirname(shard), entries_by_shard[shard],
-            epoch=new_epoch, dir_fsync=fsync,
+            epoch=new_epoch, fsync=fsync,
         )
     if crash_at == "after-stage":
         raise RebalanceAborted("injected crash after staging, before commit")
@@ -288,17 +345,20 @@ def rebalance(
             new_epoch if shard in affected else manifest.shard_epoch(shard)
             for shard in range(shards)
         ],
+        storage=new_storage,
     )
     write_manifest(data_dir, new_manifest, fsync=fsync)
     if crash_at == "after-commit":
         raise RebalanceAborted("injected crash after commit, before sweep")
 
-    # 5. sweep superseded epochs and orphaned shard directories
+    # 5. sweep superseded epochs (and, after a conversion, the old
+    # backend's files) plus orphaned shard directories
     removed = _sweep_stale(data_dir, new_manifest)
     return RebalanceResult(
         data_dir=str(data_dir), changed=True,
         old_shards=manifest.shards, new_shards=shards,
         old_epoch=manifest.epoch, new_epoch=new_epoch, vnodes=vnodes,
+        old_storage=old_storage, new_storage=new_storage,
         sets_total=len(states), moved=moved,
         rewritten_shards=rewritten, removed_dirs=removed, healed=healed,
     )

@@ -5,7 +5,8 @@ hands the reconciliation server instead of a bare
 :class:`~repro.service.store.SetStore`.  A consistent-hash ring
 (:mod:`repro.cluster.ring`) maps every named set to one of N *shard
 workers*; each worker owns its own ``SetStore`` and its own
-:class:`~repro.cluster.journal.ShardStorage` (journal + snapshot), and
+:class:`~repro.cluster.storage.StorageBackend` (the append-only journal
+or the WAL-mode SQLite store, chosen by ``ClusterConfig.storage``), and
 applies mutations strictly in arrival order.  Two executors decide what
 a "worker" physically is:
 
@@ -46,31 +47,32 @@ worker coalesces its own shard's sessions instead (see
 from __future__ import annotations
 
 import asyncio
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
-from repro.cluster.journal import (
-    ShardStorage,
-    apply_mutation,
-    compact_if_due,
-)
+from repro.cluster.config import CONFIG_FIELDS, EXECUTORS, ClusterConfig
 from repro.cluster.manifest import ClusterManifest, load_or_adopt, shard_dirname
 from repro.cluster.proc import (
-    DEFAULT_RESTART_BACKOFF_S,
     RpcType,
     WorkerHandle,
     WorkerSupervisor,
     WorkerUnavailableError,
 )
 from repro.cluster.rebalance import RebalanceResult, rebalance
-from repro.cluster.ring import DEFAULT_VNODES, HashRing
+from repro.cluster.ring import HashRing
+from repro.cluster.storage import (
+    StorageBackend,
+    apply_mutation,
+    compact_if_due,
+    open_backend,
+)
 from repro.errors import ReproError
-from repro.service.scheduler import DEFAULT_WINDOW_S
 from repro.service.store import SetStore, Snapshot
 
-EXECUTORS = ("inline", "subprocess")
+__all__ = ["EXECUTORS", "ClusterStore"]
 
 
 @dataclass
@@ -85,7 +87,7 @@ class _Shard:
 
     shard_id: int
     store: SetStore
-    storage: ShardStorage | None
+    storage: StorageBackend | None
     queue: asyncio.Queue = field(default_factory=asyncio.Queue)
     task: asyncio.Task | None = None
     applies: int = 0
@@ -123,49 +125,77 @@ class ClusterStore:
 
     def __init__(
         self,
-        shards: int = 1,
+        shards: int | None = None,
         data_dir: str | Path | None = None,
-        vnodes: int = DEFAULT_VNODES,
-        fsync: bool = False,
+        vnodes: int | None = None,
+        fsync: bool | None = None,
         compact_min_bytes: int | None = None,
         compact_factor: int | None = None,
-        executor: str = "inline",
-        worker_window_s: float = DEFAULT_WINDOW_S,
-        worker_coalesce: bool = True,
-        restart_backoff_s: float = DEFAULT_RESTART_BACKOFF_S,
+        executor: str | None = None,
+        worker_window_s: float | None = None,
+        worker_coalesce: bool | None = None,
+        restart_backoff_s: float | None = None,
+        *,
+        storage: str | None = None,
+        cache_sets: int | None = None,
+        config: ClusterConfig | None = None,
     ) -> None:
-        """``executor`` selects how shard workers run: ``"inline"``
-        (asyncio tasks, the default) or ``"subprocess"`` (one child
-        process per shard — decode CPU scales across cores; see
-        :mod:`repro.cluster.proc`).  ``worker_window_s`` /
-        ``worker_coalesce`` configure each subprocess worker's own
-        decode coalescer (``repro serve --window-ms`` /
-        ``--no-coalesce``), and ``restart_backoff_s`` is the pause
-        before a dead worker is respawned (all ignored inline).
+        """Prefer ``ClusterStore(data_dir, config=ClusterConfig(...))``
+        (or the :func:`repro.cluster.open_cluster` factory).  The
+        pre-PR-6 keyword spelling — every knob as its own argument —
+        still works but emits :class:`DeprecationWarning`; ``data_dir``
+        itself is not deprecated (it names *which* durable state, not
+        *how* the cluster behaves, so it never joined the config).
         """
-        if shards < 1:
-            raise ValueError(f"shards must be >= 1, got {shards}")
-        if executor not in EXECUTORS:
-            raise ValueError(
-                f"executor must be one of {EXECUTORS}, got {executor!r}"
+        legacy = {
+            key: value
+            for key, value in (
+                ("shards", shards),
+                ("vnodes", vnodes),
+                ("storage", storage),
+                ("fsync", fsync),
+                ("compact_min_bytes", compact_min_bytes),
+                ("compact_factor", compact_factor),
+                ("cache_sets", cache_sets),
+                ("executor", executor),
+                ("worker_window_s", worker_window_s),
+                ("worker_coalesce", worker_coalesce),
+                ("restart_backoff_s", restart_backoff_s),
             )
-        self.ring = HashRing(range(shards), vnodes=vnodes)
+            if value is not None
+        }
+        assert set(CONFIG_FIELDS) >= set(legacy)
+        if config is not None:
+            if legacy:
+                raise ValueError(
+                    "pass either config= or individual cluster keywords, "
+                    f"not both (got {sorted(legacy)} alongside config)"
+                )
+        else:
+            if legacy:
+                warnings.warn(
+                    "constructing ClusterStore from individual keyword "
+                    "arguments is deprecated; build a "
+                    "repro.cluster.ClusterConfig and call "
+                    "open_cluster(data_dir, config) instead",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            config = ClusterConfig(**legacy)
+        self.config = config
+        self.ring = HashRing(range(config.shards), vnodes=config.vnodes)
         self.data_dir = Path(data_dir) if data_dir is not None else None
-        self.executor = executor
-        self.worker_window_s = worker_window_s
-        self.worker_coalesce = worker_coalesce
-        self.restart_backoff_s = restart_backoff_s
+        self.executor = config.executor
+        self.worker_window_s = config.worker_window_s
+        self.worker_coalesce = config.worker_coalesce
+        self.restart_backoff_s = config.restart_backoff_s
         #: RETRY hint the server sends for sessions hitting a shard whose
         #: worker is down (a restart is usually one backoff away)
-        self.unavailable_retry_after_s = restart_backoff_s
-        self._storage_kwargs = {"fsync": fsync}
-        if compact_min_bytes is not None:
-            self._storage_kwargs["compact_min_bytes"] = compact_min_bytes
-        if compact_factor is not None:
-            self._storage_kwargs["compact_factor"] = compact_factor
+        self.unavailable_retry_after_s = config.restart_backoff_s
+        self._storage_kwargs = config.storage_kwargs()
         self._shards = [
             _Shard(shard_id=i, store=SetStore(), storage=None)
-            for i in range(shards)
+            for i in range(config.shards)
         ]
         #: the committed layout (set by :meth:`start` when journaling)
         self.manifest: ClusterManifest | None = None
@@ -175,7 +205,7 @@ class ClusterStore:
         self._resize_gate: asyncio.Event | None = None
         self._supervisor: WorkerSupervisor | None = None
         self._restart_tasks: set[asyncio.Task] = set()
-        if executor != "subprocess":
+        if config.executor != "subprocess":
             # shadow the method: consumers feature-test with
             # getattr(store, "decode_remote", None) and the inline
             # executor has no remote decode surface
@@ -199,7 +229,8 @@ class ClusterStore:
             return
         if self.data_dir is not None:
             self.manifest = load_or_adopt(
-                self.data_dir, len(self._shards), self.ring.vnodes
+                self.data_dir, len(self._shards), self.ring.vnodes,
+                storage=self.config.storage,
             )
         if self.executor == "subprocess":
             # _closing drops *before* the spawns: a worker that comes up
@@ -216,13 +247,15 @@ class ClusterStore:
                 # previous close() may still hold stop sentinels
                 shard.queue = asyncio.Queue()
                 if self.data_dir is not None:
-                    shard.store = SetStore()   # replay defines the state
-                    shard.storage = ShardStorage(
+                    shard.storage = open_backend(
+                        self.config.storage,
                         self.data_dir / shard_dirname(shard.shard_id),
                         epoch=self.manifest.shard_epoch(shard.shard_id),
                         **self._storage_kwargs,
                     )
-                    shard.storage.recover(shard.store)
+                    # recovery defines the state; the returned store is
+                    # wired for write-through persistence
+                    shard.store = shard.storage.open_store()
                 shard.task = asyncio.create_task(
                     self._worker(shard), name=f"shard-{shard.shard_id}"
                 )
@@ -321,6 +354,7 @@ class ClusterStore:
         supervisor = WorkerSupervisor(
             window_s=self.worker_window_s,
             coalesce=self.worker_coalesce,
+            storage=self.config.storage,
             **self._storage_kwargs,
         )
         await supervisor.start()
@@ -520,7 +554,7 @@ class ClusterStore:
                     None,
                     lambda: rebalance(
                         self.data_dir, shards, vnodes=old_ring.vnodes,
-                        fsync=fsync,
+                        fsync=fsync, storage=self.config.storage,
                     ),
                 )
                 moved = result.moved_count
@@ -770,10 +804,10 @@ class ClusterStore:
     async def _worker(self, shard: _Shard) -> None:
         """Apply this shard's mutations in order (inline executor).
 
-        The journal-first protocol itself — raise-before-journal,
-        empty-diff skip, append-then-mutate, compaction charging — is
-        :func:`repro.cluster.journal.apply_mutation` /
-        :func:`~repro.cluster.journal.compact_if_due`, shared verbatim
+        The durable-first protocol itself — raise-before-persist,
+        empty-diff skip, persist-then-mutate, compaction charging — is
+        :func:`repro.cluster.storage.apply_mutation` /
+        :func:`~repro.cluster.storage.compact_if_due`, shared verbatim
         with the subprocess executor's child loop so the two executors
         cannot drift apart.
         """

@@ -1,0 +1,481 @@
+"""The SQLite storage backend: one WAL-mode database file per shard.
+
+:class:`repro.cluster.journal.JournalBackend` replays every byte into
+RAM at open, so shard size is capped by memory — twice in proc mode
+(worker + parent mirror).  This backend keeps the durable truth in one
+SQLite file per shard (``store.sqlite``, epoch-qualified like the
+journal files) and materializes sets **lazily**: the working set, not
+the full store, determines RAM.
+
+Why SQLite fits the PR-3 durability contract
+--------------------------------------------
+
+* ``PRAGMA journal_mode=WAL`` — writers append to a write-ahead log and
+  readers see consistent snapshots; a SIGKILL mid-commit leaves either
+  the old state or the new one, never a torn database.  This is the
+  same torn-tail tolerance the record journal earned by hand.
+* ``PRAGMA synchronous=NORMAL`` (the ``fsync=False`` mapping) — commits
+  flush to the WAL without an fsync per transaction; a *process* kill
+  loses nothing acknowledged, a *machine* crash can lose the recent
+  tail — exactly the journal's ``fsync=False`` posture.  ``fsync=True``
+  maps to ``synchronous=FULL`` (fsync on every commit), the journal's
+  strict mode.
+* ``PRAGMA busy_timeout`` — offline readers (stats tooling, the
+  rebalance) briefly share the file with the owner; writers never spin
+  on a transient lock.
+
+Sets are versioned rows::
+
+    sets(name TEXT PRIMARY KEY, version INTEGER NOT NULL)
+    elements(set_name TEXT, value INTEGER, PRIMARY KEY(set_name, value))
+
+One apply-diff is one transaction (adds inserted, removes deleted, the
+version bumped iff any row actually changed) so the durable version
+arithmetic is bit-for-bit the in-memory
+:meth:`repro.service.store.SetStore.apply_diff` arithmetic — the
+cross-backend equivalence the tests assert.  Element values are 64-bit
+unsigned; SQLite INTEGERs are signed, so values round-trip through a
+two's-complement mapping.
+
+``sqlite3`` connections refuse cross-thread use, so this backend
+declares ``concurrent_writes=False``: durable writes happen inline on
+the event loop through the store's persistence hook (see
+:mod:`repro.cluster.storage`), not on the thread pool.  Compaction is a
+``wal_checkpoint(TRUNCATE)`` — it folds the WAL back into the main file
+from SQLite's own durable state and never materializes the store.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+from pathlib import Path
+
+from repro.cluster.journal import COMPACT_FACTOR, COMPACT_MIN_BYTES
+from repro.cluster.storage import StorageBackend, StorageCorruptError
+from repro.service.store import SetStore, UnknownSetError, _NamedSet
+
+#: Default LRU cap on materialized sets per shard.  Sized for "many
+#: small-to-medium sets": the hot working set stays resident, the long
+#: tail stays on disk.
+DEFAULT_CACHE_SETS = 1024
+
+#: How long a writer waits out a reader's transient lock (ms).
+BUSY_TIMEOUT_MS = 5_000
+
+_SCHEMA = (
+    "CREATE TABLE IF NOT EXISTS meta ("
+    " key TEXT PRIMARY KEY, value TEXT NOT NULL)",
+    "CREATE TABLE IF NOT EXISTS sets ("
+    " name TEXT PRIMARY KEY, version INTEGER NOT NULL)",
+    "CREATE TABLE IF NOT EXISTS elements ("
+    " set_name TEXT NOT NULL, value INTEGER NOT NULL,"
+    " PRIMARY KEY (set_name, value)) WITHOUT ROWID",
+)
+
+
+def db_filename(epoch: int = 0) -> str:
+    """The database file name for a layout epoch (0 = bare name)."""
+    return "store.sqlite" if epoch == 0 else f"store-e{epoch}.sqlite"
+
+
+def _to_signed(value: int) -> int:
+    """uint64 element -> SQLite INTEGER (two's complement)."""
+    value = int(value)
+    return value - (1 << 64) if value >= (1 << 63) else value
+
+
+def _from_signed(value: int) -> int:
+    """SQLite INTEGER -> uint64 element."""
+    return value + (1 << 64) if value < 0 else value
+
+
+class SqliteBackend(StorageBackend):
+    """One shard's durable state as a WAL-mode SQLite database.
+
+    Lifecycle mirrors the journal backend: construct (``create=False``
+    for read-only offline use — never creates the file), then
+    :meth:`open_store` for the live owner, ``record_*`` writes, and an
+    idempotent :meth:`close`.  All calls must come from the thread that
+    constructed the instance (``concurrent_writes=False``)."""
+
+    name = "sqlite"
+    concurrent_writes = False
+    compact_from_entries = False
+    TUNING = frozenset(
+        {"fsync", "compact_min_bytes", "compact_factor", "cache_sets"}
+    )
+
+    def __init__(
+        self,
+        directory: str | Path,
+        fsync: bool = False,
+        compact_min_bytes: int = COMPACT_MIN_BYTES,
+        compact_factor: int = COMPACT_FACTOR,
+        cache_sets: int = DEFAULT_CACHE_SETS,
+        epoch: int = 0,
+        create: bool = True,
+    ) -> None:
+        if epoch < 0:
+            raise ValueError(f"epoch must be >= 0, got {epoch}")
+        self.directory = Path(directory)
+        if create:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self.epoch = epoch
+        self.db_path = self.directory / db_filename(epoch)
+        self.fsync = fsync
+        self.compact_min_bytes = compact_min_bytes
+        self.compact_factor = compact_factor
+        self.cache_sets = cache_sets
+        self._conn: sqlite3.Connection | None = None
+        # -- counters for stats() (journal-compatible keys) --
+        self.records_appended = 0
+        self.compactions = 0
+        self.recovered_sets = 0
+        self.tail_error = ""
+        if create or self.db_path.exists():
+            self._connect(initialize=create)
+
+    def _connect(self, initialize: bool) -> None:
+        try:
+            conn = sqlite3.connect(self.db_path)
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute(
+                "PRAGMA synchronous=" + ("FULL" if self.fsync else "NORMAL")
+            )
+            conn.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS}")
+            if initialize:
+                with conn:
+                    for stmt in _SCHEMA:
+                        conn.execute(stmt)
+                    conn.execute(
+                        "INSERT OR IGNORE INTO meta (key, value)"
+                        " VALUES ('backend', 'sqlite')"
+                    )
+            self.recovered_sets = conn.execute(
+                "SELECT COUNT(*) FROM sets"
+            ).fetchone()[0]
+        except sqlite3.Error as exc:
+            # an unreadable header / missing schema is damage that the
+            # atomic staging protocol should have made impossible
+            raise StorageCorruptError(f"{self.db_path}: {exc}") from None
+        self._conn = conn
+
+    def _require_conn(self) -> sqlite3.Connection:
+        if self._conn is None:
+            raise StorageCorruptError(
+                f"{self.db_path}: backend is closed or was opened "
+                f"read-only on a missing database"
+            )
+        return self._conn
+
+    # -- StorageBackend protocol ----------------------------------------------
+    def open_store(self) -> SetStore:
+        """The live store: a lazy, LRU-bounded view over this database."""
+        self._require_conn()
+        return LazySetStore(self, cache_sets=self.cache_sets)
+
+    def record_create(self, name: str, values, version: int = 0) -> None:
+        conn = self._require_conn()
+        with conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO sets (name, version) VALUES (?, ?)",
+                (name, int(version)),
+            )
+            conn.execute("DELETE FROM elements WHERE set_name = ?", (name,))
+            conn.executemany(
+                "INSERT OR IGNORE INTO elements (set_name, value)"
+                " VALUES (?, ?)",
+                ((name, _to_signed(v)) for v in values),
+            )
+        self.records_appended += 1
+
+    def record_diff(self, name: str, add=(), remove=()) -> None:
+        """One transaction; the version bumps iff a row really changed.
+
+        ``total_changes`` counts exactly the inserts that were not
+        already present and the deletes that were — the same quantity
+        the in-memory arithmetic calls ``changed``, which is what keeps
+        the two version counters in lock-step."""
+        conn = self._require_conn()
+        with conn:
+            row = conn.execute(
+                "SELECT 1 FROM sets WHERE name = ?", (name,)
+            ).fetchone()
+            if row is None:
+                # nothing persisted: the open transaction rolls back
+                raise UnknownSetError(f"no such set: {name!r}")
+            before = conn.total_changes
+            conn.executemany(
+                "INSERT OR IGNORE INTO elements (set_name, value)"
+                " VALUES (?, ?)",
+                ((name, _to_signed(v)) for v in add),
+            )
+            conn.executemany(
+                "DELETE FROM elements WHERE set_name = ? AND value = ?",
+                ((name, _to_signed(v)) for v in remove),
+            )
+            if conn.total_changes != before:
+                conn.execute(
+                    "UPDATE sets SET version = version + 1 WHERE name = ?",
+                    (name,),
+                )
+        self.records_appended += 1
+
+    def iter_sets(self):
+        """``(name, values, version)`` straight from the database,
+        sorted by name, one set materialized at a time."""
+        conn = self._conn
+        if conn is None:
+            return
+        for name, version in conn.execute(
+            "SELECT name, version FROM sets ORDER BY name"
+        ).fetchall():
+            values = frozenset(
+                _from_signed(v)
+                for (v,) in conn.execute(
+                    "SELECT value FROM elements WHERE set_name = ?", (name,)
+                )
+            )
+            yield name, values, int(version)
+
+    # -- lazy-store support ----------------------------------------------------
+    def has_set(self, name: str) -> bool:
+        conn = self._conn
+        if conn is None:
+            return False
+        return (
+            conn.execute(
+                "SELECT 1 FROM sets WHERE name = ?", (name,)
+            ).fetchone()
+            is not None
+        )
+
+    def set_names(self) -> list[str]:
+        conn = self._conn
+        if conn is None:
+            return []
+        return [
+            name
+            for (name,) in conn.execute(
+                "SELECT name FROM sets ORDER BY name"
+            )
+        ]
+
+    def load_set(self, name: str) -> tuple[set, int] | None:
+        """One set's committed ``(values, version)``, or ``None``."""
+        conn = self._conn
+        if conn is None:
+            return None
+        row = conn.execute(
+            "SELECT version FROM sets WHERE name = ?", (name,)
+        ).fetchone()
+        if row is None:
+            return None
+        values = {
+            _from_signed(v)
+            for (v,) in conn.execute(
+                "SELECT value FROM elements WHERE set_name = ?", (name,)
+            )
+        }
+        return values, int(row[0])
+
+    def summary_rows(self) -> list[tuple[str, int, int]]:
+        """``(name, size, version)`` for every set without materializing
+        any elements (the metrics endpoint at scale)."""
+        conn = self._conn
+        if conn is None:
+            return []
+        return [
+            (name, int(size), int(version))
+            for name, size, version in conn.execute(
+                "SELECT s.name, COUNT(e.value), s.version"
+                " FROM sets s LEFT JOIN elements e ON e.set_name = s.name"
+                " GROUP BY s.name ORDER BY s.name"
+            )
+        ]
+
+    # -- compaction ------------------------------------------------------------
+    def _wal_bytes(self) -> int:
+        try:
+            return (
+                self.db_path.with_name(self.db_path.name + "-wal")
+                .stat()
+                .st_size
+            )
+        except OSError:
+            return 0
+
+    def _db_bytes(self) -> int:
+        try:
+            return self.db_path.stat().st_size
+        except OSError:
+            return 0
+
+    def should_compact(self) -> bool:
+        threshold = max(
+            self.compact_min_bytes, self.compact_factor * self._db_bytes()
+        )
+        return self._wal_bytes() > threshold
+
+    def compact(self, entries=None) -> None:
+        """Fold the WAL back into the main file (``entries`` unused —
+        ``compact_from_entries`` is False, the WAL *is* the log)."""
+        conn = self._require_conn()
+        conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        self.compactions += 1
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    # -- introspection ---------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "epoch": self.epoch,
+            "db_bytes": self._db_bytes(),
+            "wal_bytes": self._wal_bytes(),
+            "records_appended": self.records_appended,
+            "compactions": self.compactions,
+            "recovered_sets": self.recovered_sets,
+            "tail_error": self.tail_error,
+        }
+
+    # -- offline layout (rebalance) -------------------------------------------
+    @classmethod
+    def data_filenames(cls, epoch: int = 0) -> set:
+        base = db_filename(epoch)
+        return {base, base + "-wal", base + "-shm"}
+
+    @classmethod
+    def stage(cls, directory, entries, epoch: int = 0,
+              fsync: bool = True) -> int:
+        """Build a complete database in a temp file, fsync, atomically
+        install it (and drop any stale WAL sidecars of the target)."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / db_filename(epoch)
+        tmp_path = path.with_name(path.name + ".tmp")
+        if tmp_path.exists():
+            tmp_path.unlink()
+        conn = sqlite3.connect(tmp_path)
+        try:
+            # atomicity comes from the final os.replace, not from a
+            # rollback journal on the temp file
+            conn.execute("PRAGMA journal_mode=OFF")
+            conn.execute("PRAGMA synchronous=OFF")
+            with conn:
+                for stmt in _SCHEMA:
+                    conn.execute(stmt)
+                conn.execute(
+                    "INSERT OR IGNORE INTO meta (key, value)"
+                    " VALUES ('backend', 'sqlite')"
+                )
+                for name, values, version in entries:
+                    conn.execute(
+                        "INSERT OR REPLACE INTO sets (name, version)"
+                        " VALUES (?, ?)",
+                        (name, int(version)),
+                    )
+                    conn.executemany(
+                        "INSERT OR IGNORE INTO elements (set_name, value)"
+                        " VALUES (?, ?)",
+                        ((name, _to_signed(v)) for v in values),
+                    )
+        finally:
+            conn.close()
+        with open(tmp_path, "rb") as fh:
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, path)
+        for suffix in ("-wal", "-shm"):
+            side = path.with_name(path.name + suffix)
+            if side.exists():
+                side.unlink()
+        if fsync:
+            dir_fd = os.open(directory, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+        return path.stat().st_size
+
+
+class LazySetStore(SetStore):
+    """A :class:`SetStore` whose truth lives in a :class:`SqliteBackend`.
+
+    The ``_sets`` dict becomes a bounded LRU *cache* of materialized
+    sets: reads fault a set in from the database on first touch, writes
+    go through the inherited persistence hook (durable first, then the
+    cached copy), and eviction is always safe because every committed
+    mutation is already in the database — an evicted set re-faults
+    bit-for-bit.  Only the per-set ``reconciles`` session counter is
+    cache-resident (it is not durable under the journal backend either:
+    a restart zeroes it there too).
+
+    ``items()`` still materializes everything (the proc executor's READY
+    dump and the journal-style compaction path want full listings);
+    bigger-than-RAM operation relies on the lazy read path plus the
+    WAL-checkpoint compaction, which never calls ``items()``.
+    """
+
+    def __init__(self, backend: SqliteBackend,
+                 cache_sets: int = DEFAULT_CACHE_SETS) -> None:
+        super().__init__(persistence=backend)
+        self._backend = backend
+        self._cache_sets = max(1, int(cache_sets))
+        self.cache_faults = 0
+        self.cache_evictions = 0
+
+    # -- LRU plumbing ----------------------------------------------------------
+    def _touch(self, name: str) -> None:
+        entry = self._sets.pop(name, None)
+        if entry is not None:
+            self._sets[name] = entry
+
+    def _evict(self) -> None:
+        while len(self._sets) > self._cache_sets:
+            self._sets.pop(next(iter(self._sets)))
+            self.cache_evictions += 1
+
+    def _require(self, name: str) -> _NamedSet:
+        entry = self._sets.get(name)
+        if entry is not None:
+            self._touch(name)
+            return entry
+        loaded = self._backend.load_set(name)
+        if loaded is None:
+            raise UnknownSetError(f"no such set: {name!r}")
+        values, version = loaded
+        entry = _NamedSet(values=values, version=version)
+        self._sets[name] = entry
+        self.cache_faults += 1
+        self._evict()
+        return entry
+
+    # -- registry overrides (the database is the registry) ---------------------
+    def names(self) -> list[str]:
+        return self._backend.set_names()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sets or self._backend.has_set(name)
+
+    def create(self, name: str, values=(), version: int = 0,
+               persisted: bool = False) -> None:
+        super().create(name, values, version=version, persisted=persisted)
+        self._touch(name)
+        self._evict()
+
+    def items(self) -> list[tuple[str, frozenset, int]]:
+        return list(self._backend.iter_sets())
+
+    def stats(self) -> dict:
+        out = {}
+        for name, size, version in self._backend.summary_rows():
+            entry = self._sets.get(name)
+            out[name] = {
+                "size": size,
+                "version": version,
+                "reconciles": entry.reconciles if entry is not None else 0,
+            }
+        return out

@@ -1,0 +1,305 @@
+"""The per-shard storage contract: what it means to persist a shard.
+
+Until this module existed the persistence contract was implicit: the
+router, the subprocess worker, and the offline rebalance all reached
+directly into journal-file internals (``journal_filename``,
+``snapshot-eN.bin``, ``write_snapshot``, ``replay_shard``).
+:class:`StorageBackend` makes the contract explicit and narrow so the
+journal files (:class:`repro.cluster.journal.JournalBackend`) and the
+WAL-mode SQLite store (:class:`repro.cluster.sqlite.SqliteBackend`) are
+interchangeable behind it — selected per data directory, recorded in the
+cluster manifest, and surfaced as ``repro serve --storage``.
+
+The durability / ack-ordering contract
+--------------------------------------
+
+Every backend MUST preserve the invariant the journal established in
+PR 3: **a mutation is durable before it is visible**.  Concretely:
+
+* :meth:`StorageBackend.record_diff` / :meth:`~StorageBackend.record_create`
+  return only after the mutation is committed to the backend's durable
+  medium (journal append + flush, SQLite transaction commit).  If they
+  raise, *nothing* may have been persisted — the caller leaves the
+  in-memory set untouched and the session is NOT acknowledged.
+* The in-memory store mutates strictly *after* the durable write
+  returns; no concurrent snapshot may observe state that a crash
+  recovery would roll back.
+* ``fsync=False`` backends may buffer in the OS (crash of the *machine*
+  can lose the tail) but must already tolerate SIGKILL of the process:
+  recovery finds every acknowledged mutation or a clean prefix of them
+  (journal: torn-tail truncation; SQLite: WAL recovery).
+
+There are two ways a backend wires into that protocol, declared by
+:attr:`StorageBackend.concurrent_writes`:
+
+* ``True`` (journal): the durable write is handed to the default
+  thread-pool executor by :func:`apply_mutation` so appends commit in
+  parallel across shards; the store then mutates with
+  ``persisted=True`` so its own persistence hook stays quiet.
+* ``False`` (SQLite — connections are bound to their opening thread):
+  the store's injected persistence hook (see
+  :class:`repro.service.store.SetStore`) performs the durable write
+  inline, on the event loop, immediately before the in-memory apply.
+
+Both routes end at the same place: durable first, visible second.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import ClassVar, Iterable, Iterator
+
+from repro.errors import ReproError
+from repro.service.store import SetStore
+
+#: Registered backend names, in the order the CLI offers them.
+BACKEND_NAMES = ("journal", "sqlite")
+
+
+class StorageCorruptError(ReproError):
+    """A backend's durable state failed to parse / open.
+
+    Raised for damage that atomic installation should have made
+    impossible (a torn snapshot, an unreadable SQLite header) — never
+    for a torn journal/WAL tail, which is expected crash residue and is
+    recovered from, not raised."""
+
+
+class StorageBackend(ABC):
+    """One shard's durable state behind a narrow, swappable API.
+
+    Concrete backends are constructed as ``Backend(directory, epoch=...,
+    create=..., **tuning)`` where ``tuning`` is the subset of
+    :attr:`TUNING` keys the caller wants to override — use
+    :func:`open_backend` rather than constructing directly so unknown
+    keys are validated and irrelevant ones dropped.
+
+    There is exactly one writing owner per shard directory at a time
+    (the inline shard worker task or the shard's worker subprocess);
+    the owner serializes all ``record_*`` calls.  Read-only users (the
+    offline rebalance, stats tooling) open a second instance with
+    ``create=False`` and only call :meth:`iter_sets` / :meth:`stats`.
+    """
+
+    #: Backend name as recorded in the cluster manifest and accepted by
+    #: ``--storage``.
+    name: ClassVar[str]
+
+    #: Whether ``record_*`` may be called from a worker thread while the
+    #: event loop keeps serving (journal: yes).  ``False`` backends are
+    #: driven inline through the store's persistence hook instead.
+    concurrent_writes: ClassVar[bool]
+
+    #: Whether :meth:`compact` needs the full ``(name, values, version)``
+    #: entry list (journal snapshot rewrite) or compacts from its own
+    #: durable state (SQLite WAL checkpoint) — the latter never
+    #: materializes the whole store in memory.
+    compact_from_entries: ClassVar[bool]
+
+    #: Constructor tuning keys this backend understands.
+    TUNING: ClassVar[frozenset]
+
+    epoch: int
+    directory: Path
+
+    # -- lifecycle -------------------------------------------------------------
+    @abstractmethod
+    def open_store(self) -> SetStore:
+        """Recover the committed state and return the live store.
+
+        The returned store is wired for write-through persistence: its
+        ``persistence`` attribute is this backend, so direct
+        ``store.apply_diff`` / ``store.create`` calls are durable before
+        they are visible (recovery itself replays with the hook unset).
+        Must be called exactly once, before any ``record_*`` call."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Flush and release the durable medium.  Idempotent."""
+
+    # -- durable writes (see the module docstring for ordering) ---------------
+    @abstractmethod
+    def record_create(self, name: str, values, version: int = 0) -> None:
+        """Durably record a full-state replacement of one named set.
+
+        Returns only after the record is committed; on error nothing is
+        persisted and the caller must not mutate the in-memory set."""
+
+    @abstractmethod
+    def record_diff(self, name: str, add=(), remove=()) -> None:
+        """Durably record one apply-diff against an existing set.
+
+        Callers validate the target exists *before* calling (a DIFF must
+        never precede its CREATE); backends that can detect a missing
+        target anyway (SQLite) raise ``UnknownSetError`` without
+        persisting.  Empty diffs are the caller's job to skip."""
+
+    # -- committed-state readers ----------------------------------------------
+    @abstractmethod
+    def iter_sets(self) -> Iterator[tuple[str, frozenset, int]]:
+        """Yield ``(name, values, version)`` for every committed set.
+
+        Reads the durable state, not any live in-memory cache — this is
+        what the rebalance migrates through, so it must reflect every
+        acknowledged mutation."""
+
+    # -- compaction ------------------------------------------------------------
+    @abstractmethod
+    def should_compact(self) -> bool:
+        """Whether the reclaimable log (journal / WAL) has outgrown the
+        backend's compaction threshold."""
+
+    @abstractmethod
+    def compact(self, entries=None) -> None:
+        """Fold the log into the base state.  ``entries`` is the live
+        ``store.items()`` listing for :attr:`compact_from_entries`
+        backends and ``None`` otherwise.  Crash-safe at every point:
+        either layout recovers the same sets."""
+
+    # -- introspection ---------------------------------------------------------
+    @abstractmethod
+    def stats(self) -> dict:
+        """JSON-able counters.  Every backend reports at least ``epoch``,
+        ``records_appended``, ``compactions``, ``recovered_sets`` and
+        ``tail_error`` ("" when recovery found no crash residue)."""
+
+    # -- offline layout (rebalance) -------------------------------------------
+    @classmethod
+    @abstractmethod
+    def data_filenames(cls, epoch: int = 0) -> set:
+        """Every file name this backend may own in a shard directory at
+        ``epoch`` — the rebalance sweep keeps exactly these."""
+
+    @classmethod
+    @abstractmethod
+    def stage(cls, directory, entries: Iterable, epoch: int = 0,
+              fsync: bool = True) -> int:
+        """Write ``(name, values, version)`` entries as a complete,
+        atomically-installed shard state at ``epoch`` next to whatever
+        else the directory holds; returns the staged byte size.  Used by
+        the rebalance to stage a new layout before the manifest commit."""
+
+
+def backend_class(name: str) -> type:
+    """The :class:`StorageBackend` subclass registered under ``name``."""
+    if name == "journal":
+        from repro.cluster.journal import JournalBackend
+        return JournalBackend
+    if name == "sqlite":
+        from repro.cluster.sqlite import SqliteBackend
+        return SqliteBackend
+    raise ReproError(
+        f"unknown storage backend {name!r}; expected one of "
+        + ", ".join(BACKEND_NAMES)
+    )
+
+
+def open_backend(
+    name: str, directory, epoch: int = 0, create: bool = True, **tuning
+) -> StorageBackend:
+    """Construct the named backend, validating tuning keys.
+
+    Keys no registered backend understands raise; keys another backend
+    understands but this one does not (``cache_sets`` on journal) are
+    dropped, so one :class:`repro.cluster.config.ClusterConfig` can
+    carry the union of every backend's tuning."""
+    cls = backend_class(name)
+    known = frozenset().union(
+        *(backend_class(n).TUNING for n in BACKEND_NAMES)
+    )
+    unknown = set(tuning) - known
+    if unknown:
+        raise ReproError(
+            f"unknown storage tuning keys {sorted(unknown)} for "
+            f"backend {name!r}"
+        )
+    kwargs = {k: v for k, v in tuning.items() if k in cls.TUNING}
+    return cls(directory, epoch=epoch, create=create, **kwargs)
+
+
+# -- the shared durable-first mutation protocol --------------------------------
+
+async def apply_mutation(store: SetStore, storage: StorageBackend | None,
+                         op: str, args: tuple):
+    """Apply one shard mutation with the durable-first protocol.
+
+    This is the *single* definition of how a shard worker mutates — the
+    inline executor's task loop and the subprocess executor's child both
+    route through it, which is what keeps the two executors' stores and
+    shard files bit-for-bit interchangeable:
+
+    * ``apply`` ``(name, add, remove)`` — raise the store's own
+      ``UnknownSetError`` *before* the durable write (a DIFF record must
+      never precede its CREATE), skip the write for empty diffs
+      (converged re-sync passes change nothing), persist, then mutate;
+      returns the changed-element count.
+    * ``create`` / ``restore`` ``(name, values, version)`` — persist the
+      full-state replacement, then replace the set.
+    * ``sync`` — a no-op ordering barrier.
+
+    For ``concurrent_writes`` backends the durable write runs in the
+    default thread-pool executor so commits proceed in parallel across
+    shards; same-thread backends persist inline through the store's own
+    hook.  Either way the write completes *before* the store mutates: a
+    failed write leaves the store untouched, and no concurrent snapshot
+    can observe state a crash recovery would roll back.
+    """
+    loop = asyncio.get_running_loop()
+    offload = storage is not None and storage.concurrent_writes
+    if op == "apply":
+        name, add, remove = args
+        if not offload:
+            # memory-only, or the store's persistence hook commits inline
+            return store.apply_diff(name, add=add, remove=remove)
+        if name not in store:
+            # raise the store's own error *before* the durable write
+            store.apply_diff(name)
+        if len(add) or len(remove):
+            await loop.run_in_executor(
+                None, storage.record_diff, name, add, remove
+            )
+            return store.apply_diff(
+                name, add=add, remove=remove, persisted=True
+            )
+        return store.apply_diff(name, add=add, remove=remove)
+    if op in ("create", "restore"):
+        name, values, version = args
+        if not offload:
+            store.create(name, values, version=version)
+            return None
+        await loop.run_in_executor(
+            None, storage.record_create, name, values, version
+        )
+        store.create(name, values, version=version, persisted=True)
+        return None
+    if op == "sync":
+        return None
+    raise ReproError(f"unknown shard mutation op {op!r}")
+
+
+async def compact_if_due(store: SetStore,
+                         storage: StorageBackend | None) -> str | None:
+    """Run a due background compaction; shared by both executors.
+
+    Returns ``None`` when no compaction was due, ``""`` after a
+    successful one, and the error string after a failed one — a failed
+    compaction must never be charged to the (already durable, already
+    applied) mutation that happened to trigger it.
+    """
+    if storage is None or not storage.should_compact():
+        return None
+    try:
+        if storage.compact_from_entries:
+            entries = store.items()
+            await asyncio.get_running_loop().run_in_executor(
+                None, storage.compact, entries
+            )
+        else:
+            # compacts from its own durable state (e.g. a WAL
+            # checkpoint) — cheap, same-thread, no materialization
+            storage.compact()
+        return ""
+    except Exception as exc:
+        return f"{type(exc).__name__}: {exc}"

@@ -29,7 +29,7 @@ import tempfile
 from pathlib import Path
 
 from repro.cluster.admission import AdmissionController
-from repro.cluster.router import ClusterStore
+from repro.cluster.config import ClusterConfig, open_cluster
 from repro.evaluation.harness import ExperimentTable, scaled
 from repro.service.client import sync_with_server
 from repro.service.scheduler import DecodeCoalescer
@@ -98,7 +98,9 @@ async def _run_fleet(
     """
     data_dir = Path(tempfile.mkdtemp(prefix="repro-cluster-bench-"))
     try:
-        store = ClusterStore(shards=shards, data_dir=data_dir, fsync=True)
+        store = open_cluster(
+            data_dir, ClusterConfig(shards=shards, fsync=True)
+        )
         await store.start()
         admission = AdmissionController(
             shards=shards,

@@ -23,7 +23,7 @@ from __future__ import annotations
 import asyncio
 
 from repro.cluster.proc import fork_safe_cpu_count
-from repro.cluster.router import ClusterStore
+from repro.cluster.config import ClusterConfig, open_cluster
 from repro.evaluation.harness import ExperimentTable, scaled
 from repro.service.client import sync_with_server
 from repro.service.scheduler import DecodeCoalescer
@@ -68,9 +68,9 @@ async def _run_fleet(executor: str, shards: int, fleets, seed0: int):
     decoded-group count, engine decode seconds).  Worker spawn and set
     preload happen before the clock starts — the sweep measures steady
     decode throughput, not process startup."""
-    store = ClusterStore(
+    store = open_cluster(config=ClusterConfig(
         shards=shards, executor=executor, worker_window_s=WINDOW_S
-    )
+    ))
     await store.start()
     coalescer = DecodeCoalescer(window_s=WINDOW_S)
     try:

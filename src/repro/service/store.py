@@ -46,10 +46,25 @@ class Snapshot:
 
 
 class SetStore:
-    """Registry of named element sets with snapshot/apply semantics."""
+    """Registry of named element sets with snapshot/apply semantics.
 
-    def __init__(self) -> None:
+    ``persistence`` injects durability: when set (to a
+    :class:`repro.cluster.storage.StorageBackend`), every mutating call
+    records itself durably *before* the in-memory state changes — if the
+    durable write raises, the live set is untouched.  Callers that have
+    already persisted a mutation themselves (the cluster's
+    thread-offloaded journal appends, recovery replay) pass
+    ``persisted=True`` to keep the hook quiet; recovery instead replays
+    into a store whose hook is not wired yet.  This hook is the single
+    home of the durable-write ordering that ``router.py`` and
+    ``proc.py`` used to duplicate around the store.
+    """
+
+    def __init__(self, persistence=None) -> None:
         self._sets: dict[str, _NamedSet] = {}
+        #: optional write-through durability hook (StorageBackend-like:
+        #: ``record_create`` / ``record_diff``)
+        self.persistence = persistence
 
     # -- registry -------------------------------------------------------------
     def names(self) -> list[str]:
@@ -58,15 +73,17 @@ class SetStore:
     def __contains__(self, name: str) -> bool:
         return name in self._sets
 
-    def create(self, name: str, values=(), version: int = 0) -> None:
+    def create(self, name: str, values=(), version: int = 0,
+               persisted: bool = False) -> None:
         """Create (or replace) a named set from an iterable of elements.
 
         ``version`` seeds the mutation counter — journal recovery uses it
         to restore a set at the exact version it had when snapshotted.
         """
-        self._sets[name] = _NamedSet(
-            values={int(v) for v in values}, version=version
-        )
+        values = {int(v) for v in values}
+        if self.persistence is not None and not persisted:
+            self.persistence.record_create(name, values, version=version)
+        self._sets[name] = _NamedSet(values=values, version=version)
 
     def items(self) -> list[tuple[str, frozenset[int], int]]:
         """``(name, values, version)`` for every set (snapshot compaction)."""
@@ -88,25 +105,36 @@ class SetStore:
     # -- session lifecycle -----------------------------------------------------
     def snapshot(self, name: str, create_missing: bool = False) -> Snapshot:
         """Freeze one set for a reconciliation session."""
-        if name not in self._sets:
+        if name not in self:
             if not create_missing:
                 raise UnknownSetError(f"no such set: {name!r}")
             self.create(name)
-        entry = self._sets[name]
+        entry = self._require(name)
         return Snapshot(
             name=name, version=entry.version, values=frozenset(entry.values)
         )
 
-    def apply_diff(self, name: str, add=(), remove=()) -> int:
+    def apply_diff(self, name: str, add=(), remove=(),
+                   persisted: bool = False) -> int:
         """Fold a completed session's difference into the live set.
 
         Returns how many elements actually changed (an element both added
         by this session and already added by a concurrent one counts 0).
+        The persistence hook fires before the first in-memory change and
+        only for non-empty diffs (converged re-sync passes log nothing).
         """
         entry = self._require(name)
-        added = set(self._as_ints(add)) - entry.values
+        add = self._as_ints(add)
+        remove = self._as_ints(remove)
+        if (
+            (add or remove)
+            and self.persistence is not None
+            and not persisted
+        ):
+            self.persistence.record_diff(name, add=add, remove=remove)
+        added = set(add) - entry.values
         entry.values |= added
-        removed = set(self._as_ints(remove)) & entry.values
+        removed = set(remove) & entry.values
         entry.values -= removed
         changed = len(added) + len(removed)
         if changed:

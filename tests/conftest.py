@@ -32,3 +32,71 @@ def gf32_ref() -> CarrylessField:
 @pytest.fixture()
 def rng() -> np.random.Generator:
     return np.random.default_rng(0xC0FFEE)
+
+
+# -- cluster storage backends --------------------------------------------------
+
+@pytest.fixture(params=["journal", "sqlite"])
+def storage_backend(request) -> str:
+    """Parametrizes a test over every shard storage backend."""
+    return request.param
+
+
+@pytest.fixture()
+def make_cluster(storage_backend):
+    """A ClusterStore factory bound to the parametrized storage backend.
+
+    ``make_cluster(shards, data_dir, **config_overrides)`` builds the
+    store through :class:`repro.cluster.ClusterConfig` /
+    :func:`repro.cluster.open_cluster` (the supported construction
+    path); the chosen backend name is available as
+    ``make_cluster.storage`` for tests that need to reach the files.
+    """
+    from repro.cluster import ClusterConfig, open_cluster
+
+    def factory(shards=1, data_dir=None, **overrides):
+        overrides.setdefault("storage", storage_backend)
+        return open_cluster(data_dir, ClusterConfig(shards=shards, **overrides))
+
+    factory.storage = storage_backend
+    return factory
+
+
+@pytest.fixture()
+def corrupt_shard(storage_backend):
+    """Damage one shard directory's base state file beyond recovery.
+
+    Returns a callable ``corrupt(shard_dir, epoch=0)`` that makes the
+    parametrized backend's next open raise ``StorageCorruptError`` —
+    the journal by tearing the atomically-installed snapshot, SQLite by
+    scribbling over the database header (and dropping the WAL sidecars
+    that could otherwise heal it).
+    """
+    def corrupt(shard_dir, epoch: int = 0) -> None:
+        if storage_backend == "journal":
+            from repro.cluster.journal import (
+                JournalBackend,
+                snapshot_filename,
+            )
+            from repro.service.store import SetStore
+
+            snapshot = shard_dir / snapshot_filename(epoch)
+            if not snapshot.exists():
+                # fold the journal into a snapshot first so there is an
+                # atomically-installed file to tear
+                backend = JournalBackend(shard_dir, epoch=epoch)
+                store = SetStore()
+                backend.recover(store)
+                backend.compact(store.items())
+                backend.close()
+            snapshot.write_bytes(snapshot.read_bytes()[:-3] or b"\xff" * 64)
+        else:
+            from repro.cluster.sqlite import db_filename
+
+            db = shard_dir / db_filename(epoch)
+            db.write_bytes(b"\xff" * 512)
+            for suffix in ("-wal", "-shm"):
+                sidecar = db.with_name(db.name + suffix)
+                sidecar.unlink(missing_ok=True)
+
+    return corrupt

@@ -1,5 +1,10 @@
 """Subprocess shard executors: equivalence with inline, crash drills.
 
+Durable tests are parametrized over every storage backend
+(``make_cluster`` in ``conftest.py``): the SIGKILL drill, startup-crash
+fail-fast, and resize preservation must hold identically whether the
+child persists to journal files or a SQLite store.
+
 Written against plain ``asyncio.run`` so the suite does not depend on a
 pytest-asyncio plugin being installed.  Worker children are real spawned
 processes — tests that start a proc-mode store pay ~a second per start,
@@ -20,9 +25,21 @@ from pathlib import Path
 
 import pytest
 
-from repro.cluster import ClusterStore, WorkerUnavailableError
+from repro.cluster import (
+    ClusterConfig,
+    ClusterStore,
+    WorkerUnavailableError,
+    open_cluster,
+)
 from repro.errors import ReproError
 from repro.service import ReconciliationServer, ServerBusy, sync_with_server
+
+
+def _cluster(shards: int, data_dir=None, **overrides) -> ClusterStore:
+    """A config-built cluster for executor tests that have no storage
+    dimension (in-memory); durable tests use the ``make_cluster``
+    fixture."""
+    return open_cluster(data_dir, ClusterConfig(shards=shards, **overrides))
 
 
 def _state(store: ClusterStore) -> dict:
@@ -58,33 +75,28 @@ async def _run_script(store: ClusterStore, script) -> dict:
 
 
 class TestInlineProcEquivalence:
-    def test_same_mutations_same_store(self, tmp_path):
+    def test_same_mutations_same_store(self, tmp_path, make_cluster):
         """The executor is an implementation detail: the identical
         mutation sequence must leave bit-for-bit identical contents and
-        versions, live and after recovery."""
+        versions, live and after recovery — on every storage backend."""
         script = _mutation_script(seed=0xE9)
         inline_dir, proc_dir = tmp_path / "inline", tmp_path / "proc"
 
         inline_state = asyncio.run(
-            _run_script(
-                ClusterStore(shards=3, data_dir=inline_dir), script
-            )
+            _run_script(make_cluster(3, inline_dir), script)
         )
         proc_state = asyncio.run(
             _run_script(
-                ClusterStore(
-                    shards=3, data_dir=proc_dir, executor="subprocess"
-                ),
-                script,
+                make_cluster(3, proc_dir, executor="subprocess"), script
             )
         )
         assert inline_state == proc_state
         assert len(inline_state) == 10
 
-        # recovery equivalence: both data dirs replay (inline) to the
-        # identical state — the proc journals are the same bytes' worth
+        # recovery equivalence: both data dirs recover (inline) to the
+        # identical state — the proc shards persisted the same mutations
         async def recover(directory):
-            async with ClusterStore(shards=3, data_dir=directory) as store:
+            async with make_cluster(3, directory) as store:
                 return _state(store)
 
         assert asyncio.run(recover(inline_dir)) == inline_state
@@ -95,7 +107,7 @@ class TestInlineProcEquivalence:
         in-memory resize path (versioned RESTORE through the children)."""
 
         async def inner():
-            async with ClusterStore(shards=3, executor="subprocess") as store:
+            async with _cluster(3, executor="subprocess") as store:
                 for i in range(8):
                     await store.create(f"m{i}", range(i, i + 4))
                     await store.apply_diff(f"m{i}", add=[999])
@@ -111,11 +123,9 @@ class TestInlineProcEquivalence:
 
         asyncio.run(inner())
 
-    def test_journaled_proc_resize_preserves_state(self, tmp_path):
+    def test_durable_proc_resize_preserves_state(self, tmp_path, make_cluster):
         async def inner():
-            store = ClusterStore(
-                shards=2, data_dir=tmp_path, executor="subprocess"
-            )
+            store = make_cluster(2, tmp_path, executor="subprocess")
             async with store:
                 for i in range(6):
                     await store.create(f"s{i}", range(10 * i, 10 * i + 5))
@@ -124,7 +134,7 @@ class TestInlineProcEquivalence:
                 assert summary["changed"] and summary["moved"] >= 1
                 assert _state(store) == before
             # and the committed epoch recovers under the new topology
-            async with ClusterStore(shards=4, data_dir=tmp_path) as check:
+            async with make_cluster(4, tmp_path) as check:
                 assert _state(check) == before
 
         asyncio.run(inner())
@@ -139,7 +149,7 @@ class TestResizeRollback:
         still True, a silent no-op)."""
 
         async def inner():
-            store = ClusterStore(shards=3, executor="subprocess")
+            store = _cluster(3, executor="subprocess")
             async with store:
                 for i in range(6):
                     await store.create(f"r{i}", range(i, i + 5))
@@ -176,31 +186,29 @@ class TestResizeRollback:
 
 
 class TestWorkerCrashDrill:
-    def test_startup_crash_fails_fast_with_exit_code(self, tmp_path):
-        """A worker that dies during startup (corrupt shard snapshot)
+    def test_startup_crash_fails_fast_with_exit_code(
+        self, tmp_path, make_cluster, corrupt_shard
+    ):
+        """A worker that dies during startup (corrupt shard base state)
         must fail start() promptly with the child's exit code — not
         burn the whole 60 s spawn timeout."""
-        # a journaled store lays the directories down, then we corrupt
-        # one shard's snapshot so its replay raises in the child
+        # a durable store lays the directories down, then we corrupt
+        # every shard's base state so its recovery raises in the child
         async def seed():
-            async with ClusterStore(
-                shards=2, data_dir=tmp_path, executor="subprocess"
+            async with make_cluster(
+                2, tmp_path, executor="subprocess"
             ) as store:
                 for i in range(4):
                     await store.create(f"s{i}", [i])
 
         asyncio.run(seed())
-        corrupted = False
-        for shard_dir in sorted(tmp_path.glob("shard-*")):
-            snapshot = shard_dir / "snapshot.bin"
-            snapshot.write_bytes(b"\xff" * 64)
-            corrupted = True
-        assert corrupted
+        shard_dirs = sorted(tmp_path.glob("shard-*"))
+        assert shard_dirs
+        for shard_dir in shard_dirs:
+            corrupt_shard(shard_dir)
 
         async def reopen():
-            store = ClusterStore(
-                shards=2, data_dir=tmp_path, executor="subprocess"
-            )
+            store = make_cluster(2, tmp_path, executor="subprocess")
             try:
                 await store.start()
             finally:
@@ -211,18 +219,18 @@ class TestWorkerCrashDrill:
             asyncio.run(reopen())
         # fast failure: the child's death is noticed, not timed out
         assert time.monotonic() - start < 30.0
-    def test_sigkill_retry_shed_restart_replay(self, tmp_path):
+
+    def test_sigkill_retry_shed_restart_replay(self, tmp_path, make_cluster):
         """SIGKILL one worker mid-load: in-flight work fails fast, new
         sessions are shed with RETRY while the shard is down, and the
-        restarted worker replays the journal to the exact acked state
-        (surfaced in cluster_stats as a worker restart)."""
+        restarted worker recovers to the exact acked state (surfaced in
+        cluster_stats as a worker restart) — on every backend."""
 
         async def inner():
             a = set(range(1, 400))
             b = set(range(30, 430))
-            store = ClusterStore(
-                shards=2, data_dir=tmp_path, executor="subprocess",
-                restart_backoff_s=0.75,
+            store = make_cluster(
+                2, tmp_path, executor="subprocess", restart_backoff_s=0.75
             )
             await store.start()
             try:
@@ -258,7 +266,7 @@ class TestWorkerCrashDrill:
                     assert shed.value.retry_after_s > 0
                     assert server.metrics.sessions_shed >= 1
 
-                    # the supervisor heals the shard: replayed state is
+                    # the supervisor heals the shard: recovered state is
                     # exactly what was acked before the kill
                     for _ in range(200):
                         if store.shard_available(shard_id):
@@ -283,14 +291,12 @@ class TestWorkerCrashDrill:
 
         asyncio.run(inner())
 
-    def test_close_reaps_worker_processes(self, tmp_path):
-        """close() drains, closes the journals in the children, and
+    def test_close_reaps_worker_processes(self, tmp_path, make_cluster):
+        """close() drains, closes the shard storage in the children, and
         reaps every worker process — no orphans, no stray tmp files."""
 
         async def inner():
-            store = ClusterStore(
-                shards=2, data_dir=tmp_path, executor="subprocess"
-            )
+            store = make_cluster(2, tmp_path, executor="subprocess")
             await store.start()
             await store.create("x", [1, 2, 3])
             handles = [shard.worker for shard in store._shards]
@@ -308,9 +314,9 @@ class TestWorkerCrashDrill:
                 os.kill(pid, 0)
         assert list(tmp_path.rglob("*.tmp")) == []
 
-        # journals were closed post-drain: the data recovers completely
+        # storage was closed post-drain: the data recovers completely
         async def recover():
-            async with ClusterStore(shards=2, data_dir=tmp_path) as check:
+            async with make_cluster(2, tmp_path) as check:
                 return check.get("x")
 
         assert asyncio.run(recover()) == {1, 2, 3}
@@ -321,7 +327,9 @@ class TestServeProcessSignals:
     def test_serve_shutdown_reaps_workers(self, tmp_path, sig):
         """``repro serve --workers proc`` on SIGINT/SIGTERM: exits 0,
         reaps its worker subprocesses, closes journals (no tmp files),
-        and the final metrics snapshot reaches stderr."""
+        and the final metrics snapshot reaches stderr.  Journal-only
+        here; the CI cluster-smoke matrix drives ``--storage sqlite``
+        through the same serve path."""
         bob = tmp_path / "bob.txt"
         bob.write_text("".join(f"{v}\n" for v in range(1, 120)))
         data_dir = tmp_path / "data"
@@ -370,7 +378,7 @@ class TestServeProcessSignals:
 
         # journals survived the signal: a fresh inline recovery sees bob
         async def recover():
-            async with ClusterStore(shards=2, data_dir=data_dir) as check:
+            async with _cluster(2, data_dir) as check:
                 return check.get("inv")
 
         assert asyncio.run(recover()) == set(range(1, 120))

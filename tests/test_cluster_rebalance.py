@@ -1,10 +1,15 @@
-"""Manifest + journaled rebalance: no set is ever lost on a resize.
+"""Manifest + durable rebalance: no set is ever lost on a resize.
 
-The PR-3 bug these tests pin down: restarting a journaled data dir with
+The PR-3 bug these tests pin down: restarting a durable data dir with
 a different ``--shards`` silently remapped ~1/(N+1) of the names to
-shards whose journals never heard of them, so those sets recovered
+shards whose storage never heard of them, so those sets recovered
 empty.  Now the manifest makes startup refuse the mismatch, and
-``rebalance`` migrates the journals with one atomic commit point.
+``rebalance`` migrates the shard files with one atomic commit point.
+
+The resize acceptance drill and the crash-point drills are parametrized
+over every storage backend (``storage_backend`` in ``conftest.py``);
+tests that perform journal file surgery stay journal-only (SQLite's
+twins live in test_storage_backends.py).
 
 Written against plain ``asyncio.run`` so the suite does not depend on a
 pytest-asyncio plugin being installed.
@@ -19,12 +24,14 @@ import random
 import pytest
 
 from repro.cluster import (
+    ClusterConfig,
     ClusterStore,
     HashRing,
     ManifestError,
     RebalanceAborted,
     TopologyMismatchError,
     load_manifest,
+    open_cluster,
     rebalance,
 )
 from repro.cluster.manifest import (
@@ -36,14 +43,18 @@ from repro.cluster.manifest import (
 )
 
 
-def _populate(data_dir, shards, sets):
-    """Create a journaled cluster dir holding ``sets`` (name -> values)."""
+def _cluster(shards, data_dir=None, **overrides):
+    return open_cluster(data_dir, ClusterConfig(shards=shards, **overrides))
+
+
+def _populate(data_dir, shards, sets, storage="journal"):
+    """Create a durable cluster dir holding ``sets`` (name -> values)."""
 
     async def inner():
-        async with ClusterStore(shards=shards, data_dir=data_dir) as store:
+        async with _cluster(shards, data_dir, storage=storage) as store:
             for name, values in sets.items():
                 await store.create(name, values)
-                # a couple of diffs so journals hold real apply records
+                # a couple of diffs so the shards hold real apply records
                 # and versions exceed 0
                 await store.apply_diff(name, add=[max(values) + 7])
                 await store.apply_diff(name, remove=[min(values)])
@@ -55,9 +66,9 @@ def _populate(data_dir, shards, sets):
     return asyncio.run(inner())
 
 
-def _recovered(data_dir, shards):
+def _recovered(data_dir, shards, storage="journal"):
     async def inner():
-        async with ClusterStore(shards=shards, data_dir=data_dir) as store:
+        async with _cluster(shards, data_dir, storage=storage) as store:
             return (
                 {n: store.get(n) for n in store.names()},
                 {n: store.version(n) for n in store.names()},
@@ -89,7 +100,7 @@ class TestManifest:
 
         async def inner():
             with pytest.raises(TopologyMismatchError) as excinfo:
-                await ClusterStore(shards=5, data_dir=tmp_path).start()
+                await _cluster(5, tmp_path).start()
             message = str(excinfo.value)
             assert "2 shards" in message and "5 shards" in message
             assert "repro rebalance" in message
@@ -109,7 +120,7 @@ class TestManifest:
 
         async def inner():
             with pytest.raises(TopologyMismatchError):
-                await ClusterStore(shards=2, data_dir=tmp_path).start()
+                await _cluster(2, tmp_path).start()
 
         asyncio.run(inner())
 
@@ -119,7 +130,7 @@ class TestManifest:
 
         async def inner():
             with pytest.raises(ManifestError):
-                await ClusterStore(shards=2, data_dir=tmp_path).start()
+                await _cluster(2, tmp_path).start()
 
         asyncio.run(inner())
 
@@ -143,24 +154,36 @@ class TestRebalanceProperty:
     @pytest.mark.parametrize("old_n", [1, 2, 3, 4, 5])
     @pytest.mark.parametrize("new_n", [1, 2, 3, 4, 5])
     def test_every_resize_recovers_every_set_bit_for_bit(
-        self, tmp_path, old_n, new_n
+        self, tmp_path, old_n, new_n, storage_backend
     ):
         """The acceptance drill: random populations, all N -> M resizes,
-        nothing lost, contents and versions identical after restart."""
+        on every storage backend, nothing lost, contents and versions
+        identical after restart."""
         sets = _random_sets(seed=1000 * old_n + new_n)
-        expected, versions = _populate(tmp_path, old_n, sets)
+        expected, versions = _populate(
+            tmp_path, old_n, sets, storage=storage_backend
+        )
         result = rebalance(tmp_path, new_n)
         assert result.changed == (old_n != new_n)
-        recovered, recovered_versions = _recovered(tmp_path, new_n)
+        assert result.new_storage == storage_backend   # backend kept
+        recovered, recovered_versions = _recovered(
+            tmp_path, new_n, storage=storage_backend
+        )
         assert recovered == expected
         assert recovered_versions == versions
 
-    def test_chained_resizes_preserve_everything(self, tmp_path):
+    def test_chained_resizes_preserve_everything(
+        self, tmp_path, storage_backend
+    ):
         sets = _random_sets(seed=77)
-        expected, versions = _populate(tmp_path, 2, sets)
+        expected, versions = _populate(
+            tmp_path, 2, sets, storage=storage_backend
+        )
         for step, target in enumerate([4, 3, 5, 1, 2]):
             rebalance(tmp_path, target)
-            recovered, recovered_versions = _recovered(tmp_path, target)
+            recovered, recovered_versions = _recovered(
+                tmp_path, target, storage=storage_backend
+            )
             assert recovered == expected, f"step {step} -> {target}"
             assert recovered_versions == versions
         assert load_manifest(tmp_path).epoch == 5
@@ -207,8 +230,10 @@ class TestRebalanceProperty:
         assert values[stray] == {7, 8}
         assert versions[stray] == 2
 
-    def test_rerun_after_completion_is_a_no_op(self, tmp_path):
-        _populate(tmp_path, 2, _random_sets(seed=5))
+    def test_rerun_after_completion_is_a_no_op(
+        self, tmp_path, storage_backend
+    ):
+        _populate(tmp_path, 2, _random_sets(seed=5), storage=storage_backend)
         first = rebalance(tmp_path, 4)
         second = rebalance(tmp_path, 4)
         assert first.changed and not second.changed
@@ -227,35 +252,49 @@ class TestRebalanceProperty:
 
 
 class TestCrashMidRebalance:
-    def test_crash_before_commit_leaves_old_epoch_valid(self, tmp_path):
+    def test_crash_before_commit_leaves_old_epoch_valid(
+        self, tmp_path, storage_backend
+    ):
         sets = _random_sets(seed=42)
-        expected, versions = _populate(tmp_path, 2, sets)
+        expected, versions = _populate(
+            tmp_path, 2, sets, storage=storage_backend
+        )
         with pytest.raises(RebalanceAborted):
             rebalance(tmp_path, 4, crash_at="after-stage")
         # the commit never happened: the old topology recovers cleanly
         assert load_manifest(tmp_path).shards == 2
-        recovered, recovered_versions = _recovered(tmp_path, 2)
+        recovered, recovered_versions = _recovered(
+            tmp_path, 2, storage=storage_backend
+        )
         assert recovered == expected and recovered_versions == versions
         # ... and the new one still refuses
         async def inner():
             with pytest.raises(TopologyMismatchError):
-                await ClusterStore(shards=4, data_dir=tmp_path).start()
+                await _cluster(4, tmp_path).start()
 
         asyncio.run(inner())
         # rerunning completes the migration over the stale staged files
         assert rebalance(tmp_path, 4).changed
-        recovered, recovered_versions = _recovered(tmp_path, 4)
+        recovered, recovered_versions = _recovered(
+            tmp_path, 4, storage=storage_backend
+        )
         assert recovered == expected and recovered_versions == versions
 
-    def test_crash_after_commit_recovers_under_new_epoch(self, tmp_path):
+    def test_crash_after_commit_recovers_under_new_epoch(
+        self, tmp_path, storage_backend
+    ):
         sets = _random_sets(seed=43)
-        expected, versions = _populate(tmp_path, 2, sets)
+        expected, versions = _populate(
+            tmp_path, 2, sets, storage=storage_backend
+        )
         with pytest.raises(RebalanceAborted):
             rebalance(tmp_path, 4, crash_at="after-commit")
         # committed: the new topology is live even though the sweep of
         # stale old-epoch files never ran
         assert load_manifest(tmp_path).shards == 4
-        recovered, recovered_versions = _recovered(tmp_path, 4)
+        recovered, recovered_versions = _recovered(
+            tmp_path, 4, storage=storage_backend
+        )
         assert recovered == expected and recovered_versions == versions
         # a later no-op run sweeps the leftovers
         rebalance(tmp_path, 4)
@@ -265,6 +304,7 @@ class TestCrashMidRebalance:
             if manifest.shard_epoch(shard) > 0:
                 assert not (directory / "snapshot.bin").exists()
                 assert not (directory / "journal.log").exists()
+                assert not (directory / "store.sqlite").exists()
 
     def test_crash_on_legacy_dir_commits_inference_before_staging(
         self, tmp_path
@@ -348,7 +388,7 @@ class TestCrashMidRebalance:
 class TestLiveResize:
     def test_in_memory_resize_moves_nothing_off_process(self):
         async def inner():
-            async with ClusterStore(shards=2) as store:
+            async with _cluster(2) as store:
                 names = [f"s{i}" for i in range(10)]
                 for i, name in enumerate(names):
                     await store.create(name, {i, i + 100})
@@ -362,9 +402,11 @@ class TestLiveResize:
 
         asyncio.run(inner())
 
-    def test_journaled_resize_is_durable(self, tmp_path):
+    def test_durable_resize_survives_restart(self, tmp_path, storage_backend):
         async def inner():
-            async with ClusterStore(shards=2, data_dir=tmp_path) as store:
+            async with _cluster(
+                2, tmp_path, storage=storage_backend
+            ) as store:
                 for i in range(8):
                     await store.create(f"s{i}", {i, i * 7 + 1})
                 summary = await store.resize(3)
@@ -372,7 +414,7 @@ class TestLiveResize:
                 await store.apply_diff("s0", add=[12345])   # post-resize write
             # a cold restart at the new topology sees everything,
             # including the post-resize mutation
-            async with ClusterStore(shards=3, data_dir=tmp_path) as again:
+            async with _cluster(3, tmp_path, storage=storage_backend) as again:
                 assert again.get("s0") == {0, 1, 12345}
                 assert len(again.names()) == 8
 
@@ -380,7 +422,7 @@ class TestLiveResize:
 
     def test_resize_to_same_count_is_a_no_op(self, tmp_path):
         async def inner():
-            async with ClusterStore(shards=2, data_dir=tmp_path) as store:
+            async with _cluster(2, tmp_path) as store:
                 await store.create("s", {1})
                 summary = await store.resize(2)
                 assert not summary["changed"]
@@ -393,7 +435,7 @@ class TestLiveResize:
         from repro.service import ReconciliationServer
 
         async def inner():
-            store = ClusterStore(shards=2, data_dir=tmp_path)
+            store = _cluster(2, tmp_path)
             admission = AdmissionController(shards=2, max_sessions=4)
             async with store:
                 server = ReconciliationServer(store, admission=admission)
@@ -484,7 +526,7 @@ class TestLiveResize:
         'ClusterStore is closing' error."""
 
         async def inner():
-            async with ClusterStore(shards=2, data_dir=tmp_path) as store:
+            async with _cluster(2, tmp_path) as store:
                 names = [f"s{i}" for i in range(6)]
                 for i, name in enumerate(names):
                     await store.create(name, {i})
@@ -498,7 +540,7 @@ class TestLiveResize:
                 assert store.get("born-mid-resize") == {42}
             # ... and both racing mutations are durable under the new
             # topology
-            async with ClusterStore(shards=4, data_dir=tmp_path) as again:
+            async with _cluster(4, tmp_path) as again:
                 assert 777 in again.get(names[0])
                 assert again.get("born-mid-resize") == {42}
 
@@ -511,7 +553,7 @@ class TestLiveResize:
         from repro.errors import ReproError
 
         async def inner():
-            store = ClusterStore(shards=2, data_dir=tmp_path)
+            store = _cluster(2, tmp_path)
             await store.start()
             await store.create("s", {1})
             closing = asyncio.create_task(store.close())
@@ -531,7 +573,7 @@ class TestLiveResize:
         from repro.service.metrics import ServiceMetrics
 
         async def inner():
-            async with ClusterStore(shards=2, data_dir=tmp_path) as store:
+            async with _cluster(2, tmp_path) as store:
                 for i in range(8):
                     await store.create(f"s{i}", {i})
                 metrics = ServiceMetrics()
@@ -549,7 +591,7 @@ class TestLiveResize:
         waits the resize out, then closes the swapped store."""
 
         async def inner():
-            store = ClusterStore(shards=2, data_dir=tmp_path)
+            store = _cluster(2, tmp_path)
             await store.start()
             for i in range(6):
                 await store.create(f"s{i}", {i})
@@ -574,7 +616,7 @@ class TestLiveResize:
         import repro.cluster.router as router_mod
 
         async def inner(monkeypatch):
-            async with ClusterStore(shards=2, data_dir=tmp_path) as store:
+            async with _cluster(2, tmp_path) as store:
                 await store.create("s", {1, 2})
 
                 def exploding(*args, **kwargs):
@@ -741,9 +783,7 @@ class TestRebalanceCLI:
         from repro.cli import main
 
         async def populate():
-            async with ClusterStore(
-                shards=2, data_dir=tmp_path, vnodes=64
-            ) as store:
+            async with _cluster(2, tmp_path, vnodes=64) as store:
                 await store.create("s", {1, 2, 3})
                 return store.get("s")
 

@@ -1,5 +1,10 @@
 """ClusterStore: sharded routing, durable acks, crash recovery end-to-end.
 
+Parametrized over every storage backend (``storage_backend`` /
+``make_cluster`` fixtures in ``conftest.py``) — the backend is an
+implementation detail, so every durability and recovery property here
+must hold identically for the journal files and the SQLite store.
+
 Written against plain ``asyncio.run`` so the suite does not depend on a
 pytest-asyncio plugin being installed.
 """
@@ -10,7 +15,7 @@ import asyncio
 
 import pytest
 
-from repro.cluster import ClusterStore
+from repro.cluster import ClusterConfig, ClusterStore, open_cluster
 from repro.cluster.journal import encode_diff
 from repro.service import ReconciliationServer, sync_with_server
 from repro.service.store import UnknownSetError
@@ -19,39 +24,59 @@ from repro.workloads import SetPairGenerator
 NAMES = [f"set-{i}" for i in range(12)]
 
 
-def _populate(store: ClusterStore):
+def _cluster(shards: int, data_dir=None, **overrides) -> ClusterStore:
+    """A config-built cluster for backend-agnostic (or memory-only)
+    tests; backend-parametrized tests use the ``make_cluster`` fixture."""
+    return open_cluster(data_dir, ClusterConfig(shards=shards, **overrides))
+
+
+def _populate(store: ClusterStore) -> dict:
+    """Fill the cluster and capture its live state *before* close —
+    reads against a closed store are not part of the contract (the
+    journal's in-memory copy incidentally serves them; SQLite's closed
+    connection cannot)."""
+
     async def inner():
         async with store:
             for i, name in enumerate(NAMES):
                 await store.create(name, range(10 * i + 1, 10 * i + 8))
                 await store.apply_diff(name, add=[10_000 + i])
+            return {
+                "values": {n: store.get(n) for n in store.names()},
+                "versions": {n: store.version(n) for n in store.names()},
+                "stats": store.stats(),
+            }
 
-    asyncio.run(inner())
+    return asyncio.run(inner())
 
 
 class TestShardedSemantics:
-    def test_sets_spread_across_shards(self, tmp_path):
-        store = ClusterStore(shards=4, data_dir=tmp_path)
-        _populate(store)
+    def test_sets_spread_across_shards(self, tmp_path, make_cluster):
+        store = make_cluster(4, tmp_path)
+        snap = _populate(store)
         shards = {store.shard_for(name) for name in NAMES}
         assert len(shards) > 1                  # really sharded
-        stats = store.stats()
-        assert set(stats) == set(NAMES)
+        assert set(snap["stats"]) == set(NAMES)
         for name in NAMES:
-            assert stats[name]["shard"] == store.shard_for(name)
+            assert snap["stats"][name]["shard"] == store.shard_for(name)
 
-    def test_setstore_compatible_reads(self, tmp_path):
-        store = ClusterStore(shards=3, data_dir=tmp_path)
-        _populate(store)
-        assert store.names() == sorted(NAMES)
-        assert "set-0" in store and "ghost" not in store
-        assert store.size("set-0") == 8
-        assert store.version("set-0") == 1      # one mutating apply
-        assert 10_000 in store.get("set-0")
-
-    def test_unknown_set_raises_through_worker(self, tmp_path):
+    def test_setstore_compatible_reads(self, tmp_path, make_cluster):
         async def inner():
-            async with ClusterStore(shards=2) as store:
+            async with make_cluster(3, tmp_path) as store:
+                for i, name in enumerate(NAMES):
+                    await store.create(name, range(10 * i + 1, 10 * i + 8))
+                    await store.apply_diff(name, add=[10_000 + i])
+                assert store.names() == sorted(NAMES)
+                assert "set-0" in store and "ghost" not in store
+                assert store.size("set-0") == 8
+                assert store.version("set-0") == 1   # one mutating apply
+                assert 10_000 in store.get("set-0")
+
+        asyncio.run(inner())
+
+    def test_unknown_set_raises_through_worker(self, tmp_path, make_cluster):
+        async def inner():
+            async with make_cluster(2, tmp_path) as store:
                 with pytest.raises(UnknownSetError):
                     await store.apply_diff("ghost", add=[1])
                 with pytest.raises(UnknownSetError):
@@ -59,19 +84,19 @@ class TestShardedSemantics:
 
         asyncio.run(inner())
 
-    def test_snapshot_create_missing_is_journaled(self, tmp_path):
+    def test_snapshot_create_missing_is_persisted(self, tmp_path, make_cluster):
         async def inner():
-            async with ClusterStore(shards=2, data_dir=tmp_path) as store:
+            async with make_cluster(2, tmp_path) as store:
                 snap = await store.snapshot("fresh", create_missing=True)
                 assert len(snap) == 0
-            async with ClusterStore(shards=2, data_dir=tmp_path) as store2:
+            async with make_cluster(2, tmp_path) as store2:
                 assert "fresh" in store2
 
         asyncio.run(inner())
 
     def test_memory_only_mode_needs_no_disk(self):
         async def inner():
-            async with ClusterStore(shards=2) as store:
+            async with _cluster(2) as store:
                 await store.create("s", {1, 2})
                 assert await store.apply_diff("s", add=[3]) == 1
                 assert store.get("s") == {1, 2, 3}
@@ -80,14 +105,13 @@ class TestShardedSemantics:
 
 
 class TestRecovery:
-    def test_cold_restart_recovers_bit_for_bit(self, tmp_path):
-        store = ClusterStore(shards=4, data_dir=tmp_path)
-        _populate(store)
-        expected = {name: store.get(name) for name in store.names()}
-        versions = {name: store.version(name) for name in store.names()}
+    def test_cold_restart_recovers_bit_for_bit(self, tmp_path, make_cluster):
+        store = make_cluster(4, tmp_path)
+        snap = _populate(store)
+        expected, versions = snap["values"], snap["versions"]
 
         async def restart():
-            async with ClusterStore(shards=4, data_dir=tmp_path) as again:
+            async with make_cluster(4, tmp_path) as again:
                 return (
                     {n: again.get(n) for n in again.names()},
                     {n: again.version(n) for n in again.names()},
@@ -100,8 +124,10 @@ class TestRecovery:
     def test_killed_shard_mid_write_recovers_to_last_complete_record(
         self, tmp_path
     ):
-        """The ISSUE's crash drill: torn journal tail, restart, reconcile."""
-        store = ClusterStore(shards=2, data_dir=tmp_path)
+        """The ISSUE's crash drill: torn journal tail, restart, reconcile.
+        Journal-specific file surgery (SQLite's torn-WAL twin lives in
+        test_storage_backends.py)."""
+        store = _cluster(2, tmp_path)
 
         async def phase1():
             async with store:
@@ -117,7 +143,7 @@ class TestRecovery:
         journal.write_bytes(journal.read_bytes() + torn[: len(torn) - 4])
 
         async def phase2():
-            async with ClusterStore(shards=2, data_dir=tmp_path) as again:
+            async with _cluster(2, tmp_path) as again:
                 # recovered to the last complete record: the torn 9999 is
                 # gone, everything acknowledged before it survives
                 assert again.get("crash") == set(range(1, 500)) | {9001, 9002}
@@ -141,7 +167,9 @@ class TestRecovery:
 
         asyncio.run(phase2())
 
-    def test_resize_without_rebalance_refuses_to_start(self, tmp_path):
+    def test_resize_without_rebalance_refuses_to_start(
+        self, tmp_path, make_cluster
+    ):
         """Restarting with a different shard count used to silently
         remap ~1/(N+1) of the names to shards whose journals never heard
         of them — those sets recovered *empty*.  The manifest turns that
@@ -149,9 +177,9 @@ class TestRecovery:
         the same restart recover every set bit-for-bit."""
         from repro.cluster import TopologyMismatchError, rebalance
 
-        store = ClusterStore(shards=2, data_dir=tmp_path)
-        _populate(store)
-        grown = ClusterStore(shards=4, data_dir=tmp_path)
+        store = make_cluster(2, tmp_path)
+        snap = _populate(store)
+        grown = make_cluster(4, tmp_path)
 
         async def restart_mismatched():
             with pytest.raises(TopologyMismatchError, match="rebalance"):
@@ -159,23 +187,25 @@ class TestRecovery:
 
         asyncio.run(restart_mismatched())
 
-        result = rebalance(tmp_path, 4)
+        result = rebalance(tmp_path, 4)          # keeps the committed backend
         assert result.changed and result.moved_count > 0
+        assert result.new_storage == make_cluster.storage
 
         async def restart_rebalanced():
-            async with ClusterStore(shards=4, data_dir=tmp_path) as again:
+            async with make_cluster(4, tmp_path) as again:
                 for name in NAMES:
-                    assert again.get(name) == store.get(name)
-                    assert again.version(name) == store.version(name)
+                    assert again.get(name) == snap["values"][name]
+                    assert again.version(name) == snap["versions"][name]
 
         asyncio.run(restart_rebalanced())
 
 
 class TestCompactionUnderLoad:
-    def test_auto_compaction_triggers_and_preserves_state(self, tmp_path):
-        store = ClusterStore(
-            shards=1, data_dir=tmp_path, compact_min_bytes=256,
-            compact_factor=1,
+    def test_auto_compaction_triggers_and_preserves_state(
+        self, tmp_path, make_cluster
+    ):
+        store = make_cluster(
+            1, tmp_path, compact_min_bytes=256, compact_factor=1
         )
 
         async def inner():
@@ -184,51 +214,57 @@ class TestCompactionUnderLoad:
                 for i in range(40):
                     await store.apply_diff("s", add=[1000 + i])
                 await store.flush()
+                expected = store.get("s")
+                expected_version = store.version("s")
             stats = store.cluster_stats()["per_shard"][0]
             assert stats["compactions"] >= 1
-            async with ClusterStore(shards=1, data_dir=tmp_path) as again:
-                assert again.get("s") == store.get("s")
-                assert again.version("s") == store.version("s")
+            async with make_cluster(1, tmp_path) as again:
+                assert again.get("s") == expected
+                assert again.version("s") == expected_version
 
         asyncio.run(inner())
 
 
-class TestJournalFirstOrdering:
-    def test_failed_append_leaves_store_unmutated(self, tmp_path):
-        """Durability contract: nothing un-journaled ever becomes visible.
-        If the WAL append fails (disk full), the apply must error out
-        *without* touching the live set."""
+class TestDurableFirstOrdering:
+    def test_failed_durable_write_leaves_store_unmutated(
+        self, tmp_path, make_cluster
+    ):
+        """Durability contract: nothing un-persisted ever becomes visible.
+        If the durable write fails (disk full), the apply must error out
+        *without* touching the live set — on every backend."""
 
         async def inner():
-            async with ClusterStore(shards=1, data_dir=tmp_path) as store:
+            async with make_cluster(1, tmp_path) as store:
                 await store.create("s", {1, 2, 3})
                 shard = store._shards[0]
-                original = shard.storage.append
+                original = shard.storage.record_diff
 
-                def exploding_append(record):
+                def exploding_record_diff(name, add=(), remove=()):
                     raise OSError("no space left on device")
 
-                shard.storage.append = exploding_append
+                shard.storage.record_diff = exploding_record_diff
                 with pytest.raises(OSError):
                     await store.apply_diff("s", add=[999])
                 # the rejected diff is not in the live set: later sessions
                 # cannot be acked against state a restart would lose
                 assert store.get("s") == {1, 2, 3}
                 assert store.version("s") == 0
-                shard.storage.append = original
+                shard.storage.record_diff = original
                 assert await store.apply_diff("s", add=[999]) == 1
-            async with ClusterStore(shards=1, data_dir=tmp_path) as again:
+            async with make_cluster(1, tmp_path) as again:
                 assert again.get("s") == {1, 2, 3, 999}
 
         asyncio.run(inner())
 
 
 class TestCloseSemantics:
-    def test_close_rejects_and_drains_instead_of_stranding(self, tmp_path):
+    def test_close_rejects_and_drains_instead_of_stranding(
+        self, tmp_path, make_cluster
+    ):
         from repro.errors import ReproError
 
         async def inner():
-            store = ClusterStore(shards=1, data_dir=tmp_path)
+            store = make_cluster(1, tmp_path)
             await store.start()
             await store.create("s", {1})
             closing = asyncio.ensure_future(store.close())
@@ -245,9 +281,9 @@ class TestCloseSemantics:
 
         asyncio.run(inner())
 
-    def test_close_before_start_is_a_safe_no_op(self, tmp_path):
+    def test_close_before_start_is_a_safe_no_op(self, tmp_path, make_cluster):
         async def inner():
-            store = ClusterStore(shards=2, data_dir=tmp_path)
+            store = make_cluster(2, tmp_path)
             await store.close()          # never started: nothing to do
             await store.close()
             # and the store still starts and works normally afterwards
@@ -257,27 +293,29 @@ class TestCloseSemantics:
 
         asyncio.run(inner())
 
-    def test_double_close_is_idempotent(self, tmp_path):
+    def test_double_close_is_idempotent(self, tmp_path, make_cluster):
         async def inner():
-            store = ClusterStore(shards=2, data_dir=tmp_path)
+            store = make_cluster(2, tmp_path)
             await store.start()
             await store.create("s", {1, 2})
             await store.close()
             await store.close()          # second close: no double-drain,
-            await store.close()          # no double-closed journal handle
+            await store.close()          # no double-closed storage handle
             await store.start()          # and restart still works
             assert await store.apply_diff("s", add=[3]) == 1
             await store.close()
 
         asyncio.run(inner())
 
-    def test_concurrent_close_calls_await_one_drain(self, tmp_path):
+    def test_concurrent_close_calls_await_one_drain(
+        self, tmp_path, make_cluster
+    ):
         """Two racing close() calls must not enqueue two stop sentinels
         (a stale sentinel would make the next start()'s worker exit
         immediately, stranding every future mutation)."""
 
         async def inner():
-            store = ClusterStore(shards=2, data_dir=tmp_path)
+            store = make_cluster(2, tmp_path)
             await store.start()
             await store.create("s", {1})
             await asyncio.gather(store.close(), store.close(), store.close())
@@ -291,9 +329,9 @@ class TestCloseSemantics:
 
         asyncio.run(inner())
 
-    def test_empty_diffs_are_not_journaled(self, tmp_path):
+    def test_empty_diffs_are_not_persisted(self, tmp_path, make_cluster):
         async def inner():
-            async with ClusterStore(shards=1, data_dir=tmp_path) as store:
+            async with make_cluster(1, tmp_path) as store:
                 await store.create("s", {1, 2})
                 before = store.cluster_stats()["per_shard"][0]
                 # a converged re-sync pass: empty push, nothing to log
@@ -306,24 +344,19 @@ class TestCloseSemantics:
 
 
 class TestStartFailureCleanup:
-    def test_partial_recovery_failure_unwinds_started_shards(self, tmp_path):
-        from repro.cluster import JournalCorruptError, ShardStorage
-        from repro.service.store import SetStore
+    def test_partial_recovery_failure_unwinds_started_shards(
+        self, tmp_path, make_cluster, corrupt_shard
+    ):
+        from repro.cluster import StorageCorruptError
 
-        # lay down two healthy shards, then corrupt shard 1's snapshot
-        store = ClusterStore(shards=2, data_dir=tmp_path)
+        # lay down two healthy shards, then corrupt shard 1's base state
+        store = make_cluster(2, tmp_path)
         _populate(store)
-        victim = ShardStorage(tmp_path / "shard-01")
-        s = SetStore()
-        victim.recover(s)
-        victim.compact(s.items())
-        victim.close()
-        snapshot = tmp_path / "shard-01" / "snapshot.bin"
-        snapshot.write_bytes(snapshot.read_bytes()[:-3])
+        corrupt_shard(tmp_path / "shard-01")
 
         async def inner():
-            broken = ClusterStore(shards=2, data_dir=tmp_path)
-            with pytest.raises(JournalCorruptError):
+            broken = make_cluster(2, tmp_path)
+            with pytest.raises(StorageCorruptError):
                 await broken.start()
             # the shard that DID start must be fully unwound: no worker
             # task left to be destroyed at loop teardown
