@@ -185,6 +185,33 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "--metrics-every", type=float, default=0.0, metavar="SECONDS",
         help="periodically print a JSON metrics snapshot to stderr",
     )
+    parser.add_argument(
+        "--admin-port", type=int, default=None, metavar="PORT",
+        help="also serve an admin HTTP endpoint on PORT (0 = ephemeral): "
+             "/metrics (Prometheus), /healthz (liveness; non-200 while "
+             "any shard worker is down), /varz (JSON snapshot)",
+    )
+    parser.add_argument(
+        "--trace-dir", type=Path, default=None, metavar="DIR",
+        help="write per-process span JSONL files under DIR (server and, "
+             "with --workers proc, each shard worker); merge with "
+             "'python -m repro.obs.trace DIR' for chrome://tracing",
+    )
+    parser.add_argument(
+        "--log-level", default="info",
+        choices=("debug", "info", "warning", "error"),
+        help="log verbosity for the 'repro' component loggers "
+             "(default info)",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit log lines as JSON objects instead of human text",
+    )
+    parser.add_argument(
+        "--slow-op-ms", type=float, default=None, metavar="MS",
+        help="WARN on storage commits / decode batches slower than MS "
+             "milliseconds (default 100)",
+    )
     return parser
 
 
@@ -277,6 +304,11 @@ def build_sync_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print a machine-readable result instead of difference lines",
     )
+    parser.add_argument(
+        "--trace-dir", type=Path, default=None, metavar="DIR",
+        help="write this client's span JSONL under DIR; point it at the "
+             "server's --trace-dir to see one session across processes",
+    )
     return parser
 
 
@@ -325,9 +357,23 @@ def cmd_serve(argv: list[str]) -> int:
         rebalance,
     )
     from repro.errors import ReproError
+    from repro.obs.admin import AdminServer
+    from repro.obs.logs import (
+        configure_logging,
+        get_logger,
+        set_slow_op_threshold,
+    )
+    from repro.obs.trace import configure_tracing
     from repro.service import DecodeCoalescer, ReconciliationServer, SetStore
+    from repro.service.metrics import merged_histograms
 
     args = build_serve_parser().parse_args(argv)
+    configure_logging(args.log_level, args.log_json)
+    log = get_logger("serve")
+    if args.slow_op_ms is not None:
+        set_slow_op_threshold(args.slow_op_ms / 1000.0)
+    if args.trace_dir is not None:
+        configure_tracing(args.trace_dir, role="server")
     if args.rebalance and args.shards is None:
         # the default of 1 must never drive a migration: forgetting
         # --shards would silently rewrite a sharded cluster down to one
@@ -374,7 +420,7 @@ def cmd_serve(argv: list[str]) -> int:
                 print(f"error: cannot rebalance: {exc}", file=sys.stderr)
                 return 2
             if result.changed:
-                print(f"# {result.summary()}", file=sys.stderr, flush=True)
+                log.info(result.summary())
     preload: list[tuple[str, set[int]]] = []
     for spec in args.sets:
         name, sep, file_spec = spec.partition("=")
@@ -431,6 +477,33 @@ def cmd_serve(argv: list[str]) -> int:
             store.cluster_stats() if cluster else None,
         )
 
+    def _health() -> tuple[bool, dict]:
+        """Liveness for /healthz: every shard must be able to take new
+        sessions.  Storage tail errors are *reported* (they describe
+        what recovery truncated) but do not fail health — a shard that
+        healed from a torn journal tail is serving correctly."""
+        detail: dict = {
+            "status": "ok",
+            "active_sessions": server.metrics.active_sessions,
+        }
+        if not cluster:
+            return True, detail
+        ok = True
+        shard_list = []
+        for entry in store.cluster_stats()["per_shard"]:
+            shard_id = entry.get("shard", -1)
+            available = store.shard_available(shard_id)
+            shard_list.append({
+                "shard": shard_id,
+                "available": available,
+                "tail_error": entry.get("tail_error", ""),
+            })
+            ok = ok and available
+        detail["shards"] = shard_list
+        if not ok:
+            detail["status"] = "degraded"
+        return ok, detail
+
     serving = {"up": False}   # did the server actually come up?
 
     async def _serve() -> None:
@@ -453,6 +526,7 @@ def cmd_serve(argv: list[str]) -> int:
         if cluster:
             await store.start()
         heartbeat_task = None
+        admin = None
         # everything after store.start() runs under its try so a failed
         # bind or preload still drains the shard workers and closes the
         # journals instead of abandoning them to loop teardown
@@ -473,6 +547,17 @@ def cmd_serve(argv: list[str]) -> int:
                 flush=True,
             )
             serving["up"] = True
+            if args.admin_port is not None:
+                admin = AdminServer(
+                    varz=lambda: server.metrics.snapshot(*_stats_args()),
+                    health=_health,
+                    histograms=lambda: merged_histograms(
+                        store.cluster_stats() if cluster else None
+                    ),
+                    host=args.host,
+                    port=args.admin_port,
+                )
+                await admin.start()
             if args.metrics_every > 0:
 
                 async def heartbeat() -> None:
@@ -499,11 +584,14 @@ def cmd_serve(argv: list[str]) -> int:
                     await stop_task
                 await serve_task   # propagate bind/accept errors
             else:
+                log.info("shutdown signal received; draining")
                 serve_task.cancel()
                 with suppress(asyncio.CancelledError):
                     await serve_task
                 await server.close()
         finally:
+            if admin is not None:
+                await admin.close()
             if heartbeat_task is not None:
                 heartbeat_task.cancel()
             if cluster:
@@ -532,6 +620,10 @@ def cmd_sync(argv: list[str]) -> int:
     from repro.service.wire import backoff_or_raise
 
     args = build_sync_parser().parse_args(argv)
+    if args.trace_dir is not None:
+        from repro.obs.trace import configure_tracing
+
+        configure_tracing(args.trace_dir, role="client")
     if args.repeat < 1:
         print(f"error: --repeat must be >= 1, got {args.repeat}",
               file=sys.stderr)

@@ -70,6 +70,7 @@ import secrets
 import signal
 import struct
 import sys
+import time
 from dataclasses import dataclass
 
 from repro.bch.codec import BCHCodec
@@ -81,6 +82,14 @@ from repro.cluster.storage import (
 )
 from repro.errors import ReproError
 from repro.gf import field_for
+from repro.obs.logs import (
+    configure_logging,
+    logging_config,
+    set_slow_op_threshold,
+    slow_op_threshold_s,
+)
+from repro.obs.metrics import REGISTRY, WORKER_RPC
+from repro.obs.trace import TraceContext, configure_tracing, tracer
 from repro.service.scheduler import DEFAULT_WINDOW_S, DecodeCoalescer
 from repro.service.store import SetStore
 from repro.service.wire import encode_frame, read_frame
@@ -158,6 +167,11 @@ class WorkerConfig:
     window_s: float = DEFAULT_WINDOW_S
     coalesce: bool = True      #: False = decode each session separately
     batch: bool = True         #: forwarded to decode_many
+    # -- observability, replicated from the parent process at spawn --
+    log_level: str = "info"
+    log_json: bool = False
+    slow_op_s: float | None = None   #: slow-op WARNING threshold
+    trace_dir: str | None = None     #: span JSONL directory (None = off)
 
 
 # -- the child process ---------------------------------------------------------
@@ -168,6 +182,16 @@ def worker_main(config: WorkerConfig) -> None:
     # shutdown must stay the parent's CLOSE RPC so the journal is closed
     # after the last acked append, never mid-mutation.
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # replicate the parent's observability posture: same log format and
+    # slow-op threshold, spans into the same trace dir under this
+    # worker's own role (one JSONL file per process)
+    configure_logging(config.log_level, config.log_json)
+    if config.slow_op_s is not None:
+        set_slow_op_threshold(config.slow_op_s)
+    if config.trace_dir:
+        configure_tracing(
+            config.trace_dir, role=f"worker-{config.shard_id}"
+        )
     try:
         asyncio.run(_worker_async(config))
     except (ConnectionError, EOFError, asyncio.IncompleteReadError):
@@ -289,6 +313,9 @@ class _Worker:
     def _stats(self) -> dict:
         out = self.storage.stats() if self.storage is not None else {}
         out["compact_error"] = self.compact_error
+        if hasattr(self.store, "cache_stats"):
+            # the SQLite backend's LazySetStore: LRU residency/hit-rate
+            out["set_cache"] = self.store.cache_stats()
         return out
 
     # -- mutations (strictly ordered, journal-first) ---------------------------
@@ -313,9 +340,14 @@ class _Worker:
             ftype, rid, body = item
             try:
                 if ftype in self._MUTATION_OPS:
+                    # mutation bodies are (args, trace) pairs: the trace
+                    # context crosses the process boundary so the child's
+                    # storage-commit span joins the session's trace tree
+                    args, trace_t = body
                     result = await apply_mutation(
                         self.store, self.storage,
-                        self._MUTATION_OPS[ftype], body,
+                        self._MUTATION_OPS[ftype], args,
+                        trace=TraceContext(*trace_t) if trace_t else None,
                     )
                 elif ftype is RpcType.CLOSE:
                     # in-flight decodes finish before the ack: a closing
@@ -332,7 +364,11 @@ class _Worker:
                 compact_error = await compact_if_due(self.store, self.storage)
                 if compact_error is not None:
                     self.compact_error = compact_error
-                await self._reply_ok(rid, (result, self._stats()))
+                # every ack ships the child's cumulative histogram dump;
+                # latest-wins on the parent, so merging stays exact
+                await self._reply_ok(
+                    rid, (result, self._stats(), REGISTRY.to_dict())
+                )
             except (ConnectionError, asyncio.IncompleteReadError):
                 return
             except Exception as exc:
@@ -347,12 +383,15 @@ class _Worker:
 
     async def _handle_decode(self, rid: int, body) -> None:
         try:
-            m, t, deltas = body
+            m, t, deltas, trace_t = body
             decoded, share = await self.coalescer.decode(
-                self._codec(m, t), deltas
+                self._codec(m, t), deltas,
+                trace=TraceContext(*trace_t) if trace_t else None,
             )
             await self._reply_ok(
-                rid, (decoded, share, self.coalescer.stats.to_dict())
+                rid,
+                (decoded, share, self.coalescer.stats.to_dict(),
+                 REGISTRY.to_dict()),
             )
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
@@ -400,6 +439,17 @@ class WorkerHandle:
         self._next_rid += 1
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[rid] = (future, on_ok)
+        start = time.perf_counter()
+
+        def _observe(fut: asyncio.Future) -> None:
+            # successful round trips only: a worker-death rejection would
+            # put its (arbitrary) time-to-failure in the latency histogram
+            if not fut.cancelled() and fut.exception() is None:
+                REGISTRY.histogram(WORKER_RPC).record(
+                    time.perf_counter() - start
+                )
+
+        future.add_done_callback(_observe)
         self.writer.write(
             encode_frame(ftype, _pack(rid, body),
                          max_bytes=RPC_MAX_FRAME_BYTES)
@@ -614,6 +664,10 @@ class WorkerSupervisor:
         ctx = multiprocessing.get_context("spawn")
         self._generation += 1
         generation = self._generation
+        # snapshot the parent's observability posture at spawn time so a
+        # respawned worker comes back logging and tracing like its peers
+        log_level, log_json = logging_config()
+        trc = tracer()
         cfg = WorkerConfig(
             shard_id=shard_id,
             port=self.port,
@@ -629,6 +683,10 @@ class WorkerSupervisor:
             window_s=self.window_s,
             coalesce=self.coalesce,
             batch=self.batch,
+            log_level=log_level,
+            log_json=log_json,
+            slow_op_s=slow_op_threshold_s(),
+            trace_dir=str(trc.trace_dir) if trc.enabled else None,
         )
         loop = asyncio.get_running_loop()
         waiter: asyncio.Future = loop.create_future()

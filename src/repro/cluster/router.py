@@ -99,6 +99,10 @@ class _Shard:
     restart_error: str = ""       #: last failed respawn attempt (diagnosis)
     last_storage_stats: dict = field(default_factory=dict)
     last_coalescer_stats: dict = field(default_factory=dict)
+    #: the child's latest cumulative histogram dump (rides every ack;
+    #: latest-wins, merged by :func:`repro.service.metrics.
+    #: merged_histograms` into the server-wide latency view)
+    last_obs: dict = field(default_factory=dict)
 
 
 class ClusterStore:
@@ -673,19 +677,28 @@ class ClusterStore:
         while self._resize_gate is not None:
             await self._resize_gate.wait()
 
-    async def apply_diff(self, name: str, add=(), remove=()) -> int:
-        """Merge a completed session's diff; durable before it resolves."""
+    async def apply_diff(self, name: str, add=(), remove=(),
+                         trace=None) -> int:
+        """Merge a completed session's diff; durable before it resolves.
+
+        ``trace`` (the session's span context, if any) parents the
+        storage-commit span — across the RPC boundary in proc mode, so
+        the commit appears inside the session's trace tree even though
+        it runs in the worker child.
+        """
         await self._resize_barrier()
         return await self._submit(
             self._shard(name), "apply", name,
             self._as_elements(add), self._as_elements(remove),
+            trace=trace,
         )
 
-    async def create(self, name: str, values=()) -> None:
+    async def create(self, name: str, values=(), trace=None) -> None:
         """Create (or replace) a named set, journaled as full state."""
         await self._resize_barrier()
         await self._submit(
-            self._shard(name), "create", name, self._as_elements(values)
+            self._shard(name), "create", name, self._as_elements(values),
+            trace=trace,
         )
 
     async def flush(self) -> None:
@@ -706,7 +719,7 @@ class ClusterStore:
             await self._submit(shard, "create", name, ())
         return shard.store.snapshot(name)
 
-    def _submit(self, shard: _Shard, op: str, *args):
+    def _submit(self, shard: _Shard, op: str, *args, trace=None):
         """Route one mutation to the shard's worker; returns an awaitable
         (a queue-backed future inline, a coroutine in proc mode)."""
         if not self._started:
@@ -714,34 +727,45 @@ class ClusterStore:
         if self._closing:
             raise ReproError("ClusterStore is closing")
         if self.executor == "subprocess":
-            return self._proc_submit(shard, op, args)
+            return self._proc_submit(shard, op, args, trace)
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        shard.queue.put_nowait((op, args, future))
+        shard.queue.put_nowait((op, args, future, trace))
         return future
 
-    async def _proc_submit(self, shard: _Shard, op: str, args):
+    @staticmethod
+    def _ack(shard: _Shard, body) -> None:
+        """Fold one mutation ack's stats riders into the shard entry."""
+        shard.last_storage_stats = body[1] or shard.last_storage_stats
+        shard.last_obs = body[2] or shard.last_obs
+
+    async def _proc_submit(self, shard: _Shard, op: str, args, trace=None):
         """One mutation RPC to the shard's child, mirror updated on ack.
 
         The mirror callback runs in the worker handle's reader task, in
         reply order — which is the child's apply order — so the mirror's
-        contents and versions track the child's bit-for-bit.
+        contents and versions track the child's bit-for-bit.  Mutation
+        bodies are ``(args, trace)`` pairs: the span context (as a plain
+        id tuple) rides to the child, whose storage-commit span then
+        joins the session's trace tree.
         """
         worker = shard.worker
         if worker is None or not worker.alive:
             raise WorkerUnavailableError(
                 f"shard {shard.shard_id} worker is down (restarting)"
             )
+        trace_t = tuple(trace) if trace is not None else None
         if op == "apply":
             name, add, remove = args
 
             def on_apply(body):
                 shard.store.apply_diff(name, add=add, remove=remove)
                 shard.applies += 1
-                shard.last_storage_stats = body[1] or shard.last_storage_stats
+                self._ack(shard, body)
 
-            result, _ = await worker.call(
-                RpcType.APPLY, (name, add, remove), on_ok=on_apply
-            )
+            result = (await worker.call(
+                RpcType.APPLY, ((name, add, remove), trace_t),
+                on_ok=on_apply,
+            ))[0]
             return result
         if op == "create":
             (name, values) = args
@@ -749,13 +773,14 @@ class ClusterStore:
             def on_create(body):
                 shard.store.create(name, values)
                 shard.creates += 1
-                shard.last_storage_stats = body[1] or shard.last_storage_stats
+                self._ack(shard, body)
 
             await worker.call(
-                RpcType.CREATE, (name, values, 0), on_ok=on_create
+                RpcType.CREATE, ((name, values, 0), trace_t),
+                on_ok=on_create,
             )
             return None
-        await worker.call(RpcType.SYNC, None)   # "sync" barrier
+        await worker.call(RpcType.SYNC, (None, None))   # "sync" barrier
         return None
 
     async def _proc_restore(self, shard: _Shard, name, values, version) -> None:
@@ -763,13 +788,14 @@ class ClusterStore:
 
         def on_restore(body):
             shard.store.create(name, values, version=version)
-            shard.last_storage_stats = body[1] or shard.last_storage_stats
+            self._ack(shard, body)
 
         await shard.worker.call(
-            RpcType.RESTORE, (name, values, version), on_ok=on_restore
+            RpcType.RESTORE, ((name, values, version), None),
+            on_ok=on_restore,
         )
 
-    async def decode_remote(self, shard_id: int, codec, deltas):
+    async def decode_remote(self, shard_id: int, codec, deltas, trace=None):
         """Decode sketch deltas on the shard's worker process (proc mode).
 
         The server routes each session's BCH decode work here instead of
@@ -795,10 +821,12 @@ class ClusterStore:
             raise WorkerUnavailableError(
                 f"shard {shard_id} worker is down (restarting)"
             )
-        decoded, share, stats = await worker.call(
-            RpcType.DECODE, (codec.field.m, codec.t, deltas)
+        trace_t = tuple(trace) if trace is not None else None
+        decoded, share, stats, obs = await worker.call(
+            RpcType.DECODE, (codec.field.m, codec.t, deltas, trace_t)
         )
         shard.last_coalescer_stats = stats
+        shard.last_obs = obs or shard.last_obs
         return decoded, share
 
     async def _worker(self, shard: _Shard) -> None:
@@ -823,12 +851,12 @@ class ClusterStore:
                             ReproError("ClusterStore closed")
                         )
                 return
-            op, args, future = item
+            op, args, future, trace = item
             try:
                 if op == "create":
                     args = (*args, 0)   # public creates journal version 0
                 result = await apply_mutation(
-                    shard.store, shard.storage, op, args
+                    shard.store, shard.storage, op, args, trace=trace
                 )
                 if op == "apply":
                     shard.applies += 1
@@ -923,6 +951,12 @@ class ClusterStore:
             entry.update(shard.last_storage_stats)
             if shard.last_coalescer_stats:
                 entry["coalescer"] = shard.last_coalescer_stats
+            if shard.last_obs:
+                entry["obs"] = shard.last_obs
         elif shard.storage is not None:
             entry.update(shard.storage.stats())
+        if hasattr(shard.store, "cache_stats"):
+            # inline SQLite shard: the LazySetStore's LRU hit rate (in
+            # proc mode the child ships it inside last_storage_stats)
+            entry["set_cache"] = shard.store.cache_stats()
         return entry

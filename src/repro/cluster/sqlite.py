@@ -424,6 +424,7 @@ class LazySetStore(SetStore):
         super().__init__(persistence=backend)
         self._backend = backend
         self._cache_sets = max(1, int(cache_sets))
+        self.cache_hits = 0
         self.cache_faults = 0
         self.cache_evictions = 0
 
@@ -441,6 +442,7 @@ class LazySetStore(SetStore):
     def _require(self, name: str) -> _NamedSet:
         entry = self._sets.get(name)
         if entry is not None:
+            self.cache_hits += 1
             self._touch(name)
             return entry
         loaded = self._backend.load_set(name)
@@ -468,6 +470,20 @@ class LazySetStore(SetStore):
 
     def items(self) -> list[tuple[str, frozenset, int]]:
         return list(self._backend.iter_sets())
+
+    def cache_stats(self) -> dict:
+        """LRU effectiveness for the metrics endpoint: a hit rate near 1
+        means the working set fits ``cache_sets``; a low rate with high
+        evictions means reads are faulting sets back in from SQLite."""
+        lookups = self.cache_hits + self.cache_faults
+        return {
+            "resident": len(self._sets),
+            "capacity": self._cache_sets,
+            "hits": self.cache_hits,
+            "faults": self.cache_faults,
+            "evictions": self.cache_evictions,
+            "hit_rate": self.cache_hits / lookups if lookups else 1.0,
+        }
 
     def stats(self) -> dict:
         out = {}

@@ -47,12 +47,18 @@ Both routes end at the same place: durable first, visible second.
 from __future__ import annotations
 
 import asyncio
+import time
 from abc import ABC, abstractmethod
 from pathlib import Path
 from typing import ClassVar, Iterable, Iterator
 
 from repro.errors import ReproError
+from repro.obs.logs import get_logger, slow_op_threshold_s
+from repro.obs.metrics import REGISTRY, STORAGE_COMMIT
+from repro.obs.trace import tracer
 from repro.service.store import SetStore
+
+log = get_logger("storage")
 
 #: Registered backend names, in the order the CLI offers them.
 BACKEND_NAMES = ("journal", "sqlite")
@@ -222,8 +228,13 @@ def open_backend(
 # -- the shared durable-first mutation protocol --------------------------------
 
 async def apply_mutation(store: SetStore, storage: StorageBackend | None,
-                         op: str, args: tuple):
+                         op: str, args: tuple, trace=None):
     """Apply one shard mutation with the durable-first protocol.
+
+    ``trace`` (the originating session's span context, if any) parents
+    the ``storage.commit`` span; mutations that actually hit the
+    durable medium are also recorded into the storage-commit latency
+    histogram and WARN-logged past the slow-op threshold.
 
     This is the *single* definition of how a shard worker mutates — the
     inline executor's task loop and the subprocess executor's child both
@@ -246,6 +257,39 @@ async def apply_mutation(store: SetStore, storage: StorageBackend | None,
     failed write leaves the store untouched, and no concurrent snapshot
     can observe state a crash recovery would roll back.
     """
+    durable = storage is not None and (
+        op in ("create", "restore")
+        or (op == "apply" and (len(args[1]) or len(args[2])))
+    )
+    if not durable:
+        return await _mutate(store, storage, op, args)
+    ts = time.time()
+    start = time.perf_counter()
+    result = await _mutate(store, storage, op, args)
+    elapsed = time.perf_counter() - start
+    REGISTRY.histogram(STORAGE_COMMIT).record(elapsed)
+    trc = tracer()
+    if trc.enabled:
+        trc.emit(
+            "storage.commit", trc.child(trace) or trc.mint(), trace,
+            ts, elapsed, op=op, backend=storage.name,
+        )
+    if elapsed >= slow_op_threshold_s():
+        log.warning(
+            "slow storage commit",
+            extra={
+                "elapsed_ms": round(elapsed * 1e3, 3),
+                "op": op,
+                "backend": storage.name,
+                "set": args[0],
+                "trace": trace.hex() if trace is not None else "",
+            },
+        )
+    return result
+
+
+async def _mutate(store: SetStore, storage: StorageBackend | None,
+                  op: str, args: tuple):
     loop = asyncio.get_running_loop()
     offload = storage is not None and storage.concurrent_writes
     if op == "apply":

@@ -31,6 +31,7 @@ from pathlib import Path
 from repro.cluster.admission import AdmissionController
 from repro.cluster.config import ClusterConfig, open_cluster
 from repro.evaluation.harness import ExperimentTable, scaled
+from repro.obs.histogram import LatencyHistogram
 from repro.service.client import sync_with_server
 from repro.service.scheduler import DecodeCoalescer
 from repro.service.server import ReconciliationServer
@@ -39,8 +40,8 @@ from repro.workloads.generator import SetPairGenerator
 
 COLUMNS = [
     "shards", "clients", "sessions", "ok", "shed", "wall_s",
-    "sessions_per_s", "speedup", "decode_s", "journal_records",
-    "journal_bytes",
+    "sessions_per_s", "speedup", "p50_ms", "p99_ms", "decode_s",
+    "journal_records", "journal_bytes",
 ]
 
 #: The PR-2 service-throughput coalescing window.
@@ -57,24 +58,31 @@ MAX_SESSIONS_PER_SHARD = 2
 MAX_BACKOFF_DOUBLINGS = 4
 
 
-async def _client(port: int, jobs, seed: int):
+async def _client(port: int, jobs, seed: int, hist: LatencyHistogram):
     """One closed-loop client: its sessions back to back, RETRY honored.
 
     Closed-loop issue (each client starts its next session only when the
     previous one finished) keeps every configuration uniformly loaded
     for the whole run — an open burst would instead measure the retry
     luck of its last few stragglers.
+
+    Each session's wall time — shed/backoff/retry included, so queueing
+    under the admission cap counts against the configuration that caused
+    it — lands in ``hist``.
     """
     rng = random.Random(seed)
+    loop = asyncio.get_running_loop()
     results = []
     for k, (name, pair) in enumerate(jobs):
         attempt = 0
+        start = loop.time()
         while True:
             try:
                 results.append(await sync_with_server(
                     "127.0.0.1", port, pair.a, set_name=name,
                     seed=seed * 1000 + k, n_sketches=32, retries=0,
                 ))
+                hist.record(loop.time() - start)
                 break
             except ServerBusy as busy:
                 # capped attempt index = bounded growth; retries always
@@ -88,7 +96,7 @@ async def _client(port: int, jobs, seed: int):
 
 
 async def _run_fleet(
-    shards: int, fleets, seed0: int
+    shards: int, fleets, seed0: int, hist: LatencyHistogram
 ) -> tuple[float, int, int, float, int, int]:
     """One journaled cluster + one closed-loop client per fleet entry.
 
@@ -121,7 +129,7 @@ async def _run_fleet(
                 start = loop.time()
                 per_client = await asyncio.gather(
                     *[
-                        _client(server.port, jobs, seed0 + i)
+                        _client(server.port, jobs, seed0 + i, hist)
                         for i, jobs in enumerate(fleets)
                     ]
                 )
@@ -188,11 +196,13 @@ def run(
             1,
             [[("warm", gen.generate(size_a=200, d=d, seed=990))]],
             seed0=9900,
+            hist=LatencyHistogram(),
         )
     )
     totals = {
         shards: {"wall": 0.0, "decode_s": 0.0, "ok": 0, "shed": 0,
-                 "sessions": 0, "records": 0, "journal_bytes": 0}
+                 "sessions": 0, "records": 0, "journal_bytes": 0,
+                 "hist": LatencyHistogram()}
         for shards in shard_levels
     }
     # paired design: every repeat runs ALL shard levels back to back, so
@@ -213,7 +223,10 @@ def run(
         ]
         for shards in shard_levels:
             w, n_ok, n_shed, dec, recs, jbytes = asyncio.run(
-                _run_fleet(shards, fleets, seed0=rep * 1000 + 1)
+                _run_fleet(
+                    shards, fleets, seed0=rep * 1000 + 1,
+                    hist=totals[shards]["hist"],
+                )
             )
             t = totals[shards]
             t["wall"] += w
@@ -238,6 +251,8 @@ def run(
             wall_s=t["wall"],
             sessions_per_s=rate,
             speedup=rate / base_rate if base_rate else 1.0,
+            p50_ms=t["hist"].percentile(0.50) * 1000.0,
+            p99_ms=t["hist"].percentile(0.99) * 1000.0,
             decode_s=t["decode_s"],
             journal_records=t["records"],
             journal_bytes=t["journal_bytes"],
@@ -248,7 +263,9 @@ def run(
         f"per-shard admission cap {MAX_SESSIONS_PER_SHARD} sessions, "
         f"decode window {WINDOW_S * 1000:.0f} ms, journals fsync'd.  "
         "Throughput counts completed sessions over total wall time "
-        "including RETRY backoff; 'shed' is admission rejections, each "
+        "including RETRY backoff; p50/p99 are per-session wall times "
+        "from a log-linear latency histogram (repro.obs), shed-and-retry "
+        "waits included; 'shed' is admission rejections, each "
         "later retried to success (client jitter is seeded and backoff "
         f"growth capped at 2^{MAX_BACKOFF_DOUBLINGS}x the server hint, "
         "so the run measures shard capacity rather than backoff luck).  "

@@ -22,6 +22,7 @@ from __future__ import annotations
 import asyncio
 
 from repro.evaluation.harness import ExperimentTable, scaled
+from repro.obs.histogram import LatencyHistogram
 from repro.service.scheduler import DecodeCoalescer
 from repro.service.server import ReconciliationServer
 from repro.service.store import SetStore
@@ -30,15 +31,25 @@ from repro.workloads.generator import SetPairGenerator
 
 COLUMNS = [
     "concurrency", "mode", "sessions", "ok", "wall_s", "decode_s",
-    "batches", "mean_sessions_per_batch", "sessions_per_s", "decode_speedup",
+    "batches", "mean_sessions_per_batch", "sessions_per_s",
+    "p50_ms", "p99_ms", "decode_speedup",
 ]
 
 #: Wide enough to catch one round burst from a whole localhost fleet.
 WINDOW_S = 0.005
 
 
+async def _timed_sync(hist: LatencyHistogram, coro):
+    """Await one session, recording its wall time into ``hist``."""
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+    result = await coro
+    hist.record(loop.time() - start)
+    return result
+
+
 async def _run_fleet(
-    pairs, coalesce: bool, seed: int
+    pairs, coalesce: bool, seed: int, hist: LatencyHistogram
 ) -> tuple[float, dict, int]:
     """One server + len(pairs) concurrent clients; returns (wall, stats, ok)."""
     store = SetStore()
@@ -50,10 +61,10 @@ async def _run_fleet(
         start = loop.time()
         results = await asyncio.gather(
             *[
-                sync_with_server(
+                _timed_sync(hist, sync_with_server(
                     "127.0.0.1", server.port, pair.a, set_name=f"s{i}",
                     seed=seed * 1000 + i, n_sketches=32,
-                )
+                ))
                 for i, pair in enumerate(pairs)
             ]
         )
@@ -90,7 +101,10 @@ def run(
     # warm-up: populate field/codec caches so the first measured level
     # does not pay one-time table construction
     asyncio.run(
-        _run_fleet([gen.generate(size_a=200, d=d, seed=999)], True, seed=999)
+        _run_fleet(
+            [gen.generate(size_a=200, d=d, seed=999)], True, seed=999,
+            hist=LatencyHistogram(),
+        )
     )
     for level in levels:
         fleets = [
@@ -104,9 +118,10 @@ def run(
         for mode, coalesce in (("per-session", False), ("coalesced", True)):
             wall = decode_s = 0.0
             batches = sessions = ok = submissions = 0
+            hist = LatencyHistogram()
             for rep, pairs in enumerate(fleets):
                 w, stats, n_ok = asyncio.run(
-                    _run_fleet(pairs, coalesce, seed=rep + 1)
+                    _run_fleet(pairs, coalesce, seed=rep + 1, hist=hist)
                 )
                 wall += w
                 decode_s += stats["decode_s"]
@@ -121,6 +136,7 @@ def run(
                 "submissions": submissions,
                 "sessions": sessions,
                 "ok": ok,
+                "hist": hist,
             }
         for mode in ("per-session", "coalesced"):
             m = per_mode[mode]
@@ -138,6 +154,8 @@ def run(
                 sessions_per_s=(
                     m["sessions"] / m["wall_s"] if m["wall_s"] else 0.0
                 ),
+                p50_ms=m["hist"].percentile(0.50) * 1000.0,
+                p99_ms=m["hist"].percentile(0.99) * 1000.0,
                 decode_speedup=(
                     per_mode["per-session"]["decode_s"] / m["decode_s"]
                     if mode == "coalesced" and m["decode_s"]
@@ -150,6 +168,9 @@ def run(
         "decode_s is server engine time inside decode_many (window wait "
         "excluded).  Per-session mode decodes each session's groups alone "
         "(scalar path below the batch threshold); coalesced mode batches "
-        "groups across sessions and rides the PR-1 batch engine."
+        "groups across sessions and rides the PR-1 batch engine.  "
+        "p50/p99 are client-observed per-session wall times from a "
+        "log-linear latency histogram (repro.obs) over all repeats — the "
+        "latency cost of waiting out the coalescing window shows up here."
     )
     return table

@@ -1,0 +1,304 @@
+"""Live admin endpoint: ``/metrics``, ``/healthz``, ``/varz``.
+
+``repro serve --admin-port N`` binds a second, loopback-by-default
+HTTP listener next to the reconciliation port:
+
+* ``GET /metrics`` — Prometheus text exposition (format 0.0.4):
+  latency histograms with cumulative ``le`` buckets, session/byte
+  counters, and per-shard gauges, all under the ``repro_`` prefix;
+* ``GET /healthz`` — liveness: 200 with a small JSON body while every
+  shard can take sessions and storage is clean, 503 naming the sick
+  shards while any worker is down/restarting or a storage backend
+  reported a tail error (load-balancer / systemd-watchdog shaped);
+* ``GET /varz`` — the full :meth:`ServiceMetrics.snapshot` JSON, the
+  same document the stderr heartbeat prints.
+
+The server is deliberately not a web framework: a ~hundred-line
+``asyncio.start_server`` loop that answers GET, closes the
+connection, and refuses everything else.  It shares the event loop
+with the reconciliation server — every handler only reads in-memory
+stats, so an admin scrape cannot block a session any longer than a
+heartbeat tick does.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Callable
+
+from repro.obs.histogram import (
+    BOUNDARIES,
+    DOUBLINGS,
+    MIN_LATENCY_S,
+    SUBBUCKETS,
+    LatencyHistogram,
+)
+from repro.obs.logs import get_logger
+
+__all__ = ["AdminServer", "prometheus_text"]
+
+log = get_logger("admin")
+
+#: ``le`` bounds exposed on /metrics: the doubling edges of the
+#: histogram grid (27 bounds from 1 µs to ~67 s).  Exposing every
+#: sub-bucket would be 8x the series for no dashboard value; at
+#: doubling edges the histogram's conservative cumulative counts are
+#: exact because bucket edges coincide with the bounds.
+PROMETHEUS_BOUNDS: tuple[float, ...] = tuple(
+    MIN_LATENCY_S * (1 << k) for k in range(DOUBLINGS + 1)
+)
+
+assert PROMETHEUS_BOUNDS[-1] == BOUNDARIES[-1], (
+    "doubling edges drifted from the histogram grid",
+    SUBBUCKETS,
+)
+
+_RESPONSE_HEAD = (
+    "HTTP/1.1 {status}\r\n"
+    "Content-Type: {ctype}\r\n"
+    "Content-Length: {length}\r\n"
+    "Connection: close\r\n"
+    "\r\n"
+)
+
+
+def _sanitize(value) -> float:
+    return float(value) if isinstance(value, (int, float)) else 0.0
+
+
+def prometheus_text(
+    snapshot: dict, histograms: dict[str, LatencyHistogram]
+) -> str:
+    """Render the metrics snapshot as Prometheus exposition text.
+
+    ``snapshot`` is the :meth:`ServiceMetrics.snapshot` document (its
+    ``sessions``/``cluster``/``admission`` sections feed counters and
+    gauges); ``histograms`` are the merged live histogram objects
+    (bucket detail is not in the snapshot — summaries only)."""
+    lines: list[str] = []
+
+    def scalar(name: str, kind: str, help_: str, value) -> None:
+        lines.append(f"# HELP repro_{name} {help_}")
+        lines.append(f"# TYPE repro_{name} {kind}")
+        lines.append(f"repro_{name} {_sanitize(value):.10g}")
+
+    def labeled(name: str, labels: dict, value) -> None:
+        body = ",".join(
+            f'{k}="{v}"' for k, v in labels.items()
+        )
+        lines.append(f"repro_{name}{{{body}}} {_sanitize(value):.10g}")
+
+    sessions = snapshot.get("sessions", {})
+    scalar("uptime_seconds", "gauge",
+           "Seconds since the server started.",
+           snapshot.get("uptime_s", 0.0))
+    scalar("sessions_active", "gauge",
+           "Reconciliation sessions in flight right now.",
+           sessions.get("active", 0))
+    for key, help_ in (
+        ("started", "Sessions accepted (HELLO seen)."),
+        ("completed", "Sessions that finished every pass."),
+        ("failed", "Sessions that errored or disconnected."),
+        ("shed", "Sessions rejected by admission with RETRY."),
+    ):
+        lines.append(
+            f"# HELP repro_sessions_{key}_total "
+            f"{help_}"
+        )
+        lines.append(f"# TYPE repro_sessions_{key}_total counter")
+        lines.append(
+            f"repro_sessions_{key}_total "
+            f"{_sanitize(sessions.get(key, 0)):.10g}"
+        )
+    for key, help_ in (
+        ("syncs", "Completed reconciliation passes."),
+        ("rounds", "Sketch/decode rounds served."),
+        ("applied", "Elements applied into stores by PUSH frames."),
+        ("payload_bytes", "Wire payload bytes moved (both directions)."),
+        ("framing_bytes", "Wire framing overhead bytes."),
+    ):
+        src = {"syncs": "syncs_total", "rounds": "rounds_total",
+               "applied": "applied_total"}.get(key, key)
+        scalar(f"{key}_total", "counter", help_, snapshot.get(src, 0))
+
+    # latency histograms: cumulative le buckets at the doubling edges
+    for name in sorted(histograms):
+        hist = histograms[name]
+        metric = f"repro_{name.removesuffix('_s')}_seconds"
+        lines.append(
+            f"# HELP {metric} Latency histogram recorded by repro.obs."
+        )
+        lines.append(f"# TYPE {metric} histogram")
+        for bound, count in hist.cumulative(PROMETHEUS_BOUNDS):
+            lines.append(
+                f'{metric}_bucket{{le="{bound:.10g}"}} {count}'
+            )
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist.count}')
+        lines.append(f"{metric}_sum {hist.sum:.10g}")
+        lines.append(f"{metric}_count {hist.count}")
+
+    cluster = snapshot.get("cluster") or {}
+    per_shard = cluster.get("per_shard") or []
+    if per_shard:
+        lines.append("# HELP repro_shard_sets Named sets on the shard.")
+        lines.append("# TYPE repro_shard_sets gauge")
+        for entry in per_shard:
+            labeled("shard_sets", {"shard": entry.get("shard", "?")},
+                    entry.get("sets", 0))
+        lines.append(
+            "# HELP repro_shard_elements Elements held by the shard "
+            "(parent mirror size in proc mode)."
+        )
+        lines.append("# TYPE repro_shard_elements gauge")
+        for entry in per_shard:
+            labeled("shard_elements",
+                    {"shard": entry.get("shard", "?")},
+                    entry.get("elements", 0))
+        lines.append(
+            "# HELP repro_shard_queue_depth Mutations queued on the "
+            "shard executor."
+        )
+        lines.append("# TYPE repro_shard_queue_depth gauge")
+        for entry in per_shard:
+            labeled("shard_queue_depth",
+                    {"shard": entry.get("shard", "?")},
+                    entry.get("queue_depth", 0))
+        if any("worker" in entry for entry in per_shard):
+            lines.append(
+                "# HELP repro_shard_worker_alive 1 while the shard's "
+                "subprocess worker is up, else 0."
+            )
+            lines.append("# TYPE repro_shard_worker_alive gauge")
+            for entry in per_shard:
+                worker = entry.get("worker")
+                if worker is not None:
+                    labeled("shard_worker_alive",
+                            {"shard": entry.get("shard", "?")},
+                            1 if worker.get("alive") else 0)
+        if any("set_cache" in entry for entry in per_shard):
+            lines.append(
+                "# HELP repro_shard_set_cache_hit_rate Hit rate of the "
+                "SQLite LazySetStore LRU (1.0 = fully resident)."
+            )
+            lines.append("# TYPE repro_shard_set_cache_hit_rate gauge")
+            for entry in per_shard:
+                cache = entry.get("set_cache")
+                if cache is not None:
+                    labeled("shard_set_cache_hit_rate",
+                            {"shard": entry.get("shard", "?")},
+                            cache.get("hit_rate", 0.0))
+
+    admission = snapshot.get("admission") or {}
+    adm_shards = admission.get("per_shard") or []
+    if adm_shards:
+        lines.append(
+            "# HELP repro_decode_waiting Sessions queued for a decode "
+            "slot on the shard."
+        )
+        lines.append("# TYPE repro_decode_waiting gauge")
+        for index, entry in enumerate(adm_shards):
+            labeled("decode_waiting",
+                    {"shard": entry.get("shard", index)},
+                    entry.get("decode_waiting", 0))
+
+    return "\n".join(lines) + "\n"
+
+
+class AdminServer:
+    """Tiny GET-only HTTP listener for operational introspection."""
+
+    def __init__(
+        self,
+        varz: Callable[[], dict],
+        health: Callable[[], tuple[bool, dict]],
+        histograms: Callable[[], dict[str, LatencyHistogram]],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._varz = varz
+        self._health = health
+        self._histograms = histograms
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        log.info("admin endpoint up", extra={
+            "host": self.host, "port": self.port,
+        })
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> AdminServer:
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # -- request handling -------------------------------------------------
+    async def _handle(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            status, ctype, body = await self._respond(reader)
+            writer.write(
+                _RESPONSE_HEAD.format(
+                    status=status, ctype=ctype, length=len(body)
+                ).encode("ascii") + body
+            )
+            await writer.drain()
+        except (ConnectionError, asyncio.TimeoutError):
+            pass
+        except Exception:
+            log.exception("admin request failed")
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _respond(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, bytes]:
+        request = await asyncio.wait_for(reader.readline(), timeout=5.0)
+        parts = request.decode("latin-1", "replace").split()
+        # drain headers so well-behaved clients aren't reset mid-send
+        while True:
+            line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            if line in (b"\r\n", b"\n", b""):
+                break
+        if len(parts) < 2 or parts[0] != "GET":
+            return ("405 Method Not Allowed", "text/plain",
+                    b"only GET is served here\n")
+        path = parts[1].split("?", 1)[0]
+        if path == "/metrics":
+            snapshot = self._varz()
+            text = prometheus_text(snapshot, self._histograms())
+            return ("200 OK",
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    text.encode("utf-8"))
+        if path == "/healthz":
+            ok, detail = self._health()
+            body = json.dumps(detail, indent=1).encode("utf-8") + b"\n"
+            status = "200 OK" if ok else "503 Service Unavailable"
+            return (status, "application/json", body)
+        if path == "/varz":
+            body = json.dumps(
+                self._varz(), indent=1, default=repr
+            ).encode("utf-8") + b"\n"
+            return ("200 OK", "application/json", body)
+        return ("404 Not Found", "text/plain",
+                b"try /metrics, /healthz or /varz\n")

@@ -1,0 +1,229 @@
+"""Log-linear fixed-bucket latency histogram.
+
+The service records latencies at very different magnitudes — a decode
+batch is hundreds of microseconds, a journal ``fsync`` is milliseconds,
+a multi-pass session can be seconds — so fixed-width buckets would
+either blur the fast end or explode in count.  The classic answer
+(HdrHistogram, OpenTelemetry's exponential histograms) is log-linear
+bucketing: bucket boundaries double every *stride*, and each doubling
+is split into ``SUBBUCKETS`` linear sub-buckets, giving a constant
+*relative* error bound of ``1/SUBBUCKETS`` across the whole range.
+
+Design constraints that shaped this type:
+
+* **Fixed layout** — every process builds the identical boundary
+  array, so histograms merge across shard-worker subprocesses by
+  adding counts (no boundary negotiation in the RPC).
+* **No stored samples** — recording is O(log buckets) via bisect and
+  a handful of scalar updates; memory is one small int array
+  regardless of event count.  Percentiles come from bucket
+  interpolation, exact ``min``/``max``/``sum``/``count`` ride along.
+* **Serializable sparsely** — :meth:`to_dict` emits only non-zero
+  buckets, so shipping a mostly-idle histogram over the worker RPC
+  costs a few dozen bytes.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+
+__all__ = ["LatencyHistogram"]
+
+#: Smallest resolvable latency (seconds).  Anything below lands in the
+#: first bucket; 1 µs is far below every event this service times.
+MIN_LATENCY_S = 1e-6
+
+#: Doublings covered above :data:`MIN_LATENCY_S`.  26 doublings puts the
+#: top boundary at ``1e-6 * 2**26`` ≈ 67 s; slower events count in the
+#: overflow bucket (their exact sum/max are still tracked).
+DOUBLINGS = 26
+
+#: Linear sub-buckets per doubling.  8 bounds the relative quantile
+#: error at 12.5% worst-case (half that at bucket midpoints) — plenty
+#: for p99 dashboards — at 26 * 8 + 2 = 210 total buckets.
+SUBBUCKETS = 8
+
+
+def _build_boundaries() -> tuple[float, ...]:
+    """Upper bucket boundaries, shared by every histogram instance."""
+    bounds: list[float] = []
+    low = MIN_LATENCY_S
+    for _ in range(DOUBLINGS):
+        step = low / SUBBUCKETS
+        bounds.extend(low + step * (i + 1) for i in range(SUBBUCKETS))
+        low *= 2.0
+    return tuple(bounds)
+
+
+#: ``BOUNDARIES[i]`` is the *exclusive* upper edge of bucket ``i + 1``;
+#: bucket 0 is the underflow bucket ``[0, MIN_LATENCY_S)`` and the last
+#: bucket is the overflow bucket ``[BOUNDARIES[-1], inf)``.
+BOUNDARIES: tuple[float, ...] = _build_boundaries()
+
+#: Total bucket count: underflow + log-linear grid + overflow.
+BUCKET_COUNT = len(BOUNDARIES) + 2
+
+#: Layout identifier recorded in serialized form.  Merging refuses to
+#: mix layouts, so a future re-bucketing cannot silently corrupt counts
+#: shipped from an older worker binary.
+LAYOUT = f"loglin-{MIN_LATENCY_S:g}-{DOUBLINGS}x{SUBBUCKETS}"
+
+
+class LatencyHistogram:
+    """Mergeable fixed-bucket histogram of latencies in seconds."""
+
+    __slots__ = ("counts", "count", "sum", "min", "max")
+
+    def __init__(self) -> None:
+        self.counts = [0] * BUCKET_COUNT
+        self.count = 0
+        self.sum = 0.0
+        self.min = 0.0
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Count one event that took ``seconds`` (negatives clamp to 0)."""
+        if seconds < 0.0:
+            seconds = 0.0
+        if seconds < MIN_LATENCY_S:
+            index = 0
+        else:
+            index = bisect_right(BOUNDARIES, seconds) + 1
+        self.counts[index] += 1
+        if self.count == 0 or seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+        self.count += 1
+        self.sum += seconds
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Latency at quantile ``q`` in [0, 1], interpolated in-bucket.
+
+        Exact observed ``min``/``max`` clamp the answer, so q=0 / q=1
+        are exact and a single-sample histogram reports that sample
+        (not its bucket midpoint) at every quantile.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile out of range: {q}")
+        if self.count == 0:
+            return 0.0
+        # rank of the target sample, 1-based; q=0 -> first sample
+        rank = max(1, math.ceil(q * self.count))
+        if rank == self.count:
+            return self.max
+        seen = 0
+        for index, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if seen + n >= rank:
+                low, high = self._bucket_edges(index)
+                # linear interpolation within the bucket's rank span
+                frac = (rank - seen) / n
+                value = low + (high - low) * frac
+                return min(max(value, self.min), self.max)
+            seen += n
+        return self.max  # unreachable unless counts drifted
+
+    def percentiles(self) -> dict[str, float]:
+        """The standard dashboard set: p50/p95/p99/p999."""
+        return {
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+            "p999": self.percentile(0.999),
+        }
+
+    @staticmethod
+    def _bucket_edges(index: int) -> tuple[float, float]:
+        if index == 0:
+            return 0.0, MIN_LATENCY_S
+        if index == BUCKET_COUNT - 1:
+            # overflow: treat as one more doubling wide
+            top = BOUNDARIES[-1]
+            return top, top * 2.0
+        return (
+            BOUNDARIES[index - 2] if index >= 2 else MIN_LATENCY_S,
+            BOUNDARIES[index - 1],
+        )
+
+    def merge(self, other: LatencyHistogram) -> None:
+        """Fold ``other``'s counts into self (other is unchanged)."""
+        if other.count == 0:
+            return
+        for index, n in enumerate(other.counts):
+            if n:
+                self.counts[index] += n
+        if self.count == 0 or other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        self.count += other.count
+        self.sum += other.sum
+
+    def cumulative(
+        self, bounds: tuple[float, ...]
+    ) -> list[tuple[float, int]]:
+        """Cumulative counts at each of ``bounds`` (seconds, ascending).
+
+        This is the Prometheus ``le`` view: each entry is ``(bound,
+        number of samples <= bound)``, computed conservatively (a bucket
+        counts toward a bound only once the whole bucket is below it,
+        so the cumulative counts never overstate how fast we were).
+        """
+        out = []
+        for bound in bounds:
+            total = 0
+            for index, n in enumerate(self.counts):
+                if n and self._bucket_edges(index)[1] <= bound:
+                    total += n
+            out.append((bound, total))
+        return out
+
+    def to_dict(self) -> dict:
+        """Sparse serialized form, safe to ship across processes."""
+        return {
+            "layout": LAYOUT,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {
+                str(i): n for i, n in enumerate(self.counts) if n
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> LatencyHistogram:
+        layout = data.get("layout")
+        if layout != LAYOUT:
+            raise ValueError(
+                f"histogram layout mismatch: got {layout!r}, "
+                f"this build uses {LAYOUT!r}"
+            )
+        hist = cls()
+        hist.count = int(data["count"])
+        hist.sum = float(data["sum"])
+        hist.min = float(data["min"])
+        hist.max = float(data["max"])
+        for key, n in data["buckets"].items():
+            hist.counts[int(key)] = int(n)
+        return hist
+
+    def summary(self) -> dict:
+        """Count + mean + quantiles, as nested into metrics snapshots."""
+        out = {
+            "count": self.count,
+            "mean_s": self.mean,
+            "min_s": self.min,
+            "max_s": self.max,
+        }
+        out.update(
+            {k + "_s": v for k, v in self.percentiles().items()}
+        )
+        return out

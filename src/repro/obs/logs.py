@@ -1,0 +1,146 @@
+"""Structured logging for the service: component loggers + JSON lines.
+
+``repro serve`` historically printed ad-hoc lines to stderr (a banner,
+heartbeat JSON, shutdown notes).  This module is the stdlib
+``logging`` wiring behind ``--log-level`` / ``--log-json``:
+
+* every layer gets a component logger via :func:`get_logger`
+  (``repro.server``, ``repro.cluster``, ``repro.storage``, ...), all
+  under the one ``repro`` root so a single handler governs them;
+* the human format keeps one event per line
+  (``HH:MM:SS.mmm LEVEL component: message``); ``--log-json`` swaps in
+  :class:`JsonFormatter`, one JSON object per line with any extra
+  fields (``trace``, ``shard``, ``elapsed_ms``, ...) hoisted to top
+  level — ready for ``jq`` or a log shipper;
+* :func:`slow_op_threshold_s` is the shared knob (``--slow-op-ms``)
+  that storage commits and decode batches compare against before
+  logging a WARNING tagged with the current trace id.
+
+Nothing configures itself at import time: library users who embed
+:class:`ReconciliationServer` keep full control of the root logger,
+and the CLI calls :func:`configure_logging` exactly once per process
+(workers re-run it from their spawn config).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+
+__all__ = [
+    "configure_logging",
+    "get_logger",
+    "logging_config",
+    "JsonFormatter",
+    "slow_op_threshold_s",
+    "set_slow_op_threshold",
+]
+
+#: Root of every component logger this package hands out.
+ROOT = "repro"
+
+#: ``LogRecord`` attributes that are logging plumbing, not event fields.
+#: Anything *not* in this set that shows up on a record came in through
+#: ``extra=`` and belongs in the JSON output.
+_RESERVED = frozenset(vars(
+    logging.LogRecord("", 0, "", 0, "", (), None)
+)) | {"message", "asctime", "taskName"}
+
+#: Default slow-op threshold: ops slower than this WARN (see
+#: :func:`set_slow_op_threshold`); 100 ms is glacial for a single
+#: journal fsync or decode batch yet quiet under normal load.
+_slow_op_threshold_s = 0.100
+
+
+def slow_op_threshold_s() -> float:
+    """Seconds above which storage/decode ops log a slow-op WARNING."""
+    return _slow_op_threshold_s
+
+
+def set_slow_op_threshold(seconds: float) -> None:
+    global _slow_op_threshold_s
+    _slow_op_threshold_s = max(0.0, seconds)
+
+
+#: Last arguments :func:`configure_logging` ran with — what a worker
+#: subprocess must replicate to log like its parent.
+_config: tuple[str, bool] = ("info", False)
+
+
+def logging_config() -> tuple[str, bool]:
+    """``(level, json_out)`` of the current process's configuration."""
+    return _config
+
+
+def get_logger(component: str) -> logging.Logger:
+    """The logger for one component, e.g. ``get_logger("server")``."""
+    return logging.getLogger(f"{ROOT}.{component}")
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line; ``extra=`` fields hoisted to top level."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        event = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "component": record.name.removeprefix(ROOT + "."),
+            "msg": record.getMessage(),
+        }
+        for key, value in vars(record).items():
+            if key not in _RESERVED and not key.startswith("_"):
+                event[key] = value
+        if record.exc_info and record.exc_info[1] is not None:
+            event["exc"] = repr(record.exc_info[1])
+        return json.dumps(event, default=repr, separators=(",", ":"))
+
+
+class HumanFormatter(logging.Formatter):
+    """``HH:MM:SS.mmm LEVEL component: message [k=v ...]``."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        clock = time.strftime(
+            "%H:%M:%S", time.localtime(record.created)
+        )
+        extras = " ".join(
+            f"{key}={value}"
+            for key, value in vars(record).items()
+            if key not in _RESERVED and not key.startswith("_")
+        )
+        line = (
+            f"{clock}.{int(record.msecs):03d} {record.levelname:<7} "
+            f"{record.name.removeprefix(ROOT + '.')}: "
+            f"{record.getMessage()}"
+        )
+        if extras:
+            line += f" [{extras}]"
+        if record.exc_info and record.exc_info[1] is not None:
+            line += f" exc={record.exc_info[1]!r}"
+        return line
+
+
+def configure_logging(
+    level: str = "info",
+    json_out: bool = False,
+    stream=None,
+) -> logging.Logger:
+    """Install one stderr handler on the ``repro`` root logger.
+
+    Idempotent: reconfiguring replaces the previous handler instead of
+    stacking a second one (the CLI and worker subprocesses both call
+    this on startup).  Only the ``repro`` subtree is touched — the
+    process root logger is left alone.
+    """
+    global _config
+    _config = (level, json_out)
+    root = logging.getLogger(ROOT)
+    root.setLevel(getattr(logging, level.upper(), logging.INFO))
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(JsonFormatter() if json_out else HumanFormatter())
+    for old in list(root.handlers):
+        root.removeHandler(old)
+    root.addHandler(handler)
+    root.propagate = False
+    return root

@@ -1,0 +1,104 @@
+"""Process-global registry of named latency histograms.
+
+Latency events happen deep inside layers that have no reference to the
+server's :class:`~repro.service.metrics.ServiceMetrics` — the decode
+coalescer, ``apply_mutation`` in the storage layer, the worker RPC
+client.  Rather than thread a metrics object through every
+constructor, each process owns one module-level
+:data:`REGISTRY` (the same shape as ``prometheus_client``'s default
+registry): layers call ``REGISTRY.histogram(name).record(dt)``, and
+the one consumer (``ServiceMetrics.snapshot()`` / the admin endpoint)
+reads everything back at snapshot time.
+
+In proc mode each shard-worker subprocess has its *own* registry; the
+worker ships ``REGISTRY.to_dict()`` on its stats/decode acks (counts
+are cumulative, so latest-wins per worker), and the parent merges the
+per-worker dumps with its own registry when building a snapshot —
+see ``ServiceMetrics.snapshot()`` and ``_Worker._stats``.
+
+Metric names are declared here so that the exposition layer, the
+snapshot, and the tests agree on one spelling.
+"""
+
+from __future__ import annotations
+
+from repro.obs.histogram import LatencyHistogram
+
+__all__ = [
+    "MetricsRegistry",
+    "REGISTRY",
+    "SESSION_DURATION",
+    "PASS_DURATION",
+    "DECODE_BATCH",
+    "STORAGE_COMMIT",
+    "WORKER_RPC",
+]
+
+#: Wall time of one reconciliation session, HELLO to close (server side).
+SESSION_DURATION = "session_duration_s"
+
+#: One client-observed pass: ESTIMATE sent to RESULT received.
+PASS_DURATION = "pass_duration_s"
+
+#: One coalesced BCH decode batch, submit to results fanned out.
+DECODE_BATCH = "decode_batch_s"
+
+#: One durable storage commit (journal append+fsync / SQLite txn).
+STORAGE_COMMIT = "storage_commit_s"
+
+#: One proc-executor RPC round-trip, parent send to ack.
+WORKER_RPC = "worker_rpc_s"
+
+
+class MetricsRegistry:
+    """Named histograms, created on first use."""
+
+    def __init__(self) -> None:
+        self._histograms: dict[str, LatencyHistogram] = {}
+
+    def histogram(self, name: str) -> LatencyHistogram:
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = LatencyHistogram()
+        return hist
+
+    def histograms(self) -> dict[str, LatencyHistogram]:
+        """Live name -> histogram view (do not mutate the dict)."""
+        return self._histograms
+
+    def to_dict(self) -> dict[str, dict]:
+        """Serialized non-empty histograms, for cross-process shipping."""
+        return {
+            name: hist.to_dict()
+            for name, hist in self._histograms.items()
+            if hist.count
+        }
+
+    def merged_with(
+        self, dumps: list[dict[str, dict]]
+    ) -> dict[str, LatencyHistogram]:
+        """This registry plus remote ``to_dict()`` dumps, merged by name.
+
+        Returns fresh histogram objects — neither the registry nor the
+        dumps are mutated, so snapshotting stays read-only.
+        """
+        merged: dict[str, LatencyHistogram] = {}
+        for name, hist in self._histograms.items():
+            if hist.count:
+                copy = LatencyHistogram()
+                copy.merge(hist)
+                merged[name] = copy
+        for dump in dumps:
+            for name, data in dump.items():
+                merged.setdefault(
+                    name, LatencyHistogram()
+                ).merge(LatencyHistogram.from_dict(data))
+        return merged
+
+    def reset(self) -> None:
+        """Drop all histograms (test isolation; never on a live path)."""
+        self._histograms.clear()
+
+
+#: The per-process registry every layer records into.
+REGISTRY = MetricsRegistry()

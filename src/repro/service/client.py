@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import asyncio
 import struct
+import time
 
 import numpy as np
 
@@ -36,6 +37,8 @@ from repro.core.messages import ReplyMessage
 from repro.core.sessions import AliceSession, _as_element_array
 from repro.errors import SerializationError
 from repro.estimators.tow import ToWEstimator
+from repro.obs.metrics import PASS_DURATION, REGISTRY
+from repro.obs.trace import TraceContext, tracer
 from repro.service.wire import (
     FramedChannel,
     FramedStream,
@@ -103,6 +106,11 @@ class ClientConnection:
         self.passes = 0
         self._stream: FramedStream | None = None
         self._estimator: ToWEstimator | None = None
+        #: root trace context for this connection (None unless this
+        #: process has tracing configured); its ids ride the HELLO
+        self.trace: TraceContext | None = None
+        self._session_ts = 0.0       # wall clock at connect (span ts)
+        self._session_start = 0.0    # perf_counter at connect (span dur)
 
     # -- lifecycle -------------------------------------------------------------
     async def connect(self) -> Welcome:
@@ -111,6 +119,11 @@ class ClientConnection:
         Raises :class:`ServerBusy` (with the server's suggested delay)
         when admission control sheds the session with a RETRY frame.
         """
+        # mint the session's trace identity before dialing: the ids ride
+        # the HELLO (wire v3) so server and worker spans join this trace
+        self.trace = tracer().mint()
+        self._session_ts = time.time()
+        self._session_start = time.perf_counter()
         reader, writer = await asyncio.open_connection(self.host, self.port)
         stream = FramedStream(reader, writer, FramedChannel(), role="alice")
         try:
@@ -123,6 +136,8 @@ class ClientConnection:
                     family=self.family,
                     log_u=self.log_u,
                     bidirectional=self.bidirectional,
+                    trace_id=self.trace.trace_id if self.trace else 0,
+                    span_id=self.trace.span_id if self.trace else 0,
                 ).serialize(),
             )
             ftype, payload = await stream.recv()
@@ -151,6 +166,13 @@ class ClientConnection:
         if self._stream is not None:
             await self._stream.close()
             self._stream = None
+            if self.trace is not None:
+                tracer().emit(
+                    "client.session", self.trace, None,
+                    self._session_ts,
+                    time.perf_counter() - self._session_start,
+                    set=self.set_name, passes=self.passes,
+                )
 
     async def __aenter__(self) -> "ClientConnection":
         await self.connect()
@@ -169,6 +191,8 @@ class ClientConnection:
         stream = self._stream
         self.passes += 1
         pass_no = self.passes
+        pass_ts = time.time()
+        pass_start = time.perf_counter()
         # fresh per-pass accounting (the paper's byte counters are per
         # reconciliation, not per connection)
         stream.channel = FramedChannel()
@@ -255,6 +279,17 @@ class ClientConnection:
         if self.bidirectional:
             extra["applied"] = ack.applied
             extra["server_set_size_after"] = ack.store_size
+
+        # client-observed pass latency: ESTIMATE sent to RESULT received
+        elapsed = time.perf_counter() - pass_start
+        REGISTRY.histogram(PASS_DURATION).record(elapsed)
+        if self.trace is not None:
+            trc = tracer()
+            trc.emit(
+                "client.pass", trc.child(self.trace), self.trace,
+                pass_ts, elapsed,
+                pass_no=pass_no, rounds=rounds_used,
+            )
 
         return ReconciliationResult(
             success=alice.done,

@@ -21,12 +21,39 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import REGISTRY, SESSION_DURATION
+from repro.obs.trace import TraceContext
 from repro.service.scheduler import CoalescerStats
 from repro.service.wire import FramedChannel
 
 #: Completed-session details kept for the snapshot (aggregates are exact
 #: regardless; this only bounds the per-session tail).
 SESSION_HISTORY = 64
+
+#: Version of the :meth:`ServiceMetrics.snapshot` document.  Consumers
+#: (the ``/varz`` endpoint, bench harnesses, dashboards) key on this to
+#: detect shape changes; bump it whenever a top-level key is added,
+#: removed or renamed, and update the pinning regression test.
+SNAPSHOT_SCHEMA = 2
+
+
+def merged_histograms(cluster_stats: dict | None = None) -> dict:
+    """Every latency histogram visible to this server, merged by name.
+
+    The parent's own :data:`~repro.obs.metrics.REGISTRY` plus, in proc
+    mode, the cumulative registry dumps each shard worker shipped on
+    its last acknowledgement (the ``obs`` block of ``per_shard``
+    cluster stats — latest-wins per worker, so merging the most recent
+    dump from each is exact).  Shared by :meth:`ServiceMetrics.snapshot`
+    and the ``/metrics`` Prometheus endpoint.
+    """
+    dumps = []
+    if cluster_stats:
+        for entry in cluster_stats.get("per_shard", ()):
+            obs = entry.get("obs")
+            if obs:
+                dumps.append(obs)
+    return REGISTRY.merged_with(dumps)
 
 
 @dataclass
@@ -36,7 +63,13 @@ class SessionMetrics:
     session_id: int
     set_name: str = ""
     peer: str = ""
+    #: wall-clock timestamp (for humans reading the snapshot) — never
+    #: used for durations, which an NTP step would corrupt
     started_unix: float = field(default_factory=time.time)
+    #: monotonic start mark; all interval math happens on this clock
+    started_mono: float = field(default_factory=time.monotonic)
+    #: trace context joined from the HELLO (wire v3), if any
+    trace: TraceContext | None = None
     rounds: int = 0
     d_hat: float = 0.0
     success: bool = False
@@ -52,6 +85,11 @@ class SessionMetrics:
     encode_s: float = 0.0
     decode_s: float = 0.0
     channel: FramedChannel = field(default_factory=FramedChannel, repr=False)
+
+    @property
+    def duration_s(self) -> float:
+        """Seconds since accept, on the monotonic clock (NTP-step safe)."""
+        return time.monotonic() - self.started_mono
 
     def to_dict(self) -> dict:
         return {
@@ -73,7 +111,8 @@ class SessionMetrics:
             "bytes_by_label": self.channel.bytes_by_label(),
             "encode_s": self.encode_s,
             "decode_s": self.decode_s,
-            "duration_s": time.time() - self.started_unix,
+            "trace": self.trace.hex() if self.trace is not None else "",
+            "duration_s": self.duration_s,
         }
 
 
@@ -82,6 +121,7 @@ class ServiceMetrics:
 
     def __init__(self, coalescer_stats: CoalescerStats | None = None) -> None:
         self.started_unix = time.time()
+        self.started_mono = time.monotonic()
         self.sessions_started = 0
         self.sessions_completed = 0
         self.sessions_failed = 0
@@ -171,6 +211,9 @@ class ServiceMetrics:
         self.encode_s += session.encode_s
         self.decode_s += session.decode_s
         self.applied_total += session.applied
+        # shed sessions are admission rejections measured in microseconds
+        # — letting them into the duration histogram would drown the p50
+        REGISTRY.histogram(SESSION_DURATION).record(session.duration_s)
         self._recent.append(session.to_dict())
 
     # -- reporting -------------------------------------------------------------
@@ -192,7 +235,9 @@ class ServiceMetrics:
         cluster_stats: dict | None = None,
     ) -> dict:
         out = {
-            "uptime_s": time.time() - self.started_unix,
+            "schema": SNAPSHOT_SCHEMA,
+            "uptime_s": time.monotonic() - self.started_mono,
+            "started_unix": self.started_unix,
             "sessions": {
                 "started": self.sessions_started,
                 "completed": self.sessions_completed,
@@ -212,6 +257,12 @@ class ServiceMetrics:
             "encode_s": self.encode_s,
             "decode_s": self.decode_s,
             "applied_total": self.applied_total,
+            "latency": {
+                name: hist.summary()
+                for name, hist in sorted(
+                    merged_histograms(cluster_stats).items()
+                )
+            },
             "recent_sessions": list(self._recent),
         }
         if self.resizes:

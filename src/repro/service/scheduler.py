@@ -28,6 +28,11 @@ import time
 from dataclasses import dataclass
 
 from repro.bch.codec import BCHCodec
+from repro.obs.logs import get_logger, slow_op_threshold_s
+from repro.obs.metrics import DECODE_BATCH, REGISTRY
+from repro.obs.trace import tracer
+
+log = get_logger("decode")
 
 #: Default coalescing window: long enough to catch peers of the same round
 #: burst, short enough to be invisible next to a WAN round-trip.
@@ -39,6 +44,7 @@ class _Submission:
     codec: BCHCodec
     deltas: list[list[int]]
     future: asyncio.Future
+    trace: object = None      #: submitting pass's TraceContext, if any
 
 
 @dataclass
@@ -99,24 +105,27 @@ class DecodeCoalescer:
         return (type(codec.field).__name__, codec.field.m, codec.t)
 
     async def decode(
-        self, codec: BCHCodec, deltas: list[list[int]]
+        self, codec: BCHCodec, deltas: list[list[int]], trace=None
     ) -> tuple[list[list[int] | None], float]:
         """Decode one session's sketch deltas, possibly in a shared batch.
 
         Returns ``(decoded, seconds)`` where ``decoded`` aligns with
         ``deltas`` (``None`` rows failed) and ``seconds`` is this
         session's proportional share of the engine time of whatever batch
-        served it — suitable for ``BobSession.finish_reply``.
+        served it — suitable for ``BobSession.finish_reply``.  ``trace``
+        (the submitting pass's span context, if any) parents the
+        decode-batch span; a merged batch is parented on its *first*
+        submission's trace, with the session count in the span args.
         """
         self.stats.submissions += 1
         if not deltas:
             return [], 0.0
         if not self.enabled:
-            return self._direct(codec, deltas)
+            return self._direct(codec, deltas, trace)
         key = self._shape(codec)
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         bucket = self._pending.setdefault(key, [])
-        bucket.append(_Submission(codec, deltas, future))
+        bucket.append(_Submission(codec, deltas, future, trace))
         if len(bucket) == 1:
             task = asyncio.create_task(self._flush_after_window(key))
             self._flushers.add(task)
@@ -124,8 +133,9 @@ class DecodeCoalescer:
         return await future
 
     def _direct(
-        self, codec: BCHCodec, deltas: list[list[int]]
+        self, codec: BCHCodec, deltas: list[list[int]], trace=None
     ) -> tuple[list[list[int] | None], float]:
+        ts = time.time()
         start = time.perf_counter()
         decoded = codec.decode_many(deltas, batch=self.batch)
         elapsed = time.perf_counter() - start
@@ -135,7 +145,32 @@ class DecodeCoalescer:
             self.stats.max_sessions_per_batch, 1
         )
         self.stats.decode_s += elapsed
+        self._observe(ts, elapsed, groups=len(deltas), sessions=1,
+                      trace=trace)
         return decoded, elapsed
+
+    def _observe(
+        self, ts: float, elapsed: float, groups: int, sessions: int,
+        trace=None,
+    ) -> None:
+        """One batch's telemetry: histogram, span, slow-op WARNING."""
+        REGISTRY.histogram(DECODE_BATCH).record(elapsed)
+        trc = tracer()
+        if trc.enabled:
+            trc.emit(
+                "decode.batch", trc.child(trace) or trc.mint(), trace,
+                ts, elapsed, groups=groups, sessions=sessions,
+            )
+        if elapsed >= slow_op_threshold_s():
+            log.warning(
+                "slow decode batch",
+                extra={
+                    "elapsed_ms": round(elapsed * 1e3, 3),
+                    "groups": groups,
+                    "sessions": sessions,
+                    "trace": trace.hex() if trace is not None else "",
+                },
+            )
 
     async def _flush_after_window(self, key: tuple) -> None:
         await asyncio.sleep(self.window_s)
@@ -146,6 +181,7 @@ class DecodeCoalescer:
         for sub in subs:
             combined.extend(sub.deltas)
         try:
+            ts = time.time()
             start = time.perf_counter()
             decoded = subs[0].codec.decode_many(combined, batch=self.batch)
             elapsed = time.perf_counter() - start
@@ -162,6 +198,8 @@ class DecodeCoalescer:
         if len(subs) >= 2:
             self.stats.coalesced_batches += 1
         self.stats.decode_s += elapsed
+        self._observe(ts, elapsed, groups=len(combined),
+                      sessions=len(subs), trace=subs[0].trace)
         offset = 0
         for sub in subs:
             share = elapsed * len(sub.deltas) / len(combined)

@@ -48,6 +48,8 @@ from repro.core.params import DEFAULT_DELTA, PBSParams
 from repro.core.sessions import BobSession
 from repro.errors import ReproError, SerializationError
 from repro.estimators.tow import DEFAULT_GAMMA, ToWEstimator
+from repro.obs.logs import get_logger
+from repro.obs.trace import TraceContext, tracer
 from repro.service.metrics import ServiceMetrics, SessionMetrics
 from repro.service.scheduler import DecodeCoalescer
 from repro.service.store import SetStore, Snapshot
@@ -64,6 +66,8 @@ from repro.service.wire import (
     _unpack_from,
 )
 from repro.utils.seeds import derive_seed
+
+log = get_logger("server")
 
 #: Hard cap on rounds per reconciliation pass — a runaway client cannot
 #: pin a session.
@@ -230,17 +234,19 @@ class ReconciliationServer:
             ).serialize(),
         )
 
-    async def _decode(self, shard: int, codec, deltas):
+    async def _decode(self, shard: int, codec, deltas, trace=None):
         """Decode one round's deltas — in-process (coalesced across all
         sessions) by default, or on the owning shard's worker process
         when the store runs the subprocess executor (each worker then
         coalesces its own shard's sessions).  Admission decode-queue
-        caps apply identically in both paths."""
+        caps apply identically in both paths.  ``trace`` (the pass's
+        :class:`TraceContext`, if any) parents the decode-batch span —
+        locally for the coalescer, across the RPC for a worker."""
         remote = getattr(self.store, "decode_remote", None)
         decode = (
-            (lambda: remote(shard, codec, deltas))
+            (lambda: remote(shard, codec, deltas, trace=trace))
             if remote is not None
-            else (lambda: self.coalescer.decode(codec, deltas))
+            else (lambda: self.coalescer.decode(codec, deltas, trace=trace))
         )
         if self.admission is None:
             return await decode()
@@ -267,6 +273,29 @@ class ReconciliationServer:
             )
         shard = self._shard_of(hello.set_name)
         session.shard = shard
+        # join the client's trace when the HELLO carried one (wire v3);
+        # a v2 peer's session still gets a server-rooted span tree
+        session.trace = (
+            TraceContext(hello.trace_id, hello.span_id)
+            if hello.trace_id
+            else None
+        )
+        with tracer().span(
+            "server.session", session.trace,
+            set=hello.set_name, shard=shard,
+        ) as session_ctx:
+            await self._session_body(
+                stream, session, hello, shard, session_ctx
+            )
+
+    async def _session_body(
+        self,
+        stream: FramedStream,
+        session: SessionMetrics,
+        hello: Hello,
+        shard: int,
+        session_ctx,
+    ) -> None:
         if not self._shard_ready(shard):
             # the shard's worker process is down (crash + restart in
             # progress): shed before consuming an admission slot
@@ -293,7 +322,7 @@ class ReconciliationServer:
         ]
         try:
             await self._admitted_session(stream, session, hello, shard,
-                                         holding)
+                                         holding, session_ctx)
         finally:
             if holding[0] and self.admission is not None:
                 self.admission.release(shard, holding[1])
@@ -305,6 +334,7 @@ class ReconciliationServer:
         hello: Hello,
         shard: int,
         holding: list,
+        session_ctx=None,
     ) -> None:
         existed = hello.set_name in self.store
         snapshot: Snapshot = await self._maybe_await(
@@ -372,29 +402,35 @@ class ReconciliationServer:
                 )
             else:
                 _, payload = await stream.recv(expect=FrameType.ESTIMATE)
-            cache_key = (snapshot.version, len(snapshot))
-            if sketch_b_cache is not None and sketch_b_cache[0] == cache_key:
-                sketch_b = sketch_b_cache[1]
-            else:
-                sketch_b = estimator.sketch(
-                    np.fromiter(snapshot.values, dtype=np.uint64)
+            trc = tracer()
+            with trc.span(
+                "server.pass", session_ctx, pass_no=pass_no
+            ) as pass_ctx:
+                cache_key = (snapshot.version, len(snapshot))
+                with trc.span("server.estimate", pass_ctx):
+                    if (sketch_b_cache is not None
+                            and sketch_b_cache[0] == cache_key):
+                        sketch_b = sketch_b_cache[1]
+                    else:
+                        sketch_b = estimator.sketch(
+                            np.fromiter(snapshot.values, dtype=np.uint64)
+                        )
+                        sketch_b_cache = (cache_key, sketch_b)
+                    params, d_hat = self._negotiate_params(
+                        estimator, hello, sketch_b, payload
+                    )
+                session.d_hat = d_hat
+                await stream.send(
+                    FrameType.PARAMS,
+                    ParamsAnnounce.from_params(
+                        params,
+                        d_hat,
+                        set_size=len(snapshot),
+                        set_version=snapshot.version,
+                    ).serialize(),
                 )
-                sketch_b_cache = (cache_key, sketch_b)
-            params, d_hat = self._negotiate_params(
-                estimator, hello, sketch_b, payload
-            )
-            session.d_hat = d_hat
-            await stream.send(
-                FrameType.PARAMS,
-                ParamsAnnounce.from_params(
-                    params,
-                    d_hat,
-                    set_size=len(snapshot),
-                    set_version=snapshot.version,
-                ).serialize(),
-            )
-            await self._run_pass(stream, session, hello, shard, snapshot,
-                                 params, pass_no)
+                await self._run_pass(stream, session, hello, shard,
+                                     snapshot, params, pass_no, pass_ctx)
             # counted only once the pass's RESULT is on the wire, so
             # syncs_total means "reconciliations finished"
             session.syncs = pass_no
@@ -408,6 +444,7 @@ class ReconciliationServer:
         snapshot: Snapshot,
         params: PBSParams,
         pass_no: int,
+        pass_ctx=None,
     ) -> None:
         """One reconciliation: sketch/reply rounds, then the union push."""
         bob = BobSession(
@@ -439,7 +476,7 @@ class ReconciliationServer:
                     )
                     work = bob.begin_reply(message)
                     decoded, decode_share = await self._decode(
-                        shard, params.codec, work.deltas
+                        shard, params.codec, work.deltas, trace=pass_ctx
                     )
                     reply = bob.finish_reply(work, decoded, decode_share)
                     session.rounds = rounds_before + message.round_no
@@ -466,7 +503,8 @@ class ReconciliationServer:
                             )
                         applied = await self._maybe_await(
                             self.store.apply_diff(
-                                hello.set_name, add=elements
+                                hello.set_name, add=elements,
+                                trace=pass_ctx,
                             )
                         )
                     session.applied += applied

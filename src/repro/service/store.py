@@ -115,13 +115,16 @@ class SetStore:
         )
 
     def apply_diff(self, name: str, add=(), remove=(),
-                   persisted: bool = False) -> int:
+                   persisted: bool = False, trace=None) -> int:
         """Fold a completed session's difference into the live set.
 
         Returns how many elements actually changed (an element both added
         by this session and already added by a concurrent one counts 0).
         The persistence hook fires before the first in-memory change and
         only for non-empty diffs (converged re-sync passes log nothing).
+        ``trace`` is accepted (and ignored) so the server can thread a
+        span context uniformly; the cluster store's override parents its
+        storage-commit span on it.
         """
         entry = self._require(name)
         add = self._as_ints(add)
