@@ -1,0 +1,26 @@
+"""Open-loop rate sweep: client-side p99 and shed rate vs offered load
+against an admission-capped server (see ``repro.evaluation.loadgen_sweep``).
+Every underlying loadgen report is schema-validated before its row lands."""
+
+from repro.evaluation import loadgen_sweep
+
+
+def test_loadgen_sweep(run_driver):
+    table = run_driver(loadgen_sweep.run, "loadgen_sweep")
+    by_rate = {r["rate"]: r for r in table.rows}
+    assert len(by_rate) == len(table.rows)          # one row per rate
+    # open-loop accounting conserved at every rate
+    for row in table.rows:
+        assert row["scheduled"] > 0
+        assert row["ok"] + row["shed"] + row["failed"] <= row["scheduled"]
+        assert 0.0 <= row["shed_rate"] <= 1.0
+        assert row["windows"] >= 2                  # timeseries populated
+    low, high = min(by_rate), max(by_rate)
+    # the bottom of the sweep must be comfortably inside capacity: most
+    # sessions complete and the windowed SLO holds
+    assert by_rate[low]["ok"] > 0
+    assert by_rate[low]["shed_rate"] < 0.5
+    # offering more must deliver at least as many completed sessions —
+    # an open loop cannot be throttled by the server into offering less
+    assert by_rate[high]["scheduled"] > by_rate[low]["scheduled"]
+    assert by_rate[high]["ok"] >= by_rate[low]["ok"]

@@ -38,6 +38,7 @@ PARSERS = {
     "serve": cli.build_serve_parser,
     "sync": cli.build_sync_parser,
     "rebalance": cli.build_rebalance_parser,
+    "loadgen": cli.build_loadgen_parser,
 }
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")

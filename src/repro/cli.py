@@ -2,19 +2,23 @@
 
 Each input file lists one element per line — either decimal or 0x-hex
 32-bit signatures (the format ``sha1sum | cut`` pipelines produce after
-truncation).  Four modes:
+truncation).  Five modes:
 
     python -m repro alice.txt bob.txt            # in-process reconcile
     python -m repro serve --set inv=bob.txt      # reconciliation server
     python -m repro sync alice.txt --set inv     # client against a server
     python -m repro rebalance --data-dir d --shards 4   # resize a data dir
+    python -m repro loadgen --rate 50 --duration 30     # open-loop load test
 
 The in-process mode reports the symmetric difference and the wire/round
 cost PBS would have paid, and can compare schemes (``--scheme ddigest``).
 ``serve``/``sync`` run the same protocol over real sockets, many sessions
 at a time (see :mod:`repro.service`).  ``rebalance`` migrates a stopped
 cluster data directory to a new shard count without losing a set
-(see :mod:`repro.cluster.rebalance`).
+(see :mod:`repro.cluster.rebalance`).  ``loadgen`` offers Poisson
+traffic at a fixed rate against a running server and reports
+client-side latency, shed rate, and SLO grades
+(see :mod:`repro.loadgen`).
 """
 
 from __future__ import annotations
@@ -189,13 +193,43 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "--admin-port", type=int, default=None, metavar="PORT",
         help="also serve an admin HTTP endpoint on PORT (0 = ephemeral): "
              "/metrics (Prometheus), /healthz (liveness; non-200 while "
-             "any shard worker is down), /varz (JSON snapshot)",
+             "any shard worker is down), /varz (JSON snapshot), "
+             "/timeseries (ring of recent metric windows)",
+    )
+    parser.add_argument(
+        "--admin-host", default="127.0.0.1", metavar="HOST",
+        help="bind address for the admin endpoint (default 127.0.0.1; "
+             "the admin surface is unauthenticated, so a non-loopback "
+             "HOST exposes /varz and /timeseries to that network)",
+    )
+    parser.add_argument(
+        "--window-s", type=float, default=5.0, metavar="SECONDS",
+        help="windowed-metrics interval: every SECONDS one delta window "
+             "(per-second rates, delta latency quantiles) is closed into "
+             "the /timeseries ring (default 5.0)",
+    )
+    parser.add_argument(
+        "--slo-p99-ms", type=float, default=None, metavar="MS",
+        help="grade each closed window against a session-duration p99 "
+             "objective of MS milliseconds; burn state rides /metrics, "
+             "/varz, and /timeseries",
+    )
+    parser.add_argument(
+        "--slo-shed-rate", type=float, default=None, metavar="FRACTION",
+        help="grade each closed window against a shed-rate objective "
+             "(sheds over session outcomes; e.g. 0.01)",
     )
     parser.add_argument(
         "--trace-dir", type=Path, default=None, metavar="DIR",
         help="write per-process span JSONL files under DIR (server and, "
              "with --workers proc, each shard worker); merge with "
              "'python -m repro.obs.trace DIR' for chrome://tracing",
+    )
+    parser.add_argument(
+        "--trace-max-mb", type=float, default=None, metavar="MB",
+        help="rotate each per-process trace file once it passes MB "
+             "megabytes (one-deep, so at most ~2xMB of the newest spans "
+             "per process; default unbounded)",
     )
     parser.add_argument(
         "--log-level", default="info",
@@ -309,10 +343,102 @@ def build_sync_parser() -> argparse.ArgumentParser:
         help="write this client's span JSONL under DIR; point it at the "
              "server's --trace-dir to see one session across processes",
     )
+    parser.add_argument(
+        "--trace-max-mb", type=float, default=None, metavar="MB",
+        help="rotate the span file once it passes MB megabytes "
+             "(one-deep; default unbounded)",
+    )
+    return parser
+
+
+def build_loadgen_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro loadgen",
+        description="Open-loop load generator: offer Poisson traffic at "
+                    "a target rate against a running 'repro serve', with "
+                    "Zipf set popularity and per-session mutation churn. "
+                    "Latency is charged from each session's intended "
+                    "start (no coordinated omission); the run emits a "
+                    "versioned JSON report with latency quantiles, shed "
+                    "rate, convergence, a per-window timeseries, and SLO "
+                    "grades.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+    parser.add_argument(
+        "--rate", type=float, default=20.0, metavar="PER_S",
+        help="offered session arrival rate, Poisson (default 20/s)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=10.0, metavar="SECONDS",
+        help="scheduling horizon; in-flight sessions then drain "
+             "(default 10)",
+    )
+    parser.add_argument(
+        "--sets", type=int, default=16, metavar="N",
+        help="set population size (default 16)",
+    )
+    parser.add_argument(
+        "--zipf-s", type=float, default=1.1, metavar="S",
+        help="set-popularity skew exponent; 0 = uniform (default 1.1)",
+    )
+    parser.add_argument(
+        "--diff", default="fixed:8", metavar="SPEC",
+        help="mutations per session: fixed:N, uniform:LO:HI, or "
+             "geometric:MEAN (default fixed:8)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="random seed (fixes schedule, popularity, and churn)",
+    )
+    parser.add_argument(
+        "--max-in-flight", type=int, default=64, metavar="N",
+        help="driver-side concurrent-session cap; waiting for a slot "
+             "charges the session's latency (default 64)",
+    )
+    parser.add_argument(
+        "--connect-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="per-session dial + handshake deadline (default 5)",
+    )
+    parser.add_argument(
+        "--window-s", type=float, default=2.0, metavar="SECONDS",
+        help="progress/SLO window interval (default 2)",
+    )
+    parser.add_argument(
+        "--slo-p99-ms", type=float, default=None, metavar="MS",
+        help="per-window session-latency p99 objective; any breached "
+             "window flips the exit code to 1",
+    )
+    parser.add_argument(
+        "--slo-shed-rate", type=float, default=None, metavar="FRACTION",
+        help="per-window shed-rate objective (e.g. 0.01)",
+    )
+    parser.add_argument(
+        "--drain-s", type=float, default=30.0, metavar="SECONDS",
+        help="wait for stragglers after the horizon before abandoning "
+             "them (default 30)",
+    )
+    parser.add_argument(
+        "--set-prefix", default="lg",
+        help="server-side set name prefix (default lg)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None, metavar="FILE",
+        help="write the JSON report to FILE (default: stdout)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the per-window progress lines on stderr",
+    )
     return parser
 
 
 # -- subcommands --------------------------------------------------------------
+
+def _trace_max_bytes(max_mb: float | None) -> int | None:
+    """``--trace-max-mb`` to bytes for :func:`configure_tracing`."""
+    return int(max_mb * 1024 * 1024) if max_mb else None
+
 
 def cmd_rebalance(argv: list[str]) -> int:
     import json as _json
@@ -363,6 +489,7 @@ def cmd_serve(argv: list[str]) -> int:
         get_logger,
         set_slow_op_threshold,
     )
+    from repro.obs.metrics import SloTracker, WindowedMetrics
     from repro.obs.trace import configure_tracing
     from repro.service import DecodeCoalescer, ReconciliationServer, SetStore
     from repro.service.metrics import merged_histograms
@@ -372,8 +499,15 @@ def cmd_serve(argv: list[str]) -> int:
     log = get_logger("serve")
     if args.slow_op_ms is not None:
         set_slow_op_threshold(args.slow_op_ms / 1000.0)
+    if args.window_s <= 0:
+        print(f"error: --window-s must be > 0, got {args.window_s}",
+              file=sys.stderr)
+        return 2
     if args.trace_dir is not None:
-        configure_tracing(args.trace_dir, role="server")
+        configure_tracing(
+            args.trace_dir, role="server",
+            max_bytes=_trace_max_bytes(args.trace_max_mb),
+        )
     if args.rebalance and args.shards is None:
         # the default of 1 must never drive a migration: forgetting
         # --shards would silently rewrite a sharded cluster down to one
@@ -470,11 +604,35 @@ def cmd_serve(argv: list[str]) -> int:
         admission=admission,
     )
 
+    # Windowed deltas + SLO grading over the server's own cumulative
+    # counters: an asyncio ticker closes one window per --window-s into
+    # the ring /timeseries serves; each closed window is graded when an
+    # objective was set, and both ride the /varz snapshot.
+    windowed = WindowedMetrics(interval_s=args.window_s)
+    slo = SloTracker(p99_ms=args.slo_p99_ms, shed_rate=args.slo_shed_rate)
+
+    def _window_tick() -> None:
+        m = server.metrics
+        window = windowed.tick(
+            {
+                "started": m.sessions_started,
+                "sessions": m.sessions_completed,
+                "failed": m.sessions_failed,
+                "sheds": m.sessions_shed,
+                "syncs": m.syncs_total,
+            },
+            merged_histograms(store.cluster_stats() if cluster else None),
+        )
+        if window is not None and slo.enabled:
+            slo.grade(window)
+
     def _stats_args() -> tuple:
         return (
             store.stats(),
             admission.stats() if admission is not None else None,
             store.cluster_stats() if cluster else None,
+            windowed.timeseries(),
+            slo.state() if slo.enabled else None,
         )
 
     def _health() -> tuple[bool, dict]:
@@ -526,6 +684,7 @@ def cmd_serve(argv: list[str]) -> int:
         if cluster:
             await store.start()
         heartbeat_task = None
+        window_task = None
         admin = None
         # everything after store.start() runs under its try so a failed
         # bind or preload still drains the shard workers and closes the
@@ -547,6 +706,7 @@ def cmd_serve(argv: list[str]) -> int:
                 flush=True,
             )
             serving["up"] = True
+            _window_tick()   # baseline; windows close from here on
             if args.admin_port is not None:
                 admin = AdminServer(
                     varz=lambda: server.metrics.snapshot(*_stats_args()),
@@ -554,10 +714,20 @@ def cmd_serve(argv: list[str]) -> int:
                     histograms=lambda: merged_histograms(
                         store.cluster_stats() if cluster else None
                     ),
-                    host=args.host,
+                    timeseries=windowed.timeseries,
+                    host=args.admin_host,
                     port=args.admin_port,
                 )
                 await admin.start()
+
+            async def window_ticker() -> None:
+                while True:
+                    await asyncio.sleep(args.window_s)
+                    _window_tick()
+
+            # strong reference, like the heartbeat: the loop keeps
+            # only weak ones
+            window_task = asyncio.ensure_future(window_ticker())
             if args.metrics_every > 0:
 
                 async def heartbeat() -> None:
@@ -594,6 +764,8 @@ def cmd_serve(argv: list[str]) -> int:
                 await admin.close()
             if heartbeat_task is not None:
                 heartbeat_task.cancel()
+            if window_task is not None:
+                window_task.cancel()
             if cluster:
                 await store.close()
             for sig in handled:
@@ -623,7 +795,10 @@ def cmd_sync(argv: list[str]) -> int:
     if args.trace_dir is not None:
         from repro.obs.trace import configure_tracing
 
-        configure_tracing(args.trace_dir, role="client")
+        configure_tracing(
+            args.trace_dir, role="client",
+            max_bytes=_trace_max_bytes(args.trace_max_mb),
+        )
     if args.repeat < 1:
         print(f"error: --repeat must be >= 1, got {args.repeat}",
               file=sys.stderr)
@@ -705,6 +880,90 @@ def cmd_sync(argv: list[str]) -> int:
     return 0 if ok else 1
 
 
+def cmd_loadgen(argv: list[str]) -> int:
+    import json as _json
+
+    from repro.loadgen import (
+        DiffSizes,
+        LoadGenerator,
+        LoadgenConfig,
+        validate_report,
+    )
+
+    args = build_loadgen_parser().parse_args(argv)
+    checks = (
+        (args.rate > 0, "--rate must be > 0"),
+        (args.duration > 0, "--duration must be > 0"),
+        (args.sets >= 1, "--sets must be >= 1"),
+        (args.zipf_s >= 0, "--zipf-s must be >= 0"),
+        (args.max_in_flight >= 1, "--max-in-flight must be >= 1"),
+        (args.window_s > 0, "--window-s must be > 0"),
+        (args.drain_s >= 0, "--drain-s must be >= 0"),
+    )
+    for ok, message in checks:
+        if not ok:
+            print(f"error: {message}", file=sys.stderr)
+            return 2
+    try:
+        DiffSizes(args.diff)   # die on a typo now, not mid-run
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    config = LoadgenConfig(
+        host=args.host,
+        port=args.port,
+        rate=args.rate,
+        duration_s=args.duration,
+        sets=args.sets,
+        zipf_s=args.zipf_s,
+        diff=args.diff,
+        seed=args.seed,
+        max_in_flight=args.max_in_flight,
+        set_prefix=args.set_prefix,
+        connect_timeout=args.connect_timeout,
+        window_s=args.window_s,
+        slo_p99_ms=args.slo_p99_ms,
+        slo_shed_rate=args.slo_shed_rate,
+        drain_s=args.drain_s,
+    )
+    progress = (
+        None if args.quiet
+        else lambda line: print(line, file=sys.stderr, flush=True)
+    )
+    generator = LoadGenerator(config, progress=progress)
+    try:
+        report = asyncio.run(generator.run())
+    except KeyboardInterrupt:
+        print("error: interrupted before the report", file=sys.stderr)
+        return 2
+    # a malformed report is a driver bug; self-check every run so the
+    # validator cannot drift from what the driver actually emits
+    validate_report(report)
+    payload = _json.dumps(report, indent=2)
+    if args.output is not None:
+        args.output.write_text(payload + "\n")
+    else:
+        print(payload)
+    totals, rates, slo = report["totals"], report["rates"], report["slo"]
+    print(
+        f"# loadgen offered={rates['offered_per_s']:g}/s "
+        f"achieved={rates['achieved_per_s']:.1f}/s "
+        f"ok={totals['sessions']} shed={totals['sheds']} "
+        f"failed={totals['failed']} abandoned={totals['abandoned']}"
+        + (
+            f" slo_breached={slo['windows_breached']}"
+            f"/{slo['windows_graded']}"
+            if slo is not None else ""
+        ),
+        file=sys.stderr,
+    )
+    if totals["scheduled"] and not totals["sessions"]:
+        return 1   # nothing at all succeeded: the server was unreachable
+    if slo is not None and slo["windows_breached"]:
+        return 1
+    return 0
+
+
 def _print_result(
     result, scheme: str, json_out: bool, quiet: bool, compact: bool = False
 ) -> None:
@@ -734,6 +993,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_sync(argv[1:])
     if argv and argv[0] == "rebalance":
         return cmd_rebalance(argv[1:])
+    if argv and argv[0] == "loadgen":
+        return cmd_loadgen(argv[1:])
 
     args = build_parser().parse_args(argv)
     if args.selftest:

@@ -172,6 +172,7 @@ class WorkerConfig:
     log_json: bool = False
     slow_op_s: float | None = None   #: slow-op WARNING threshold
     trace_dir: str | None = None     #: span JSONL directory (None = off)
+    trace_max_bytes: int | None = None   #: span-file rotation cap
 
 
 # -- the child process ---------------------------------------------------------
@@ -190,7 +191,8 @@ def worker_main(config: WorkerConfig) -> None:
         set_slow_op_threshold(config.slow_op_s)
     if config.trace_dir:
         configure_tracing(
-            config.trace_dir, role=f"worker-{config.shard_id}"
+            config.trace_dir, role=f"worker-{config.shard_id}",
+            max_bytes=config.trace_max_bytes,
         )
     try:
         asyncio.run(_worker_async(config))
@@ -687,6 +689,7 @@ class WorkerSupervisor:
             log_json=log_json,
             slow_op_s=slow_op_threshold_s(),
             trace_dir=str(trc.trace_dir) if trc.enabled else None,
+            trace_max_bytes=trc.max_bytes,
         )
         loop = asyncio.get_running_loop()
         waiter: asyncio.Future = loop.create_future()

@@ -1,0 +1,35 @@
+"""Open-loop load generation against a reconciliation server.
+
+The throughput benchmarks answer "how fast can the service go when the
+client waits for it" — a *closed* loop, where a slow server slows its
+own offered load and the measured latency flatters the system
+(coordinated omission).  This package is the other half: an **open
+loop** that offers traffic on its own schedule.  Sessions arrive as a
+Poisson process at a target rate, pick sets by Zipf popularity, mutate
+them (the churn whose diff each sync reconciles), and every session's
+latency is charged from its *intended* arrival time — a stalled server
+makes the queue, and therefore the measured p99, grow.
+
+- :mod:`repro.loadgen.arrivals` — the statistical machinery
+  (:class:`PoissonArrivals`, :class:`ZipfPopularity`,
+  :class:`DiffSizes`), seeded and reproducible.
+- :mod:`repro.loadgen.driver` — :class:`LoadGenerator`, the asyncio
+  driver behind ``repro loadgen``.
+- :mod:`repro.loadgen.report` — the versioned JSON run report and its
+  validator (what the CI smoke job and the rate-sweep benchmark pin).
+"""
+
+from repro.loadgen.arrivals import DiffSizes, PoissonArrivals, ZipfPopularity
+from repro.loadgen.driver import LoadgenConfig, LoadGenerator, SessionSpec
+from repro.loadgen.report import REPORT_SCHEMA, validate_report
+
+__all__ = [
+    "PoissonArrivals",
+    "ZipfPopularity",
+    "DiffSizes",
+    "LoadgenConfig",
+    "LoadGenerator",
+    "SessionSpec",
+    "REPORT_SCHEMA",
+    "validate_report",
+]

@@ -1,0 +1,151 @@
+"""Seeded traffic-shape distributions for the open-loop driver.
+
+Three knobs define an offered workload: *when* sessions arrive
+(:class:`PoissonArrivals`), *which* set each one touches
+(:class:`ZipfPopularity`), and *how much* the set changed since its
+last sync (:class:`DiffSizes`).  All three derive their randomness from
+one seed via :func:`~repro.utils.seeds.derive_seed`, so a load-test run
+is replayable bit-for-bit: same seed, same arrival times, same set
+choices, same mutation batches.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.utils.seeds import spawn_rng
+
+__all__ = ["PoissonArrivals", "ZipfPopularity", "DiffSizes"]
+
+
+class PoissonArrivals:
+    """Intended session start offsets of a Poisson process.
+
+    Iterating yields cumulative offsets in seconds from the run's t0,
+    with i.i.d. exponential inter-arrival gaps of mean ``1/rate`` — the
+    memoryless process a population of independent clients produces.
+    The schedule is fixed by the seed alone; the driver sleeps *until*
+    each offset rather than *between* sessions, which is what makes the
+    loop open.
+
+    >>> times = PoissonArrivals(rate_per_s=100.0, seed=7)
+    >>> first = [round(t, 4) for _, t in zip(range(3), times)]
+    >>> first == sorted(first)
+    True
+    """
+
+    def __init__(self, rate_per_s: float, seed: int = 0) -> None:
+        if rate_per_s <= 0:
+            raise ValueError(f"rate_per_s must be > 0, got {rate_per_s}")
+        self.rate_per_s = float(rate_per_s)
+        self._rng = spawn_rng(seed, "loadgen", "poisson")
+
+    def __iter__(self) -> Iterator[float]:
+        offset = 0.0
+        mean_gap = 1.0 / self.rate_per_s
+        while True:
+            offset += float(self._rng.exponential(mean_gap))
+            yield offset
+
+
+class ZipfPopularity:
+    """Zipf(s) choice over a fixed population of set indices.
+
+    Rank ``k`` (0-based) is drawn with probability proportional to
+    ``1/(k+1)**s`` — a handful of hot sets absorb most sessions while
+    the long tail stays warm, the popularity skew real sync workloads
+    show.  ``s=0`` degenerates to uniform.  Sampling is an inverse-CDF
+    lookup (binary search over the precomputed cumulative weights), so
+    the population size only costs setup time.
+    """
+
+    def __init__(self, n_sets: int, s: float = 1.1, seed: int = 0) -> None:
+        if n_sets < 1:
+            raise ValueError(f"n_sets must be >= 1, got {n_sets}")
+        if s < 0:
+            raise ValueError(f"zipf exponent must be >= 0, got {s}")
+        self.n_sets = int(n_sets)
+        self.s = float(s)
+        ranks = np.arange(1, self.n_sets + 1, dtype=np.float64)
+        weights = ranks ** -self.s
+        self.pmf = weights / weights.sum()
+        self._cdf = np.cumsum(self.pmf)
+        self._cdf[-1] = 1.0  # guard fp drift: the last bucket covers 1.0
+        self._rng = spawn_rng(seed, "loadgen", "zipf")
+
+    def sample(self) -> int:
+        """One set index in ``[0, n_sets)``; 0 is the hottest."""
+        return int(
+            np.searchsorted(self._cdf, self._rng.random(), side="right")
+        )
+
+    def sample_many(self, count: int) -> np.ndarray:
+        """``count`` i.i.d. indices at once (for statistical tests)."""
+        return np.searchsorted(
+            self._cdf, self._rng.random(count), side="right"
+        ).astype(np.int64)
+
+
+class DiffSizes:
+    """Per-session mutation batch sizes, from a ``kind:...`` spec.
+
+    The batch a session adds to its set before syncing *is* the
+    difference that sync reconciles (the loadgen is the set's only
+    writer), so this distribution directly controls the paper's ``d``:
+
+    - ``fixed:N`` — every session mutates exactly N elements
+    - ``uniform:LO:HI`` — N drawn uniformly from [LO, HI] inclusive
+    - ``geometric:MEAN`` — N geometric with the given mean (>= 1);
+      heavy-tailed, so occasional big diffs stress multi-round decode
+
+    Specs are validated eagerly so a typo dies at argparse time, not
+    minutes into a load run.
+    """
+
+    KINDS = ("fixed", "uniform", "geometric")
+
+    def __init__(self, spec: str = "fixed:8", seed: int = 0) -> None:
+        self.spec = spec
+        kind, _, rest = spec.partition(":")
+        parts = rest.split(":") if rest else []
+        try:
+            if kind == "fixed":
+                (self._n,) = (int(parts[0]),)
+                if self._n < 0:
+                    raise ValueError
+            elif kind == "uniform":
+                self._lo, self._hi = int(parts[0]), int(parts[1])
+                if not 0 <= self._lo <= self._hi:
+                    raise ValueError
+            elif kind == "geometric":
+                self._mean = float(parts[0])
+                if self._mean < 1.0:
+                    raise ValueError
+            else:
+                raise ValueError
+        except (ValueError, IndexError):
+            raise ValueError(
+                f"bad diff spec {spec!r}: want fixed:N, uniform:LO:HI "
+                f"(0 <= LO <= HI), or geometric:MEAN (MEAN >= 1)"
+            ) from None
+        self.kind = kind
+        self._rng = spawn_rng(seed, "loadgen", "diff")
+
+    def sample(self) -> int:
+        """One batch size (elements to mutate before the sync)."""
+        if self.kind == "fixed":
+            return self._n
+        if self.kind == "uniform":
+            return int(self._rng.integers(self._lo, self._hi + 1))
+        return int(self._rng.geometric(1.0 / self._mean))
+
+    @property
+    def mean(self) -> float:
+        """Expected batch size (rate x mean = offered mutation rate)."""
+        if self.kind == "fixed":
+            return float(self._n)
+        if self.kind == "uniform":
+            return (self._lo + self._hi) / 2.0
+        return self._mean

@@ -1,0 +1,367 @@
+"""The open-loop asyncio driver behind ``repro loadgen``.
+
+The loop is *open*: session start times come from a pre-committed
+Poisson schedule, and each session's latency is measured from its
+**intended** start — not from when the driver got around to dialing.
+A saturated server therefore cannot slow the offered load down; the
+backlog it causes (semaphore waits, per-set queueing, connect stalls)
+lands in the latency histogram where an operator can see it.  Closed
+loops silently drop exactly those samples — the coordinated-omission
+trap this driver exists to avoid.
+
+Structure of one scheduled session:
+
+1. At its intended time the scheduler picks a set (Zipf), applies the
+   mutation batch (DiffSizes) to the local mirror, stamps the batch
+   with the *intended* time, and spawns the session task.
+2. The task acquires the global in-flight semaphore, then the per-set
+   lock — sessions on one set are serialized, like a real per-replica
+   syncer, so hot-set contention is part of the measurement.
+3. It dials, HELLOs, and syncs the mirror via
+   :class:`~repro.service.client.ClientConnection`.  A RETRY shed
+   counts as ``sheds``; any other failure as ``failed`` (by exception
+   type); success records session latency and, for every mutation
+   batch the sync covered, convergence time (intended mutation time to
+   sync completion).
+
+Progress and SLO grading reuse the server-side windowed machinery
+(:class:`~repro.obs.metrics.WindowedMetrics`,
+:class:`~repro.obs.metrics.SloTracker`) on the client's own counters,
+so the report's timeseries has the same window-document shape as the
+server's ``/timeseries``.
+
+Tests inject ``session_runner`` (any async callable taking a
+:class:`SessionSpec`) and ``arrivals`` (any iterable of offsets) to
+drive the accounting without sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import Counter, deque
+from dataclasses import asdict, dataclass
+from typing import Awaitable, Callable, Iterable
+
+import numpy as np
+
+from repro.loadgen.arrivals import DiffSizes, PoissonArrivals, ZipfPopularity
+from repro.loadgen.report import build_report
+from repro.obs.histogram import LatencyHistogram
+from repro.obs.metrics import SESSION_DURATION, SloTracker, WindowedMetrics
+from repro.service.client import ClientConnection
+from repro.service.wire import ServerBusy
+from repro.utils.seeds import derive_seed, spawn_rng
+
+__all__ = ["CONVERGENCE", "LoadgenConfig", "SessionSpec", "LoadGenerator"]
+
+#: Client-side metric: oldest unsynced mutation (intended time) to the
+#: completion of the sync that carried it.
+CONVERGENCE = "convergence_s"
+
+
+@dataclass
+class LoadgenConfig:
+    """Everything one run needs; serialized verbatim into the report."""
+
+    host: str = "127.0.0.1"
+    port: int = 7171
+    rate: float = 20.0              #: offered sessions per second
+    duration_s: float = 10.0        #: scheduling horizon (drain extra)
+    sets: int = 16                  #: set population size
+    zipf_s: float = 1.1             #: popularity skew (0 = uniform)
+    diff: str = "fixed:8"           #: DiffSizes spec (mutations/session)
+    seed: int = 0
+    max_in_flight: int = 64         #: concurrent session cap, driver-side
+    set_prefix: str = "lg"
+    n_sketches: int = 128
+    family: str = "fast"
+    log_u: int = 32
+    connect_timeout: float = 5.0    #: dial+HELLO deadline per session
+    window_s: float = 2.0           #: progress/SLO window interval
+    slo_p99_ms: float | None = None
+    slo_shed_rate: float | None = None
+    drain_s: float = 30.0           #: wait for stragglers after horizon
+
+
+@dataclass
+class SessionSpec:
+    """One scheduled session, fixed at its intended arrival time."""
+
+    index: int
+    set_name: str
+    values: list[int]          #: mirror snapshot to reconcile
+    intended_mono: float       #: loop-clock intended start (latency t0)
+    intended_unix: float       #: wall-clock twin, for humans
+    mutations: int             #: fresh elements this arrival added
+    covers_seq: int            #: newest mutation batch the sync covers
+
+
+class _SetState:
+    """Client-side mirror of one server set, plus its sync queue."""
+
+    __slots__ = ("values", "lock", "stamps", "seq")
+
+    def __init__(self) -> None:
+        self.values: set[int] = set()
+        self.lock = asyncio.Lock()
+        #: (seq, intended_mono) per mutation batch not yet confirmed
+        #: synced — the convergence clock starts at the *intended* time
+        self.stamps: deque[tuple[int, float]] = deque()
+        self.seq = 0
+
+
+class LoadGenerator:
+    """Drive one open-loop run; :meth:`run` returns the report dict."""
+
+    def __init__(
+        self,
+        config: LoadgenConfig,
+        session_runner: (
+            Callable[[SessionSpec], Awaitable[object]] | None
+        ) = None,
+        arrivals: Iterable[float] | None = None,
+        progress: Callable[[str], None] | None = None,
+    ) -> None:
+        self._config = config
+        self._runner = session_runner or self._default_runner
+        self._arrivals = (
+            arrivals
+            if arrivals is not None
+            else PoissonArrivals(config.rate, seed=config.seed)
+        )
+        self._progress = progress
+        self._zipf = ZipfPopularity(
+            config.sets, s=config.zipf_s, seed=config.seed
+        )
+        self._diffs = DiffSizes(config.diff, seed=config.seed)
+        self._values_rng = spawn_rng(config.seed, "loadgen", "values")
+        self._sets: dict[str, _SetState] = {}
+        self._sem = asyncio.Semaphore(max(1, config.max_in_flight))
+        self._hist_session = LatencyHistogram()
+        self._hist_converge = LatencyHistogram()
+        self._windowed = WindowedMetrics(interval_s=config.window_s)
+        self._slo = SloTracker(
+            p99_ms=config.slo_p99_ms, shed_rate=config.slo_shed_rate
+        )
+        self.scheduled = 0
+        self.sessions = 0          #: completed (the SloTracker contract)
+        self.failed = 0
+        self.sheds = 0
+        self.abandoned = 0         #: cancelled at drain timeout
+        self.mutations = 0
+        self.errors: Counter[str] = Counter()
+        self.in_flight = 0
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    # -- the run ---------------------------------------------------------------
+    async def run(self) -> dict:
+        cfg = self._config
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        started_unix = time.time()
+        t0 = loop.time()
+        # baseline the first window so the ticker's deltas start at t0
+        self._windowed.tick(
+            self._counters(), self._hists(),
+            now_unix=started_unix, now_mono=t0,
+        )
+        ticker = asyncio.create_task(self._ticker())
+        tasks: set[asyncio.Task] = set()
+        try:
+            for index, offset in enumerate(self._arrivals):
+                if offset >= cfg.duration_s:
+                    break
+                intended = t0 + offset
+                delay = intended - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                # the spec is built at (or after) the intended moment but
+                # stamped with the intended time itself: if the loop fell
+                # behind, that lag is real queueing and must be charged
+                spec = self._make_spec(
+                    index, intended, started_unix + offset
+                )
+                self.scheduled += 1
+                task = asyncio.create_task(self._session(spec))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            if tasks:
+                _, pending = await asyncio.wait(
+                    set(tasks), timeout=cfg.drain_s
+                )
+                self.abandoned = len(pending)
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    await asyncio.gather(*pending, return_exceptions=True)
+        finally:
+            ticker.cancel()
+            await asyncio.gather(ticker, return_exceptions=True)
+        self._close_window()     # flush the partial final window
+        return self._report(started_unix, loop.time() - t0)
+
+    def _make_spec(
+        self, index: int, intended_mono: float, intended_unix: float
+    ) -> SessionSpec:
+        cfg = self._config
+        name = f"{cfg.set_prefix}-{self._zipf.sample():04d}"
+        state = self._sets.get(name)
+        if state is None:
+            state = self._sets[name] = _SetState()
+        d = self._diffs.sample()
+        if d:
+            fresh = self._values_rng.integers(
+                1, (1 << cfg.log_u) - 1, size=d, dtype=np.uint64,
+                endpoint=True,
+            )
+            state.values.update(int(v) for v in fresh)
+            state.seq += 1
+            state.stamps.append((state.seq, intended_mono))
+            self.mutations += d
+        return SessionSpec(
+            index=index,
+            set_name=name,
+            values=list(state.values),
+            intended_mono=intended_mono,
+            intended_unix=intended_unix,
+            mutations=d,
+            covers_seq=state.seq,
+        )
+
+    async def _session(self, spec: SessionSpec) -> None:
+        state = self._sets[spec.set_name]
+        self.in_flight += 1
+        try:
+            try:
+                # both waits happen inside the session so they charge to
+                # its latency: the global in-flight cap, then the per-set
+                # serialization (one syncer per set, like a real replica)
+                async with self._sem:
+                    async with state.lock:
+                        await self._runner(spec)
+            except asyncio.CancelledError:
+                raise
+            except ServerBusy:
+                self.sheds += 1
+                return
+            except Exception as exc:
+                self.failed += 1
+                self.errors[type(exc).__name__] += 1
+                return
+            now = self._loop.time()
+            self._hist_session.record(max(0.0, now - spec.intended_mono))
+            self.sessions += 1
+            # pop every mutation batch this sync covered; convergence is
+            # measured from the *oldest* (a failed earlier sync leaves
+            # its batches queued, so the next success pays their full age)
+            oldest = None
+            while state.stamps and state.stamps[0][0] <= spec.covers_seq:
+                _, stamp = state.stamps.popleft()
+                if oldest is None:
+                    oldest = stamp
+            if oldest is not None:
+                self._hist_converge.record(max(0.0, now - oldest))
+        finally:
+            self.in_flight -= 1
+
+    async def _default_runner(self, spec: SessionSpec) -> object:
+        cfg = self._config
+        conn = ClientConnection(
+            cfg.host,
+            cfg.port,
+            set_name=spec.set_name,
+            seed=derive_seed(cfg.seed, "loadgen", "session", spec.index),
+            n_sketches=cfg.n_sketches,
+            family=cfg.family,
+            log_u=cfg.log_u,
+            connect_timeout=cfg.connect_timeout,
+        )
+        try:
+            await conn.connect()
+            return await conn.sync(spec.values)
+        finally:
+            await conn.close()
+
+    # -- windows / progress ----------------------------------------------------
+    async def _ticker(self) -> None:
+        while True:
+            await asyncio.sleep(self._config.window_s)
+            self._close_window()
+
+    def _close_window(self) -> dict | None:
+        window = self._windowed.tick(self._counters(), self._hists())
+        if window is None:
+            return None
+        if self._slo.enabled:
+            self._slo.grade(window)
+        if self._progress is not None:
+            self._progress(self._format_progress(window))
+        return window
+
+    def _counters(self) -> dict[str, float]:
+        return {
+            "scheduled": self.scheduled,
+            "sessions": self.sessions,
+            "failed": self.failed,
+            "sheds": self.sheds,
+            "mutations": self.mutations,
+        }
+
+    def _hists(self) -> dict[str, LatencyHistogram]:
+        return {
+            SESSION_DURATION: self._hist_session,
+            CONVERGENCE: self._hist_converge,
+        }
+
+    def _format_progress(self, window: dict) -> str:
+        rates = window["rates"]
+        deltas = window["deltas"]
+        summary = window["latency"].get(SESSION_DURATION)
+        p99 = f"{summary['p99_s'] * 1e3:.1f}ms" if summary else "-"
+        line = (
+            f"[loadgen] win#{window['index']:<3d}"
+            f" ok {rates.get('sessions_per_s', 0.0):6.1f}/s"
+            f" shed {int(deltas.get('sheds', 0))}"
+            f" fail {int(deltas.get('failed', 0))}"
+            f" p99 {p99}"
+            f" in-flight {self.in_flight}"
+        )
+        slo = window.get("slo")
+        if slo is not None:
+            verdict = "OK" if slo["ok"] else ",".join(slo["breaches"])
+            line += f" slo {verdict}"
+        return line
+
+    # -- the report ------------------------------------------------------------
+    def _report(self, started_unix: float, wall_s: float) -> dict:
+        outcomes = self.sessions + self.failed + self.sheds
+        return build_report(
+            config=asdict(self._config),
+            started_unix=started_unix,
+            wall_s=wall_s,
+            totals={
+                "scheduled": self.scheduled,
+                "sessions": self.sessions,
+                "failed": self.failed,
+                "sheds": self.sheds,
+                "abandoned": self.abandoned,
+                "mutations": self.mutations,
+                "errors": dict(sorted(self.errors.items())),
+            },
+            rates={
+                "offered_per_s": self._config.rate,
+                "achieved_per_s": (
+                    self.sessions / wall_s if wall_s > 0 else 0.0
+                ),
+                "shed_rate": self.sheds / outcomes if outcomes else 0.0,
+                "error_rate": self.failed / outcomes if outcomes else 0.0,
+            },
+            latency={
+                name: hist.summary()
+                for name, hist in self._hists().items()
+                if hist.count
+            },
+            timeseries=self._windowed.timeseries(),
+            slo=self._slo.state() if self._slo.enabled else None,
+        )

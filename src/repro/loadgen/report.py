@@ -1,0 +1,178 @@
+"""The versioned loadgen run report, and its validator.
+
+A load-test number nobody can re-read is a rumor.  Every ``repro
+loadgen`` run emits one JSON document with everything needed to judge
+and reproduce the claim: the full config (seed included), outcome
+totals, achieved-vs-offered rates, client-side latency summaries, the
+per-window timeseries, and SLO burn state when objectives were set.
+:data:`REPORT_SCHEMA` versions the shape; :func:`validate_report` is
+the hand-rolled structural check (no jsonschema dependency) that the
+CI smoke job and the rate-sweep benchmark run against every report, so
+a shape drift fails loudly instead of silently un-pinning dashboards.
+"""
+
+from __future__ import annotations
+
+from numbers import Real
+
+__all__ = ["REPORT_SCHEMA", "build_report", "validate_report"]
+
+#: Version of the report document.  Bump on any key rename/removal and
+#: update :func:`validate_report` plus the pinning test alongside it.
+REPORT_SCHEMA = 1
+
+_TOTAL_KEYS = ("scheduled", "sessions", "failed", "sheds", "abandoned",
+               "mutations")
+_RATE_KEYS = ("offered_per_s", "achieved_per_s", "shed_rate", "error_rate")
+_CONFIG_KEYS = ("host", "port", "rate", "duration_s", "sets", "seed")
+_SUMMARY_KEYS = ("count", "mean_s", "p50_s", "p99_s", "p999_s")
+
+
+def build_report(
+    *,
+    config: dict,
+    started_unix: float,
+    wall_s: float,
+    totals: dict,
+    rates: dict,
+    latency: dict,
+    timeseries: dict,
+    slo: dict | None = None,
+) -> dict:
+    """Assemble the report document (callers pass already-shaped blocks)."""
+    return {
+        "schema": REPORT_SCHEMA,
+        "kind": "repro-loadgen-report",
+        "started_unix": started_unix,
+        "wall_s": wall_s,
+        "config": config,
+        "totals": totals,
+        "rates": rates,
+        "latency": latency,
+        "timeseries": timeseries,
+        # always present: None means "no objectives were set", which is
+        # different from an SLO block full of zeros
+        "slo": slo,
+    }
+
+
+def _is_num(value) -> bool:
+    return isinstance(value, Real) and not isinstance(value, bool)
+
+
+def validate_report(doc) -> None:
+    """Structurally validate a report; raise ValueError listing every flaw.
+
+    Checks shape and the invariants that catch real accounting bugs:
+    outcome totals must not exceed scheduled sessions, rates must be
+    sane fractions, every latency summary must carry the quantile keys
+    the sweep benchmark and dashboards read.
+    """
+    problems: list[str] = []
+
+    def need(container: dict, key: str, pred, what: str) -> None:
+        if key not in container:
+            problems.append(f"missing key {key!r}")
+        elif not pred(container[key]):
+            problems.append(f"{key!r} is not {what}: {container[key]!r}")
+
+    if not isinstance(doc, dict):
+        raise ValueError(f"report must be a dict, got {type(doc).__name__}")
+    if doc.get("schema") != REPORT_SCHEMA:
+        problems.append(
+            f"schema is {doc.get('schema')!r}, expected {REPORT_SCHEMA}"
+        )
+    if doc.get("kind") != "repro-loadgen-report":
+        problems.append(f"kind is {doc.get('kind')!r}")
+    need(doc, "started_unix", _is_num, "a number")
+    need(doc, "wall_s", lambda v: _is_num(v) and v >= 0,
+         "a non-negative number")
+
+    config = doc.get("config")
+    if not isinstance(config, dict):
+        problems.append("config is not a dict")
+    else:
+        for key in _CONFIG_KEYS:
+            if key not in config:
+                problems.append(f"config missing {key!r}")
+
+    totals = doc.get("totals")
+    if not isinstance(totals, dict):
+        problems.append("totals is not a dict")
+    else:
+        for key in _TOTAL_KEYS:
+            need(totals, key,
+                 lambda v: isinstance(v, int) and not isinstance(v, bool)
+                 and v >= 0,
+                 "a non-negative int")
+        if not isinstance(totals.get("errors"), dict):
+            problems.append("totals.errors is not a dict")
+        if all(isinstance(totals.get(k), int) for k in _TOTAL_KEYS):
+            outcomes = (totals["sessions"] + totals["failed"]
+                        + totals["sheds"])
+            if outcomes + totals["abandoned"] > totals["scheduled"]:
+                problems.append(
+                    f"outcomes ({outcomes}) + abandoned "
+                    f"({totals['abandoned']}) exceed scheduled "
+                    f"({totals['scheduled']})"
+                )
+
+    rates = doc.get("rates")
+    if not isinstance(rates, dict):
+        problems.append("rates is not a dict")
+    else:
+        for key in _RATE_KEYS:
+            need(rates, key, lambda v: _is_num(v) and v >= 0,
+                 "a non-negative number")
+        for key in ("shed_rate", "error_rate"):
+            value = rates.get(key)
+            if _is_num(value) and value > 1.0:
+                problems.append(f"rates.{key} is a fraction; got {value}")
+
+    latency = doc.get("latency")
+    if not isinstance(latency, dict):
+        problems.append("latency is not a dict")
+    else:
+        for name, summary in latency.items():
+            if not isinstance(summary, dict):
+                problems.append(f"latency[{name!r}] is not a dict")
+                continue
+            for key in _SUMMARY_KEYS:
+                if key not in summary:
+                    problems.append(f"latency[{name!r}] missing {key!r}")
+
+    timeseries = doc.get("timeseries")
+    if not isinstance(timeseries, dict):
+        problems.append("timeseries is not a dict")
+    else:
+        if not _is_num(timeseries.get("interval_s")):
+            problems.append("timeseries.interval_s is not a number")
+        windows = timeseries.get("windows")
+        if not isinstance(windows, list):
+            problems.append("timeseries.windows is not a list")
+        else:
+            for pos, window in enumerate(windows):
+                if not isinstance(window, dict):
+                    problems.append(f"windows[{pos}] is not a dict")
+                    continue
+                for key in ("schema", "index", "duration_s", "deltas",
+                            "rates"):
+                    if key not in window:
+                        problems.append(f"windows[{pos}] missing {key!r}")
+
+    slo = doc.get("slo", "absent")
+    if slo == "absent":
+        problems.append("missing key 'slo' (use None when no objectives)")
+    elif slo is not None:
+        if not isinstance(slo, dict):
+            problems.append("slo is neither None nor a dict")
+        else:
+            for key in ("targets", "windows_graded", "windows_breached",
+                        "consecutive_breaches", "burning", "burn_rate"):
+                if key not in slo:
+                    problems.append(f"slo missing {key!r}")
+
+    if problems:
+        raise ValueError(
+            "invalid loadgen report:\n  - " + "\n  - ".join(problems)
+        )

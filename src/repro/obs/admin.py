@@ -1,17 +1,23 @@
-"""Live admin endpoint: ``/metrics``, ``/healthz``, ``/varz``.
+"""Live admin endpoint: ``/metrics``, ``/healthz``, ``/varz``, ``/timeseries``.
 
 ``repro serve --admin-port N`` binds a second, loopback-by-default
-HTTP listener next to the reconciliation port:
+HTTP listener next to the reconciliation port (the bind host is
+``--admin-host``, default ``127.0.0.1`` regardless of ``--host``):
 
 * ``GET /metrics`` — Prometheus text exposition (format 0.0.4):
   latency histograms with cumulative ``le`` buckets, session/byte
-  counters, and per-shard gauges, all under the ``repro_`` prefix;
+  counters, per-shard gauges, and — when SLO targets are configured —
+  the SLO burn gauges, all under the ``repro_`` prefix;
 * ``GET /healthz`` — liveness: 200 with a small JSON body while every
   shard can take sessions and storage is clean, 503 naming the sick
   shards while any worker is down/restarting or a storage backend
   reported a tail error (load-balancer / systemd-watchdog shaped);
 * ``GET /varz`` — the full :meth:`ServiceMetrics.snapshot` JSON, the
-  same document the stderr heartbeat prints.
+  same document the stderr heartbeat prints;
+* ``GET /timeseries`` — the sliding-window ring
+  (:class:`~repro.obs.metrics.WindowedMetrics`): recent per-interval
+  deltas, rates, and windowed latency summaries, so operators see
+  "now" instead of since-boot cumulative totals.
 
 The server is deliberately not a web framework: a ~hundred-line
 ``asyncio.start_server`` loop that answers GET, closes the
@@ -189,6 +195,26 @@ def prometheus_text(
                             {"shard": entry.get("shard", "?")},
                             cache.get("hit_rate", 0.0))
 
+    slo = snapshot.get("slo")
+    if slo:
+        scalar("slo_window_breach", "gauge",
+               "1 if the most recently graded window breached an SLO "
+               "target, else 0.",
+               1 if slo.get("burning") else 0)
+        scalar("slo_burn_rate", "gauge",
+               "Fraction of recently graded windows that breached an "
+               "SLO target.",
+               slo.get("burn_rate", 0.0))
+        scalar("slo_consecutive_breaches", "gauge",
+               "Closed windows breaching in a row (0 = healthy).",
+               slo.get("consecutive_breaches", 0))
+        scalar("slo_windows_breached_total", "counter",
+               "Graded windows that breached any SLO target.",
+               slo.get("windows_breached", 0))
+        scalar("slo_windows_graded_total", "counter",
+               "Windows graded against the configured SLO targets.",
+               slo.get("windows_graded", 0))
+
     admission = snapshot.get("admission") or {}
     adm_shards = admission.get("per_shard") or []
     if adm_shards:
@@ -215,10 +241,12 @@ class AdminServer:
         histograms: Callable[[], dict[str, LatencyHistogram]],
         host: str = "127.0.0.1",
         port: int = 0,
+        timeseries: Callable[[], dict] | None = None,
     ) -> None:
         self._varz = varz
         self._health = health
         self._histograms = histograms
+        self._timeseries = timeseries
         self.host = host
         self.port = port
         self._server: asyncio.AbstractServer | None = None
@@ -300,5 +328,10 @@ class AdminServer:
                 self._varz(), indent=1, default=repr
             ).encode("utf-8") + b"\n"
             return ("200 OK", "application/json", body)
+        if path == "/timeseries" and self._timeseries is not None:
+            body = json.dumps(
+                self._timeseries(), indent=1, default=repr
+            ).encode("utf-8") + b"\n"
+            return ("200 OK", "application/json", body)
         return ("404 Not Found", "text/plain",
-                b"try /metrics, /healthz or /varz\n")
+                b"try /metrics, /healthz, /varz or /timeseries\n")

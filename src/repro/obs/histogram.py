@@ -166,6 +166,48 @@ class LatencyHistogram:
         self.count += other.count
         self.sum += other.sum
 
+    def copy(self) -> LatencyHistogram:
+        """An independent snapshot of this histogram's current counts."""
+        out = LatencyHistogram()
+        out.merge(self)
+        return out
+
+    def delta(self, earlier: LatencyHistogram) -> LatencyHistogram:
+        """The window of events recorded since ``earlier`` was snapshot.
+
+        ``earlier`` must be a previous snapshot of the *same* cumulative
+        histogram (counts only ever grow), so per-bucket subtraction is
+        exact; a counter reset (self behind earlier, e.g. after a worker
+        restart dropped its registry) clamps to an all-zero window
+        rather than going negative.
+
+        ``min``/``max`` are not recoverable from cumulative extremes, so
+        the window's are approximated by the edges of its outermost
+        non-zero buckets (clamped into the cumulative observed range).
+        Quantiles interpolate within buckets anyway, so windowed
+        percentiles keep the grid's relative error bound.
+        """
+        out = LatencyHistogram()
+        if self.count <= earlier.count:
+            return out
+        lo_index = hi_index = -1
+        for index, n in enumerate(self.counts):
+            d = n - earlier.counts[index]
+            if d > 0:
+                out.counts[index] = d
+                out.count += d
+                if lo_index < 0:
+                    lo_index = index
+                hi_index = index
+        if out.count == 0:
+            return out
+        out.sum = max(0.0, self.sum - earlier.sum)
+        out.min = max(self.min, self._bucket_edges(lo_index)[0])
+        out.max = min(self.max, self._bucket_edges(hi_index)[1])
+        if out.max < out.min:      # single-bucket window edge case
+            out.max = out.min
+        return out
+
     def cumulative(
         self, bounds: tuple[float, ...]
     ) -> list[tuple[float, int]]:

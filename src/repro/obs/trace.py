@@ -62,12 +62,29 @@ def _new_id() -> int:
 
 
 class Tracer:
-    """Per-process span writer; inert unless given a directory."""
+    """Per-process span writer; inert unless given a directory.
 
-    def __init__(self, trace_dir: str | Path | None, role: str) -> None:
+    ``max_bytes`` caps the span file: when the current file grows past
+    it, the file rotates once (``trace-<role>-<pid>.jsonl`` is renamed
+    to ``trace-<role>-<pid>.1.jsonl``, replacing any previous rotation)
+    and writing restarts fresh — so a long-running load test keeps at
+    most ~2x ``max_bytes`` of the *newest* spans per process instead of
+    growing a JSONL file without bound.  The rotated name still matches
+    the ``trace-*.jsonl`` merge glob, so :func:`load_events` sees both
+    generations.
+    """
+
+    def __init__(
+        self,
+        trace_dir: str | Path | None,
+        role: str,
+        max_bytes: int | None = None,
+    ) -> None:
         self.trace_dir = Path(trace_dir) if trace_dir else None
         self.role = role
+        self.max_bytes = max_bytes if max_bytes and max_bytes > 0 else None
         self._file: IO[str] | None = None
+        self._written = 0
 
     @property
     def enabled(self) -> bool:
@@ -151,13 +168,34 @@ class Tracer:
         }
         if self._file is None:
             self.trace_dir.mkdir(parents=True, exist_ok=True)
-            path = self.trace_dir / (
-                f"trace-{self.role}-{os.getpid()}.jsonl"
-            )
+            path = self._path()
             # line-buffered append: each span is one flushed JSON line,
             # so a crashed process loses at most a partial final line
             self._file = open(path, "a", buffering=1, encoding="utf-8")
-        self._file.write(json.dumps(event, separators=(",", ":")) + "\n")
+            self._written = path.stat().st_size
+        line = json.dumps(event, separators=(",", ":")) + "\n"
+        self._file.write(line)
+        self._written += len(line)
+        if self.max_bytes is not None and self._written >= self.max_bytes:
+            self._rotate()
+
+    def _path(self) -> Path:
+        return self.trace_dir / f"trace-{self.role}-{os.getpid()}.jsonl"
+
+    def _rotate(self) -> None:
+        """One-deep rotation: current file becomes ``.1``, writing
+        restarts fresh; a previous ``.1`` (older spans) is replaced."""
+        self._file.close()
+        self._file = None
+        self._written = 0
+        path = self._path()
+        rotated = path.with_name(
+            f"trace-{self.role}-{os.getpid()}.1.jsonl"
+        )
+        try:
+            os.replace(path, rotated)
+        except OSError:
+            pass   # rotation is best-effort; worst case the file regrows
 
     def close(self) -> None:
         if self._file is not None:
@@ -170,12 +208,18 @@ _TRACER = Tracer(None, "main")
 
 
 def configure_tracing(
-    trace_dir: str | Path | None, role: str = "main"
+    trace_dir: str | Path | None,
+    role: str = "main",
+    max_bytes: int | None = None,
 ) -> Tracer:
-    """(Re)configure this process's tracer; None disables tracing."""
+    """(Re)configure this process's tracer; None disables tracing.
+
+    ``max_bytes`` caps the span file with one-deep rotation (see
+    :class:`Tracer`); None keeps the file unbounded.
+    """
     global _TRACER
     _TRACER.close()
-    _TRACER = Tracer(trace_dir, role)
+    _TRACER = Tracer(trace_dir, role, max_bytes=max_bytes)
     return _TRACER
 
 

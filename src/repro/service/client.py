@@ -92,6 +92,7 @@ class ClientConnection:
         log_u: int = 32,
         bidirectional: bool = True,
         batch: bool = True,
+        connect_timeout: float | None = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -102,6 +103,10 @@ class ClientConnection:
         self.log_u = log_u
         self.bidirectional = bidirectional
         self.batch = batch
+        #: dial + HELLO/WELCOME deadline in seconds (None = no deadline);
+        #: open-loop drivers set this so a stalled server surfaces as a
+        #: counted TimeoutError instead of a silently parked session
+        self.connect_timeout = connect_timeout
         self.welcome: Welcome | None = None
         self.passes = 0
         self._stream: FramedStream | None = None
@@ -124,7 +129,15 @@ class ClientConnection:
         self.trace = tracer().mint()
         self._session_ts = time.time()
         self._session_start = time.perf_counter()
-        reader, writer = await asyncio.open_connection(self.host, self.port)
+        if self.connect_timeout is not None:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port),
+                timeout=self.connect_timeout,
+            )
+        else:
+            reader, writer = await asyncio.open_connection(
+                self.host, self.port
+            )
         stream = FramedStream(reader, writer, FramedChannel(), role="alice")
         try:
             await stream.send(

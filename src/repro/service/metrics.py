@@ -34,7 +34,9 @@ SESSION_HISTORY = 64
 #: (the ``/varz`` endpoint, bench harnesses, dashboards) key on this to
 #: detect shape changes; bump it whenever a top-level key is added,
 #: removed or renamed, and update the pinning regression test.
-SNAPSHOT_SCHEMA = 2
+#: v3: optional ``timeseries`` (windowed metrics ring) and ``slo``
+#: (objective burn state) blocks.
+SNAPSHOT_SCHEMA = 3
 
 
 def merged_histograms(cluster_stats: dict | None = None) -> dict:
@@ -233,6 +235,8 @@ class ServiceMetrics:
         store_stats: dict | None = None,
         admission_stats: dict | None = None,
         cluster_stats: dict | None = None,
+        window_stats: dict | None = None,
+        slo_stats: dict | None = None,
     ) -> dict:
         out = {
             "schema": SNAPSHOT_SCHEMA,
@@ -276,6 +280,10 @@ class ServiceMetrics:
             out["admission"] = admission_stats
         if cluster_stats is not None:
             out["cluster"] = cluster_stats
+        if window_stats is not None:
+            out["timeseries"] = window_stats
+        if slo_stats is not None:
+            out["slo"] = slo_stats
         return out
 
     def to_json(
@@ -283,9 +291,17 @@ class ServiceMetrics:
         store_stats: dict | None = None,
         admission_stats: dict | None = None,
         cluster_stats: dict | None = None,
+        window_stats: dict | None = None,
+        slo_stats: dict | None = None,
         indent: int = 2,
     ) -> str:
         return json.dumps(
-            self.snapshot(store_stats, admission_stats, cluster_stats),
+            self.snapshot(
+                store_stats,
+                admission_stats,
+                cluster_stats,
+                window_stats,
+                slo_stats,
+            ),
             indent=indent,
         )

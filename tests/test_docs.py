@@ -32,4 +32,4 @@ def test_check_docs_passes():
     )
     assert proc.returncode == 0, f"{proc.stdout}\n{proc.stderr}"
     # the checker really exercised something, not vacuously passed
-    assert "4 CLI modes exercised" in proc.stdout, proc.stdout
+    assert "5 CLI modes exercised" in proc.stdout, proc.stdout

@@ -43,7 +43,10 @@ from repro.obs.metrics import (
     DECODE_BATCH,
     SESSION_DURATION,
     STORAGE_COMMIT,
+    WINDOW_SCHEMA,
     MetricsRegistry,
+    SloTracker,
+    WindowedMetrics,
 )
 from repro.obs.trace import (
     TraceContext,
@@ -325,7 +328,7 @@ class TestTracer:
 # -- snapshot schema -----------------------------------------------------------
 
 class TestSnapshotSchema:
-    #: The pinned top-level key set of snapshot schema 2.  If this test
+    #: The pinned top-level key set of snapshot schema 3.  If this test
     #: fails, you changed the snapshot shape: bump SNAPSHOT_SCHEMA and
     #: update this pin (and docs/operations.md) in the same change.
     ALWAYS = {
@@ -336,7 +339,7 @@ class TestSnapshotSchema:
     }
     OPTIONAL = {
         "resizes", "sets_moved", "coalescer", "sets", "admission",
-        "cluster",
+        "cluster", "timeseries", "slo",
     }
 
     def test_schema_and_key_set_pinned(self):
@@ -346,13 +349,16 @@ class TestSnapshotSchema:
         session.success = True
         metrics.close_session(session)
         snap = metrics.snapshot()
-        assert snap["schema"] == SNAPSHOT_SCHEMA == 2
+        assert snap["schema"] == SNAPSHOT_SCHEMA == 3
         assert set(snap) == self.ALWAYS
         full = metrics.snapshot(
             store_stats={}, admission_stats={},
             cluster_stats={"per_shard": []},
+            window_stats={"windows": []}, slo_stats={"burning": False},
         )
-        assert set(full) == self.ALWAYS | {"sets", "admission", "cluster"}
+        assert set(full) == self.ALWAYS | {
+            "sets", "admission", "cluster", "timeseries", "slo",
+        }
         assert set(full) <= self.ALWAYS | self.OPTIONAL
         json.dumps(full)        # the whole document stays JSON-able
 
@@ -445,6 +451,226 @@ class TestAdminServer:
         assert counts == sorted(counts)             # cumulative
         assert counts[-1] == 5.0                    # le="+Inf" == count
         assert len(counts) == len(PROMETHEUS_BOUNDS) + 1
+
+
+# -- windowed metrics ----------------------------------------------------------
+
+class TestHistogramDelta:
+    def test_delta_isolates_samples_since_snapshot(self):
+        hist = LatencyHistogram()
+        hist.record(0.001)
+        hist.record(0.002)
+        earlier = hist.copy()
+        hist.record(0.5)
+        hist.record(0.6)
+        window = hist.delta(earlier)
+        assert window.count == 2
+        assert window.sum == pytest.approx(1.1)
+        # the old millisecond samples must not drag the window's p50 down
+        assert window.percentile(0.50) == pytest.approx(0.5, rel=0.13)
+        assert 0.4 <= window.min <= window.max <= 0.7
+
+    def test_copy_is_independent(self):
+        hist = LatencyHistogram()
+        hist.record(0.01)
+        snap = hist.copy()
+        hist.record(0.02)
+        assert snap.count == 1 and hist.count == 2
+
+    def test_counter_reset_clamps_to_empty_window(self):
+        """A worker restart hands us a cumulative histogram *behind* the
+        snapshot; the delta must be empty, never negative."""
+        earlier = LatencyHistogram()
+        for _ in range(5):
+            earlier.record(0.01)
+        fresh = LatencyHistogram()
+        fresh.record(0.01)
+        window = fresh.delta(earlier)
+        assert window.count == 0
+        assert sum(window.counts) == 0
+
+    def test_no_new_samples_is_empty(self):
+        hist = LatencyHistogram()
+        hist.record(0.01)
+        assert hist.delta(hist.copy()).count == 0
+
+
+class TestWindowedMetrics:
+    def test_first_tick_baselines_then_deltas(self):
+        wm = WindowedMetrics(interval_s=5.0)
+        hist = LatencyHistogram()
+        hist.record(0.010)
+        assert wm.tick({"sessions": 10}, {"lat": hist},
+                       now_unix=1000.0, now_mono=50.0) is None
+        hist.record(0.030)
+        window = wm.tick({"sessions": 16}, {"lat": hist},
+                         now_unix=1005.0, now_mono=55.0)
+        assert window["schema"] == WINDOW_SCHEMA
+        assert window["deltas"]["sessions"] == 6.0
+        assert window["rates"]["sessions_per_s"] == pytest.approx(1.2)
+        assert window["duration_s"] == pytest.approx(5.0)
+        # only the sample recorded inside the window
+        assert window["latency"]["lat"]["count"] == 1
+        assert window["latency"]["lat"]["p50_s"] == \
+            pytest.approx(0.030, rel=0.13)
+        assert wm.latest() is window
+
+    def test_counter_reset_clamps_to_zero(self):
+        wm = WindowedMetrics()
+        wm.tick({"sessions": 100}, now_unix=0.0, now_mono=0.0)
+        window = wm.tick({"sessions": 5}, now_unix=5.0, now_mono=5.0)
+        assert window["deltas"]["sessions"] == 0.0
+
+    def test_ring_is_bounded_and_timeseries_shaped(self):
+        wm = WindowedMetrics(interval_s=1.0, capacity=4)
+        for i in range(10):
+            wm.tick({"n": i}, now_unix=float(i), now_mono=float(i))
+        windows = wm.windows()
+        assert len(windows) == 4                    # 9 closed, 4 kept
+        assert windows[-1]["index"] == 9
+        assert [w["index"] for w in windows] == [6, 7, 8, 9]
+        doc = wm.timeseries()
+        assert doc["schema"] == WINDOW_SCHEMA
+        assert doc["interval_s"] == 1.0
+        assert doc["windows"] == windows
+        json.dumps(doc)
+
+    def test_zero_duration_tick_is_dropped(self):
+        wm = WindowedMetrics()
+        wm.tick({"n": 1}, now_unix=0.0, now_mono=10.0)
+        assert wm.tick({"n": 2}, now_unix=0.0, now_mono=10.0) is None
+
+
+class TestSloTracker:
+    def _window(self, p99_s=None, sessions=0, failed=0, sheds=0):
+        latency = {}
+        if p99_s is not None:
+            latency[SESSION_DURATION] = {"count": 1, "p99_s": p99_s}
+        return {
+            "deltas": {
+                "sessions": float(sessions),
+                "failed": float(failed),
+                "sheds": float(sheds),
+            },
+            "latency": latency,
+        }
+
+    def test_disabled_without_targets(self):
+        assert not SloTracker().enabled
+        assert SloTracker(p99_ms=100.0).enabled
+        assert SloTracker(shed_rate=0.01).enabled
+
+    def test_p99_breach_and_recovery(self):
+        slo = SloTracker(p99_ms=100.0)
+        bad = slo.grade(self._window(p99_s=0.250, sessions=10))
+        assert not bad["ok"] and bad["breaches"] == ["p99"]
+        assert slo.consecutive_breaches == 1
+        good = slo.grade(self._window(p99_s=0.050, sessions=10))
+        assert good["ok"]
+        state = slo.state()
+        assert state["consecutive_breaches"] == 0
+        assert state["windows_breached"] == 1
+        assert state["windows_graded"] == 2
+        assert state["burn_rate"] == pytest.approx(0.5)
+        assert not state["burning"]
+
+    def test_shed_rate_breach(self):
+        slo = SloTracker(shed_rate=0.01)
+        block = slo.grade(self._window(sessions=90, sheds=10))
+        assert block["breaches"] == ["shed_rate"]
+        assert block["shed_rate"] == pytest.approx(0.1)
+        assert slo.state()["burning"]
+
+    def test_idle_window_does_not_breach_shed_rate(self):
+        slo = SloTracker(shed_rate=0.01)
+        assert slo.grade(self._window())["ok"]
+
+    def test_grade_annotates_window(self):
+        slo = SloTracker(p99_ms=100.0)
+        window = self._window(p99_s=0.2, sessions=1)
+        slo.grade(window)
+        assert window["slo"]["breaches"] == ["p99"]
+
+
+class TestTimeseriesEndpoint:
+    def test_timeseries_served_and_404_without(self):
+        wm = WindowedMetrics(interval_s=1.0)
+        wm.tick({"n": 0}, now_unix=0.0, now_mono=0.0)
+        wm.tick({"n": 3}, now_unix=1.0, now_mono=1.0)
+
+        async def run():
+            async with AdminServer(
+                varz=lambda: {"schema": SNAPSHOT_SCHEMA},
+                health=lambda: (True, {"status": "ok"}),
+                histograms=dict,
+                timeseries=wm.timeseries,
+                port=0,
+            ) as admin:
+                status, body = await _http_get(admin.port, "/timeseries")
+                assert status == "HTTP/1.1 200 OK"
+                doc = json.loads(body)
+                assert doc["interval_s"] == 1.0
+                assert len(doc["windows"]) == 1
+                assert doc["windows"][0]["deltas"]["n"] == 3.0
+            async with AdminServer(
+                varz=lambda: {"schema": SNAPSHOT_SCHEMA},
+                health=lambda: (True, {"status": "ok"}),
+                histograms=dict,
+                port=0,
+            ) as admin:
+                status, _ = await _http_get(admin.port, "/timeseries")
+                assert status == "HTTP/1.1 404 Not Found"
+
+        asyncio.run(run())
+
+    def test_slo_gauges_in_prometheus_text(self):
+        snapshot = {
+            "sessions": {},
+            "slo": {
+                "burning": True,
+                "burn_rate": 0.25,
+                "consecutive_breaches": 2,
+                "windows_breached": 3,
+                "windows_graded": 12,
+            },
+        }
+        text = prometheus_text(snapshot, {})
+        assert "repro_slo_window_breach 1" in text
+        assert "repro_slo_burn_rate 0.25" in text
+        assert "repro_slo_consecutive_breaches 2" in text
+        assert "repro_slo_windows_breached_total 3" in text
+        assert "repro_slo_windows_graded_total 12" in text
+        # no objectives -> no slo series at all
+        assert "repro_slo" not in prometheus_text({"sessions": {}}, {})
+
+
+class TestTraceRotation:
+    def test_rotation_caps_growth_and_merge_sees_both(self, tmp_path):
+        trc = Tracer(tmp_path, "rot", max_bytes=2000)
+        ctx = trc.mint()
+        for i in range(100):
+            trc.emit(f"span-{i:03d}", ctx, None, 0.0, 0.001)
+        trc.close()
+        files = sorted(p.name for p in tmp_path.glob("trace-*.jsonl"))
+        assert len(files) == 2                     # live + one rotation
+        assert any(".1.jsonl" in name for name in files)
+        for path in tmp_path.glob("trace-*.jsonl"):
+            # each generation stays near the cap (one span of overshoot)
+            assert path.stat().st_size <= 2000 + 500
+        events = load_events(tmp_path)
+        names = {e["name"] for e in events}
+        # the newest spans always survive; older ones may rotate away
+        assert "span-099" in names
+        assert len(events) >= 2
+
+    def test_unbounded_without_max_bytes(self, tmp_path):
+        trc = Tracer(tmp_path, "nocap")
+        ctx = trc.mint()
+        for i in range(200):
+            trc.emit("s", ctx, None, 0.0, 0.001)
+        trc.close()
+        assert len(list(tmp_path.glob("trace-*.jsonl"))) == 1
+        assert len(load_events(tmp_path)) == 200
 
 
 # -- structured logging --------------------------------------------------------
