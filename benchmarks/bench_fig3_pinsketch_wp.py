@@ -9,5 +9,5 @@ def test_fig3_pbs_vs_pinsketch_wp(run_driver):
     for row in table.rows:
         by_d.setdefault(row["d"], {})[row["algorithm"]] = row
     # PBS must transmit less at every d — the §8.3 symbol-width argument.
-    for d, rows in by_d.items():
+    for _d, rows in by_d.items():
         assert rows["pbs"]["kb"] < rows["pinsketch/wp"]["kb"]

@@ -39,6 +39,7 @@ PARSERS = {
     "sync": cli.build_sync_parser,
     "rebalance": cli.build_rebalance_parser,
     "loadgen": cli.build_loadgen_parser,
+    "check": cli.build_check_parser,
 }
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")

@@ -62,7 +62,9 @@ def load_signatures(path: Path) -> set[int]:
         try:
             value = int(line, 16 if line.lower().startswith("0x") else 10)
         except ValueError:
-            raise SystemExit(f"{path}:{line_no}: not a signature: {line!r}")
+            raise SystemExit(
+                f"{path}:{line_no}: not a signature: {line!r}"
+            ) from None
         if not 1 <= value < (1 << 32):
             raise SystemExit(
                 f"{path}:{line_no}: {value} outside the nonzero 32-bit "
@@ -438,6 +440,21 @@ def build_loadgen_parser() -> argparse.ArgumentParser:
 def _trace_max_bytes(max_mb: float | None) -> int | None:
     """``--trace-max-mb`` to bytes for :func:`configure_tracing`."""
     return int(max_mb * 1024 * 1024) if max_mb else None
+
+
+def build_check_parser() -> argparse.ArgumentParser:
+    from repro.devtools.check import build_parser as build
+
+    return build()
+
+
+def cmd_check(argv: list[str]) -> int:
+    """Static-analysis gate: ``repro check`` = ``python -m
+    repro.devtools.check`` (exit 0 clean, 1 new findings, 2 tool
+    error)."""
+    from repro.devtools.check import main as check_main
+
+    return check_main(argv)
 
 
 def cmd_rebalance(argv: list[str]) -> int:
@@ -858,6 +875,9 @@ def cmd_sync(argv: list[str]) -> int:
                 all_ok = all_ok and result.success
                 if args.write and result.success:
                     union = sorted(values | result.difference)
+                    # repro: ignore[blocking-call-in-async] -- one-shot
+                    # CLI: this coroutine is the only work on the loop,
+                    # so the inline file write stalls nobody
                     args.file.write_text("".join(f"{v}\n" for v in union))
                 _print_result(
                     result, scheme="service", json_out=args.json,
@@ -995,6 +1015,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_rebalance(argv[1:])
     if argv and argv[0] == "loadgen":
         return cmd_loadgen(argv[1:])
+    if argv and argv[0] == "check":
+        return cmd_check(argv[1:])
 
     args = build_parser().parse_args(argv)
     if args.selftest:

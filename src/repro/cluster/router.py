@@ -589,6 +589,9 @@ class ClusterStore:
                             target_shard, name, values, version
                         )
                     else:
+                        # repro: ignore[blocking-call-in-async] -- live
+                        # resize redistributes in memory on drained
+                        # shards; no storage hook is attached here
                         target_shard.store.create(
                             name, values, version=version
                         )

@@ -296,26 +296,41 @@ async def _mutate(store: SetStore, storage: StorageBackend | None,
         name, add, remove = args
         if not offload:
             # memory-only, or the store's persistence hook commits inline
+            # repro: ignore[blocking-call-in-async] -- same-thread
+            # backend contract: sqlite connections are thread-bound, so
+            # the single-transaction commit runs inline by design
             return store.apply_diff(name, add=add, remove=remove)
         if name not in store:
             # raise the store's own error *before* the durable write
+            # repro: ignore[blocking-call-in-async] -- no persistence
+            # hook fires here: the call only raises UnknownSetError
             store.apply_diff(name)
         if len(add) or len(remove):
             await loop.run_in_executor(
                 None, storage.record_diff, name, add, remove
             )
+            # repro: ignore[blocking-call-in-async] -- persisted=True:
+            # the durable write already ran in the executor above; this
+            # is the in-memory apply only
             return store.apply_diff(
                 name, add=add, remove=remove, persisted=True
             )
+        # repro: ignore[blocking-call-in-async] -- empty diff: the
+        # persistence hook only fires for non-empty diffs, so this is
+        # a pure in-memory reconcile-counter bump
         return store.apply_diff(name, add=add, remove=remove)
     if op in ("create", "restore"):
         name, values, version = args
         if not offload:
+            # repro: ignore[blocking-call-in-async] -- same-thread
+            # backend contract: inline commit (see apply above)
             store.create(name, values, version=version)
             return None
         await loop.run_in_executor(
             None, storage.record_create, name, values, version
         )
+        # repro: ignore[blocking-call-in-async] -- persisted=True: the
+        # durable write already ran in the executor above
         store.create(name, values, version=version, persisted=True)
         return None
     if op == "sync":

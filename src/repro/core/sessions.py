@@ -494,7 +494,9 @@ class BobSession:
             try:
                 keep = next(mask)
             except StopIteration:
-                raise SerializationError("continuation mask shorter than pending list")
+                raise SerializationError(
+                    "continuation mask shorter than pending list"
+                ) from None
             if keep:
                 next_pending.append(unit)
         self.pending = next_pending

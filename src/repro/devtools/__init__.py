@@ -1,0 +1,29 @@
+"""Project-specific static analysis for the repro codebase.
+
+The architecture documented in ``docs/architecture.md`` carries
+invariants that plain linters cannot see: mutations must be durable
+before they are acknowledged, durations must come from monotonic
+clocks, RNG must be seeded through :mod:`repro.utils.seeds`, every
+wire-frame type must be dispatched somewhere, pinned schema versions
+must stay in lock-step with their tests and docs.  This package turns
+each of those review-checklist items into an AST checker that runs in
+CI (``python -m repro.devtools.check src`` or ``repro check``).
+
+Layout:
+
+* :mod:`repro.devtools.findings` — the :class:`Finding` record and its
+  line-drift-stable fingerprint.
+* :mod:`repro.devtools.source` — parsed source files, the project
+  view, and ``# repro: ignore[...]`` pragma handling.
+* :mod:`repro.devtools.baseline` — the committed burn-down baseline.
+* :mod:`repro.devtools.checkers` — the checker registry.
+* :mod:`repro.devtools.check` — the CLI entry point and exit codes.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.baseline import Baseline
+from repro.devtools.findings import Finding
+from repro.devtools.source import Project, SourceFile
+
+__all__ = ["Baseline", "Finding", "Project", "SourceFile"]

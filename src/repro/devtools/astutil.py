@@ -1,0 +1,88 @@
+"""Small AST helpers shared by the checkers."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, ``None`` for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    """Dotted name of a call's callee, when statically resolvable."""
+    return dotted_name(node.func)
+
+
+def last_segment(name: str | None) -> str:
+    return name.rsplit(".", 1)[-1] if name else ""
+
+
+def scopes(tree: ast.Module) -> Iterator[ast.Module | ast.FunctionDef |
+                                         ast.AsyncFunctionDef]:
+    """The module plus every (async) function definition in it."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def scope_body(
+    scope: ast.Module | ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.AST]:
+    """Every node owned by ``scope`` itself, not by a nested function
+    (nested defs open their own scope and are visited separately)."""
+    pending: list[ast.AST] = list(scope.body)
+    while pending:
+        node = pending.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue   # a nested def owns its own body
+        for child in ast.iter_child_nodes(node):
+            pending.append(child)
+
+
+def enum_members(classdef: ast.ClassDef) -> dict[str, int]:
+    """``NAME -> line`` for the simple member assignments of an enum."""
+    members: dict[str, int] = {}
+    for stmt in classdef.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+        ):
+            members[stmt.targets[0].id] = stmt.lineno
+    return members
+
+
+def find_class(tree: ast.Module, name: str) -> ast.ClassDef | None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def module_int_assign(tree: ast.Module, name: str) -> tuple[int, int] | None:
+    """``(value, line)`` of a module-level ``NAME = <int literal>``."""
+    for stmt in tree.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and stmt.targets[0].id == name
+            and isinstance(stmt.value, ast.Constant)
+            and isinstance(stmt.value.value, int)
+        ):
+            return stmt.value.value, stmt.lineno
+    return None

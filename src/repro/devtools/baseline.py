@@ -1,0 +1,91 @@
+"""The committed burn-down baseline.
+
+The baseline lets the gate land green on a codebase with known,
+deliberately deferred findings: CI fails only on findings whose
+fingerprint is *not* in the committed file, and the file is expected
+to shrink over subsequent PRs (regenerate with ``--write-baseline``
+after fixing entries; never to add new ones).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.devtools.findings import Finding
+
+BASELINE_SCHEMA = 1
+
+
+class BaselineError(Exception):
+    """The baseline file exists but cannot be used (corrupt/unknown)."""
+
+
+@dataclass
+class Baseline:
+    """A set of accepted finding fingerprints, with context for humans."""
+
+    fingerprints: set[str] = field(default_factory=set)
+    #: fingerprint -> {"checker", "path", "message"} (informational)
+    entries: dict[str, dict[str, str]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise BaselineError(
+                f"baseline {path} is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(doc, dict) or doc.get("schema") != BASELINE_SCHEMA:
+            raise BaselineError(
+                f"baseline {path} has schema {doc.get('schema')!r}, "
+                f"expected {BASELINE_SCHEMA}"
+            )
+        findings = doc.get("findings")
+        if not isinstance(findings, list):
+            raise BaselineError(f"baseline {path} has no findings list")
+        baseline = cls()
+        for entry in findings:
+            if not isinstance(entry, dict) or "fingerprint" not in entry:
+                raise BaselineError(
+                    f"baseline {path} entry without fingerprint: {entry!r}"
+                )
+            fingerprint = str(entry["fingerprint"])
+            baseline.fingerprints.add(fingerprint)
+            baseline.entries[fingerprint] = {
+                "checker": str(entry.get("checker", "")),
+                "path": str(entry.get("path", "")),
+                "message": str(entry.get("message", "")),
+            }
+        return baseline
+
+    def apply(self, findings: list[Finding]) -> None:
+        """Mark findings already accepted by this baseline."""
+        for finding in findings:
+            finding.baselined = finding.fingerprint in self.fingerprints
+
+    def stale(self, findings: list[Finding]) -> list[str]:
+        """Baseline fingerprints no current finding matches — fixed
+        violations whose entries should be burned down."""
+        current = {f.fingerprint for f in findings}
+        return sorted(self.fingerprints - current)
+
+    @staticmethod
+    def write(path: Path, findings: list[Finding]) -> int:
+        """Write ``findings`` as the new baseline; returns the count."""
+        entries = [
+            {
+                "fingerprint": f.fingerprint,
+                "checker": f.checker,
+                "path": f.path,
+                "message": f.message,
+            }
+            for f in sorted(findings, key=Finding.sort_key)
+        ]
+        doc = {"schema": BASELINE_SCHEMA, "findings": entries}
+        path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+        return len(entries)

@@ -1,0 +1,303 @@
+"""CLI entry point: ``python -m repro.devtools.check`` / ``repro check``.
+
+Exit codes are part of the contract (CI and scripts distinguish tool
+failure from findings):
+
+* ``0`` — clean: no findings outside the committed baseline;
+* ``1`` — at least one *new* finding (or ``--write-baseline`` had
+  nothing to do but findings exist — never happens in practice);
+* ``2`` — the tool itself failed: bad arguments, unreadable/corrupt
+  baseline, internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import traceback
+from pathlib import Path
+from typing import Any, TextIO
+
+from repro.devtools.baseline import Baseline, BaselineError
+from repro.devtools.checkers import Checker, all_checkers
+from repro.devtools.findings import Finding, assign_fingerprints
+from repro.devtools.source import (
+    FRAMEWORK_CHECKERS,
+    Project,
+    SourceFile,
+    find_root,
+)
+
+#: JSON report shape version.
+REPORT_SCHEMA_VERSION = 1
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+DEFAULT_BASELINE = "devtools-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description="Project-specific static analysis: async-safety, "
+                    "durability, and determinism invariant checkers.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directories to check (default: src/ under the "
+             "project root)",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=None,
+        help="project root (default: nearest ancestor of the first "
+             "path containing pyproject.toml)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="json_out",
+        help="print the JSON findings report to stdout instead of text",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None, metavar="FILE",
+        help="also write the JSON findings report to FILE",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None, metavar="FILE",
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE} when "
+             f"it exists)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline: every finding is a failure",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="IDS",
+        help="comma-separated checker ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--show-baselined", action="store_true",
+        help="also print findings the baseline already accepts",
+    )
+    parser.add_argument(
+        "--list-checkers", action="store_true",
+        help="list the registered checkers and exit",
+    )
+    return parser
+
+
+def run_checkers(
+    project: Project, checkers: list[Checker]
+) -> list[Finding]:
+    """All findings over the project: framework findings (parse errors,
+    malformed pragmas), per-file checkers, cross-file checkers."""
+    findings: list[Finding] = []
+    for src in project.files:
+        if src.parse_error is not None:
+            findings.append(Finding(
+                checker="parse-error", path=src.rel, line=1, col=0,
+                message=src.parse_error,
+            ))
+    for checker in checkers:
+        findings.extend(checker.check_project(project))
+        for src in project.files:
+            if src.tree is not None:
+                findings.extend(checker.check_file(src))
+
+    # pragma suppression (bad pragmas are findings themselves and are
+    # never suppressible — a pragma must not vouch for itself)
+    kept: list[Finding] = []
+    for finding in findings:
+        src = project.file(finding.path)
+        if (
+            src is not None
+            and finding.checker not in FRAMEWORK_CHECKERS
+            and src.suppressed(finding.checker, finding.line) is not None
+        ):
+            continue
+        kept.append(finding)
+    for src in _pragma_sources(project, kept):
+        for line, message in src.bad_pragmas:
+            kept.append(Finding(
+                checker="bad-pragma", path=src.rel, line=line, col=0,
+                message=message,
+                hint="syntax: # repro: ignore[checker-id] -- justification",
+            ))
+
+    line_text = {
+        (f.path, f.line): _line_text(project, f.path, f.line) for f in kept
+    }
+    assign_fingerprints(kept, line_text)
+    return sorted(kept, key=Finding.sort_key)
+
+
+def _pragma_sources(
+    project: Project, findings: list[Finding]
+) -> list[SourceFile]:
+    """Files whose pragmas were consulted this run: the scanned set plus
+    any cross-file targets findings point into."""
+    by_rel: dict[str, SourceFile] = {src.rel: src for src in project.files}
+    for finding in findings:
+        src = project.file(finding.path)
+        if src is not None:
+            by_rel.setdefault(src.rel, src)
+    return list(by_rel.values())
+
+
+def _line_text(project: Project, rel: str, line: int) -> str:
+    src = project.file(rel)
+    return src.line_text(line) if src is not None else ""
+
+
+def report_doc(
+    findings: list[Finding], checkers: list[Checker], root: Path,
+    paths: list[str], suppressed_stale: list[str],
+) -> dict[str, Any]:
+    new = [f for f in findings if not f.baselined]
+    return {
+        "schema": REPORT_SCHEMA_VERSION,
+        "root": str(root),
+        "paths": paths,
+        "checkers": [c.id for c in checkers],
+        "findings": [f.to_dict() for f in findings],
+        "stale_baseline": suppressed_stale,
+        "summary": {
+            "total": len(findings),
+            "new": len(new),
+            "baselined": len(findings) - len(new),
+            "by_checker": _by_checker(findings),
+        },
+    }
+
+
+def _by_checker(findings: list[Finding]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.checker] = counts.get(finding.checker, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def run(argv: list[str], out: TextIO, err: TextIO) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    checkers = all_checkers()
+
+    if args.list_checkers:
+        for checker in checkers:
+            print(f"{checker.id:24s} {checker.description}", file=out)
+        print("bad-pragma               malformed/unjustified repro "
+              "pragma (framework)", file=out)
+        print("parse-error              file cannot be parsed "
+              "(framework)", file=out)
+        return EXIT_CLEAN
+
+    known = {checker.id for checker in checkers}
+    if args.select is not None:
+        selected = {part.strip() for part in args.select.split(",")
+                    if part.strip()}
+        unknown = sorted(selected - known)
+        if unknown:
+            print(
+                f"error: unknown checker id(s): {', '.join(unknown)} "
+                f"(see --list-checkers)", file=err,
+            )
+            return EXIT_ERROR
+        checkers = [c for c in checkers if c.id in selected]
+
+    raw_paths = [Path(p) for p in (args.paths or [])]
+    root = args.root
+    if root is None:
+        probe = raw_paths[0] if raw_paths else Path.cwd()
+        root = find_root(probe if probe.exists() else Path.cwd())
+    root = root.resolve()
+    if not raw_paths:
+        raw_paths = [root / "src"]
+    for path in raw_paths:
+        if not path.exists():
+            print(f"error: no such path: {path}", file=err)
+            return EXIT_ERROR
+
+    known_ids = frozenset(known) | frozenset(FRAMEWORK_CHECKERS)
+    project = Project(root, raw_paths, known_ids)
+    if not project.files:
+        print(f"error: no python files under {', '.join(map(str, raw_paths))}",
+              file=err)
+        return EXIT_ERROR
+
+    findings = run_checkers(project, checkers)
+
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_baseline:
+        default = root / DEFAULT_BASELINE
+        baseline_path = default if default.exists() else None
+    if args.write_baseline:
+        target = args.baseline or (root / DEFAULT_BASELINE)
+        count = Baseline.write(target, findings)
+        print(f"wrote {count} finding(s) to {target}", file=out)
+        return EXIT_CLEAN
+
+    stale: list[str] = []
+    if baseline_path is not None and not args.no_baseline:
+        baseline = Baseline.load(baseline_path)   # BaselineError -> exit 2
+        baseline.apply(findings)
+        stale = baseline.stale(findings)
+
+    doc = report_doc(
+        findings, checkers, root,
+        [str(p) for p in raw_paths], stale,
+    )
+    if args.output is not None:
+        args.output.write_text(
+            json.dumps(doc, indent=2) + "\n", encoding="utf-8"
+        )
+    if args.json_out:
+        json.dump(doc, out, indent=2)
+        out.write("\n")
+    else:
+        shown = 0
+        for finding in findings:
+            if finding.baselined and not args.show_baselined:
+                continue
+            marker = "  (baselined)" if finding.baselined else ""
+            print(finding.format() + marker, file=out)
+            shown += 1
+        summary = doc["summary"]
+        print(
+            f"{summary['total']} finding(s): {summary['new']} new, "
+            f"{summary['baselined']} baselined; "
+            f"{len(checkers)} checker(s) over {len(project.files)} "
+            f"file(s)", file=out,
+        )
+        if stale:
+            print(
+                f"note: {len(stale)} stale baseline entr"
+                f"{'y' if len(stale) == 1 else 'ies'} (fixed findings) — "
+                f"regenerate with --write-baseline", file=out,
+            )
+    return EXIT_FINDINGS if doc["summary"]["new"] else EXIT_CLEAN
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    try:
+        return run(argv, sys.stdout, sys.stderr)
+    except SystemExit as exc:          # argparse --help / usage errors
+        code = exc.code
+        if code is None:
+            return EXIT_CLEAN
+        return code if isinstance(code, int) else EXIT_ERROR
+    except BaselineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    except Exception:
+        traceback.print_exc(file=sys.stderr)
+        return EXIT_ERROR
+
+
+if __name__ == "__main__":
+    sys.exit(main())

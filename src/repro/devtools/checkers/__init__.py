@@ -1,0 +1,66 @@
+"""Checker base class and registry.
+
+A checker either inspects one file at a time (:meth:`Checker.check_file`)
+or the whole project (:meth:`Checker.check_project`) when its invariant
+spans files — frame-type exhaustiveness, schema pins.  Register new
+checkers by appending to :data:`ALL_CHECKERS`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import ClassVar
+
+from repro.devtools.findings import Finding
+from repro.devtools.source import Project, SourceFile
+
+
+class Checker:
+    """One project invariant, enforced over the AST."""
+
+    id: ClassVar[str] = ""
+    description: ClassVar[str] = ""
+    hint: ClassVar[str] = ""
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        return ()
+
+    def finding(
+        self, src_or_rel: SourceFile | str, line: int, col: int, message: str,
+        hint: str | None = None,
+    ) -> Finding:
+        rel = (
+            src_or_rel if isinstance(src_or_rel, str) else src_or_rel.rel
+        )
+        return Finding(
+            checker=self.id, path=rel, line=line, col=col, message=message,
+            hint=self.hint if hint is None else hint,
+        )
+
+
+def all_checkers() -> list[Checker]:
+    """Fresh instances of every registered checker, in stable order."""
+    from repro.devtools.checkers.async_blocking import BlockingCallInAsync
+    from repro.devtools.checkers.clocks import MonotonicClock
+    from repro.devtools.checkers.durability import DurableBeforeAck
+    from repro.devtools.checkers.frames import WireFrameExhaustiveness
+    from repro.devtools.checkers.rng import UnseededRng
+    from repro.devtools.checkers.schemas import SchemaPinDrift
+    from repro.devtools.checkers.tasks import TaskLeak
+
+    return [
+        BlockingCallInAsync(),
+        MonotonicClock(),
+        DurableBeforeAck(),
+        WireFrameExhaustiveness(),
+        SchemaPinDrift(),
+        UnseededRng(),
+        TaskLeak(),
+    ]
+
+
+def checker_ids() -> list[str]:
+    return [checker.id for checker in all_checkers()]

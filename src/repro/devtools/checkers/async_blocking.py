@@ -1,0 +1,126 @@
+"""blocking-call-in-async: no synchronous I/O on the event loop.
+
+Flags calls that block the calling thread when they appear lexically
+inside an ``async def`` body (nested synchronous ``def``/``lambda``
+bodies open a new, non-async context and are exempt):
+
+* ``time.sleep`` and friends (:data:`BLOCKING_CALLS`),
+* synchronous file I/O: builtin ``open`` and ``Path.read_text``-style
+  method calls,
+* sqlite3 work (``connect``/``execute``/``commit``/...) in modules
+  that import :mod:`sqlite3` — connections are thread-bound, so these
+  run inline and stall every session on the loop,
+* in ``cluster/`` modules, the storage-durability methods
+  (``record_create``/``record_diff``/``apply_diff``/``create``) whose
+  backends may commit to disk inline.
+
+Every shard's durable write that deliberately stays inline (the SQLite
+backend's single-transaction commits) must carry a pragma whose
+justification explains why the loop may wait on it.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+from typing import ClassVar
+
+from repro.devtools.astutil import call_name, last_segment
+from repro.devtools.checkers import Checker
+from repro.devtools.findings import Finding
+from repro.devtools.source import SourceFile
+
+#: Fully-dotted callables that always block the calling thread.
+BLOCKING_CALLS = frozenset({
+    "time.sleep",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.Popen",
+    "socket.create_connection", "socket.getaddrinfo",
+    "os.fsync", "os.fdatasync", "os.sync",
+    "sqlite3.connect",
+    "urllib.request.urlopen",
+    "shutil.copy", "shutil.copy2", "shutil.copytree", "shutil.rmtree",
+})
+
+#: Method names that do synchronous file I/O on any receiver.
+FILE_IO_METHODS = frozenset({
+    "read_text", "write_text", "read_bytes", "write_bytes",
+})
+
+#: sqlite3 cursor/connection methods (gated on ``import sqlite3``).
+SQLITE_METHODS = frozenset({
+    "execute", "executemany", "executescript", "commit",
+})
+
+#: Storage-contract methods whose backends may hit disk inline; only
+#: meaningful under ``cluster/`` where the durability tier lives.
+DURABLE_METHODS = frozenset({
+    "record_create", "record_diff", "apply_diff", "create",
+})
+
+
+class BlockingCallInAsync(Checker):
+    id: ClassVar[str] = "blocking-call-in-async"
+    description: ClassVar[str] = (
+        "synchronous sleep/file/sqlite/subprocess/socket call lexically "
+        "inside an async def (event-loop starvation)"
+    )
+    hint: ClassVar[str] = (
+        "await the async API, offload with run_in_executor, or pragma "
+        "with a justification for why the loop may wait"
+    )
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        if src.tree is None:
+            return []
+        imports_sqlite = src.imports_module("sqlite3")
+        in_cluster = "cluster" in src.rel.split("/")
+        findings: list[Finding] = []
+        for call in _async_calls(src.tree):
+            message = self._classify(call, imports_sqlite, in_cluster)
+            if message is not None:
+                findings.append(
+                    self.finding(src, call.lineno, call.col_offset, message)
+                )
+        return findings
+
+    def _classify(
+        self, call: ast.Call, imports_sqlite: bool, in_cluster: bool
+    ) -> str | None:
+        name = call_name(call)
+        if name in BLOCKING_CALLS:
+            return f"blocking call {name}() inside async def"
+        if name == "open":
+            return "synchronous open() inside async def"
+        method = last_segment(name) if name else ""
+        if not method and isinstance(call.func, ast.Attribute):
+            method = call.func.attr   # receiver is an expression, e.g. f().x
+        if method in FILE_IO_METHODS:
+            return f"synchronous file I/O .{method}() inside async def"
+        if imports_sqlite and method in SQLITE_METHODS:
+            return (
+                f"sqlite3 .{method}() inside async def blocks the event "
+                f"loop (connections are thread-bound)"
+            )
+        if in_cluster and method in DURABLE_METHODS and name != "open":
+            return (
+                f"storage .{method}() inside async def may commit to disk "
+                f"on the event loop"
+            )
+        return None
+
+
+def _async_calls(tree: ast.Module) -> Iterator[ast.Call]:
+    """Call nodes lexically inside async-def bodies (nested sync defs
+    and lambdas excluded)."""
+    pending: list[tuple[ast.AST, bool]] = [(tree, False)]
+    while pending:
+        node, in_async = pending.pop()
+        if isinstance(node, ast.AsyncFunctionDef):
+            in_async = True
+        elif isinstance(node, (ast.FunctionDef, ast.Lambda)):
+            in_async = False
+        if in_async and isinstance(node, ast.Call):
+            yield node
+        for child in ast.iter_child_nodes(node):
+            pending.append((child, in_async))

@@ -1,0 +1,168 @@
+"""monotonic-clock: wall clock must never feed duration arithmetic.
+
+``time.time()`` jumps under NTP slew and manual clock changes, so any
+value derived from it that flows into a subtraction — or into a
+binding whose name says "duration" — is the bug class PR 7 fixed by
+hand in ``service/metrics.py``.  Wall clock stays legal for genuine
+timestamps (``*_unix``/``*_ts``/``*timestamp*`` names, trace-span
+start stamps), which is how the production code labels them.
+
+Detected patterns, per function scope:
+
+* ``time.time()`` appearing directly as an operand of ``-`` (or of an
+  ``-=``),
+* ``x = time.time()`` where ``x`` is later an operand of ``-`` in the
+  same scope (any name: subtracting two wall stamps is still wall
+  drift),
+* ``x = time.time()`` where ``x`` is named like a duration
+  (``elapsed``/``duration``/``latency``/``rtt``),
+* ``self.x = time.time()`` in one method with ``self.x`` subtracted in
+  any other method of the same class.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+from typing import ClassVar
+
+from repro.devtools.astutil import dotted_name, scope_body, scopes
+from repro.devtools.checkers import Checker
+from repro.devtools.findings import Finding
+from repro.devtools.source import SourceFile
+
+DURATION_WORDS = ("elapsed", "duration", "latency", "rtt")
+
+
+def _is_wall_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and dotted_name(node.func) == "time.time"
+    )
+
+
+def _operand_name(node: ast.expr) -> str | None:
+    """``x`` or ``self.x`` when the operand is a simple reference."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return f"self.{node.attr}"
+    return None
+
+
+class MonotonicClock(Checker):
+    id: ClassVar[str] = "monotonic-clock"
+    description: ClassVar[str] = (
+        "time.time() value flows into a subtraction or a duration-named "
+        "binding (wall clock is only for *_unix/*_ts timestamps)"
+    )
+    hint: ClassVar[str] = (
+        "use time.monotonic()/time.perf_counter() for durations; keep "
+        "time.time() for wall timestamps and name them *_unix/*_ts"
+    )
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        if src.tree is None:
+            return []
+        findings: list[Finding] = []
+        for scope in scopes(src.tree):
+            findings.extend(self._check_scope(src, scope))
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(src, node))
+        return findings
+
+    def _check_scope(
+        self,
+        src: SourceFile,
+        scope: ast.Module | ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterable[Finding]:
+        body = list(scope_body(scope))
+        subtracted: set[str] = set()
+        for node in body:
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Sub):
+                for operand in (node.left, node.right):
+                    name = _operand_name(operand)
+                    if name is not None:
+                        subtracted.add(name)
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, ast.Sub
+            ):
+                name = _operand_name(node.target)
+                if name is not None:
+                    subtracted.add(name)
+
+        for node in body:
+            # time.time() directly inside a subtraction
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Sub):
+                for operand in (node.left, node.right):
+                    if _is_wall_call(operand):
+                        yield self.finding(
+                            src, operand.lineno, operand.col_offset,
+                            "time.time() used directly in a subtraction "
+                            "(wall-clock duration)",
+                        )
+            if isinstance(node, ast.AugAssign) and isinstance(
+                node.op, ast.Sub
+            ) and _is_wall_call(node.value):
+                yield self.finding(
+                    src, node.value.lineno, node.value.col_offset,
+                    "time.time() used directly in a subtraction "
+                    "(wall-clock duration)",
+                )
+            # x = time.time() with x later subtracted / duration-named
+            if isinstance(node, ast.Assign) and _is_wall_call(node.value):
+                for target in node.targets:
+                    name = _operand_name(target)
+                    if name is None:
+                        continue
+                    bare = name.rsplit(".", 1)[-1].lower()
+                    if name in subtracted:
+                        yield self.finding(
+                            src, node.lineno, node.col_offset,
+                            f"{name} = time.time() is subtracted later in "
+                            f"this scope (wall-clock duration)",
+                        )
+                    elif any(word in bare for word in DURATION_WORDS):
+                        yield self.finding(
+                            src, node.lineno, node.col_offset,
+                            f"{name} = time.time() binds a wall stamp to a "
+                            f"duration-named variable",
+                        )
+
+    def _check_class(
+        self, src: SourceFile, classdef: ast.ClassDef
+    ) -> Iterable[Finding]:
+        """``self.x = time.time()`` in one method, ``self.x`` subtracted
+        in another (the per-scope pass only sees one method at a time)."""
+        assigns: list[tuple[str, ast.Assign, int]] = []
+        subtracted_in: dict[str, set[int]] = {}
+        for index, method in enumerate(classdef.body):
+            if not isinstance(method, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                continue
+            for node in scope_body(method):
+                if isinstance(node, ast.Assign) and _is_wall_call(node.value):
+                    for target in node.targets:
+                        name = _operand_name(target)
+                        if name is not None and name.startswith("self."):
+                            assigns.append((name, node, index))
+                if isinstance(node, ast.BinOp) and isinstance(
+                    node.op, ast.Sub
+                ):
+                    for operand in (node.left, node.right):
+                        name = _operand_name(operand)
+                        if name is not None and name.startswith("self."):
+                            subtracted_in.setdefault(name, set()).add(index)
+        for name, node, index in assigns:
+            # same-method subtractions were reported by the scope pass
+            if subtracted_in.get(name, set()) - {index}:
+                yield self.finding(
+                    src, node.lineno, node.col_offset,
+                    f"{name} = time.time() is subtracted elsewhere in "
+                    f"{classdef.name} (wall-clock duration)",
+                )

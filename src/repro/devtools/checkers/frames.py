@@ -1,0 +1,182 @@
+"""wire-frames: every frame type is dispatched; no unknown types.
+
+Cross-checks each wire enum against its dispatch sites:
+
+* :class:`repro.service.wire.FrameType` must be referenced (as
+  ``FrameType.X``) in ``service/server.py`` or ``service/client.py`` —
+  a member nobody dispatches is dead protocol surface (or a handler
+  someone forgot to write);
+* :class:`repro.cluster.proc.RpcType` likewise within the subprocess
+  executor;
+* ``FrameType.X`` / ``RpcType.X`` references to members the enum does
+  not define fail statically instead of as runtime ``AttributeError``;
+* the ``FRAME_LABELS`` accounting table in ``service/wire.py`` must
+  cover every frame type (a missing entry is a ``KeyError`` on the
+  first frame of that type).
+
+The checker is configured for this repository's layout; when run over
+a tree without these files (fixture tests) it simply has nothing to
+say.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+from repro.devtools.astutil import enum_members, find_class
+from repro.devtools.checkers import Checker
+from repro.devtools.findings import Finding
+from repro.devtools.source import Project
+
+#: Enum attributes that are machinery, not members.
+_ENUM_ATTRS = frozenset({"name", "value", "_missing_", "__members__"})
+
+
+@dataclass
+class EnumSpec:
+    """Where one wire enum lives and where its dispatchers are."""
+
+    enum_path: str
+    enum_name: str
+    dispatch_paths: list[str]
+    #: (path, assignment name) of dict tables that must be exhaustive
+    tables: list[tuple[str, str]] = field(default_factory=list)
+
+
+ENUM_SPECS: list[EnumSpec] = [
+    EnumSpec(
+        enum_path="src/repro/service/wire.py",
+        enum_name="FrameType",
+        dispatch_paths=[
+            "src/repro/service/server.py",
+            "src/repro/service/client.py",
+        ],
+        tables=[("src/repro/service/wire.py", "FRAME_LABELS")],
+    ),
+    EnumSpec(
+        enum_path="src/repro/cluster/proc.py",
+        enum_name="RpcType",
+        dispatch_paths=["src/repro/cluster/proc.py"],
+    ),
+]
+
+
+def _attr_refs(tree: ast.Module, enum_name: str) -> dict[str, int]:
+    """``member -> first line`` of every ``EnumName.member`` reference."""
+    refs: dict[str, int] = {}
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == enum_name
+            and node.attr not in _ENUM_ATTRS
+        ):
+            refs.setdefault(node.attr, node.lineno)
+    return refs
+
+
+def _dict_table(tree: ast.Module, name: str) -> ast.Dict | None:
+    for stmt in tree.body:
+        target: ast.expr | None = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            target = stmt.target
+            value = stmt.value
+        else:
+            continue
+        if (
+            isinstance(target, ast.Name)
+            and target.id == name
+            and isinstance(value, ast.Dict)
+        ):
+            return value
+    return None
+
+
+class WireFrameExhaustiveness(Checker):
+    id: ClassVar[str] = "wire-frames"
+    description: ClassVar[str] = (
+        "frame-type enums cross-checked against dispatch sites: no "
+        "orphaned, unhandled, or unknown frame types"
+    )
+    hint: ClassVar[str] = (
+        "handle the frame type at its dispatch sites (and in "
+        "FRAME_LABELS), or remove the dead member"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for spec in ENUM_SPECS:
+            findings.extend(self._check_spec(project, spec))
+        return findings
+
+    def _check_spec(
+        self, project: Project, spec: EnumSpec
+    ) -> Iterable[Finding]:
+        enum_src = project.file(spec.enum_path)
+        if enum_src is None or enum_src.tree is None:
+            return
+        classdef = find_class(enum_src.tree, spec.enum_name)
+        if classdef is None:
+            yield self.finding(
+                enum_src, 1, 0,
+                f"expected enum {spec.enum_name} in {spec.enum_path}",
+                hint="update ENUM_SPECS in the wire-frames checker",
+            )
+            return
+        members = enum_members(classdef)
+
+        dispatched: set[str] = set()
+        for path in spec.dispatch_paths:
+            dispatch_src = project.file(path)
+            if dispatch_src is None or dispatch_src.tree is None:
+                continue
+            refs = _attr_refs(dispatch_src.tree, spec.enum_name)
+            dispatched.update(refs)
+            for member, line in sorted(refs.items()):
+                if member not in members:
+                    yield self.finding(
+                        dispatch_src, line, 0,
+                        f"{spec.enum_name}.{member} is not a defined "
+                        f"frame type (AttributeError at runtime)",
+                        hint=f"define it in {spec.enum_path} or fix the "
+                             f"reference",
+                    )
+        for member, line in sorted(members.items()):
+            if member not in dispatched:
+                yield self.finding(
+                    enum_src, line, 0,
+                    f"{spec.enum_name}.{member} is never dispatched in "
+                    f"{', '.join(spec.dispatch_paths)}",
+                )
+
+        for table_path, table_name in spec.tables:
+            table_src = project.file(table_path)
+            if table_src is None or table_src.tree is None:
+                continue
+            table = _dict_table(table_src.tree, table_name)
+            if table is None:
+                yield self.finding(
+                    table_src, 1, 0,
+                    f"expected dict table {table_name} in {table_path}",
+                    hint="update ENUM_SPECS in the wire-frames checker",
+                )
+                continue
+            covered = {
+                key.attr
+                for key in table.keys
+                if isinstance(key, ast.Attribute)
+                and isinstance(key.value, ast.Name)
+                and key.value.id == spec.enum_name
+            }
+            for member in sorted(set(members) - covered):
+                yield self.finding(
+                    table_src, table.lineno, 0,
+                    f"{table_name} does not cover "
+                    f"{spec.enum_name}.{member} (KeyError on first use)",
+                )

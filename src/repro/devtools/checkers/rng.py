@@ -1,0 +1,120 @@
+"""unseeded-rng: all randomness flows through the seeding discipline.
+
+The determinism contract (``repro.utils.seeds``: every workload,
+arrival process, and benchmark derives its RNG from an explicit seed)
+only holds if nothing reaches for process-global randomness.  Outside
+``utils/seeds.py`` and test code this checker flags:
+
+* module-level ``random.<fn>(...)`` calls (``random.random``,
+  ``random.randint``, ...) — the shared, unseeded global generator;
+* ``random.Random()`` constructed *without* a seed argument;
+* ``from random import <fn>`` of anything but the ``Random`` class;
+* the bare ``random`` module used as a value (e.g. a default RNG
+  object) — the same global generator by another route;
+* legacy ``numpy.random.*`` calls except the seedable constructors
+  (``default_rng``/``Generator``/``SeedSequence``/``RandomState``).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+from typing import ClassVar
+
+from repro.devtools.astutil import call_name
+from repro.devtools.checkers import Checker
+from repro.devtools.findings import Finding
+from repro.devtools.source import SourceFile
+
+#: numpy.random attributes that construct a seedable generator.
+NUMPY_SEEDABLE = frozenset({
+    "default_rng", "Generator", "SeedSequence", "RandomState",
+    "BitGenerator", "PCG64", "Philox", "MT19937",
+})
+
+EXEMPT_SUFFIXES = ("utils/seeds.py",)
+
+
+class UnseededRng(Checker):
+    id: ClassVar[str] = "unseeded-rng"
+    description: ClassVar[str] = (
+        "process-global random.* / numpy.random.* use outside "
+        "utils/seeds.py (breaks the determinism contract)"
+    )
+    hint: ClassVar[str] = (
+        "derive a generator via repro.utils.seeds (derive_seed/"
+        "spawn_rng) or accept an injected rng parameter"
+    )
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        if src.tree is None:
+            return []
+        if any(src.rel.endswith(suffix) for suffix in EXEMPT_SUFFIXES):
+            return []
+        parts = src.rel.split("/")
+        if "tests" in parts or parts[-1].startswith("test_"):
+            return []
+        findings: list[Finding] = []
+        imports_random = src.imports_module("random")
+        attr_bases: set[int] = {
+            id(node.value)
+            for node in ast.walk(src.tree)
+            if isinstance(node, ast.Attribute)
+        }
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                bad = sorted(
+                    alias.name for alias in node.names
+                    if alias.name not in ("Random", "SystemRandom")
+                )
+                if bad:
+                    findings.append(self.finding(
+                        src, node.lineno, node.col_offset,
+                        f"from random import {', '.join(bad)} binds the "
+                        f"unseeded global generator",
+                    ))
+            elif isinstance(node, ast.Call):
+                finding = self._classify_call(src, node)
+                if finding is not None:
+                    findings.append(finding)
+            elif (
+                imports_random
+                and isinstance(node, ast.Name)
+                and node.id == "random"
+                and isinstance(node.ctx, ast.Load)
+                and id(node) not in attr_bases
+            ):
+                findings.append(self.finding(
+                    src, node.lineno, node.col_offset,
+                    "the random module itself is used as an RNG object "
+                    "(the unseeded global generator)",
+                ))
+        return findings
+
+    def _classify_call(
+        self, src: SourceFile, node: ast.Call
+    ) -> Finding | None:
+        name = call_name(node)
+        if name is None:
+            return None
+        if name == "random.Random":
+            if not node.args and not node.keywords:
+                return self.finding(
+                    src, node.lineno, node.col_offset,
+                    "random.Random() constructed without a seed",
+                )
+            return None
+        if name.startswith("random.") and name.count(".") == 1:
+            return self.finding(
+                src, node.lineno, node.col_offset,
+                f"{name}() draws from the unseeded global generator",
+            )
+        for prefix in ("numpy.random.", "np.random."):
+            if name.startswith(prefix):
+                attr = name[len(prefix):]
+                if attr not in NUMPY_SEEDABLE:
+                    return self.finding(
+                        src, node.lineno, node.col_offset,
+                        f"{name}() uses numpy's legacy global RNG",
+                    )
+        return None

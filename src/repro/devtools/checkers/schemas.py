@@ -1,0 +1,156 @@
+"""schema-pins: bumping a pinned schema must update its tests and docs.
+
+``SNAPSHOT_SCHEMA``, ``WINDOW_SCHEMA``, and ``REPORT_SCHEMA`` version
+externally consumed JSON shapes (the admin ``/varz`` snapshot, the
+windowed timeseries, the loadgen run report).  Scripts parse those
+documents, so a bump is a compatibility event: the regression tests
+must pin the *literal* new number (``assert doc["schema"] == NAME ==
+3`` — comparing only against the imported constant would follow a bump
+silently), and the documentation must state the current value.
+
+The checker reads each constant's integer from its defining module,
+then:
+
+* scans ``tests/test_*.py`` for comparisons that chain the constant
+  with an integer literal — no such pin anywhere, or a pin with a
+  different number, is a finding;
+* scans ``README.md`` and ``docs/*.md`` for the constant's name
+  followed closely by an integer — an absent mention or a stale number
+  is a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable
+from typing import ClassVar
+
+from repro.devtools.astutil import module_int_assign
+from repro.devtools.checkers import Checker
+from repro.devtools.findings import Finding
+from repro.devtools.source import Project
+
+#: (constant name, defining module) — the pinned wire/report schemas.
+SCHEMA_CONSTS: list[tuple[str, str]] = [
+    ("SNAPSHOT_SCHEMA", "src/repro/service/metrics.py"),
+    ("WINDOW_SCHEMA", "src/repro/obs/metrics.py"),
+    ("REPORT_SCHEMA", "src/repro/loadgen/report.py"),
+]
+
+DOC_PATHS = ["README.md"]
+DOC_GLOB = "docs/*.md"
+
+
+def _test_pins(
+    tree: ast.Module, const: str
+) -> list[tuple[int, int]]:
+    """``(literal, line)`` for comparisons chaining ``const`` with an
+    integer literal (``x == CONST == 3``, ``CONST == 3``, ...)."""
+    pins: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        names = {
+            op.id for op in operands if isinstance(op, ast.Name)
+        }
+        if const not in names:
+            continue
+        for op in operands:
+            if isinstance(op, ast.Constant) and isinstance(op.value, int):
+                pins.append((op.value, node.lineno))
+    return pins
+
+
+class SchemaPinDrift(Checker):
+    id: ClassVar[str] = "schema-pins"
+    description: ClassVar[str] = (
+        "pinned schema constants (SNAPSHOT/WINDOW/REPORT) must match "
+        "the literal pins in tests and the documented values"
+    )
+    hint: ClassVar[str] = (
+        "a schema bump is a compatibility event: update the pinning "
+        "test literal and the docs alongside the constant"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        test_paths = project.glob("tests/test_*.py")
+        doc_paths = [
+            p for p in DOC_PATHS if project.read_text(p) is not None
+        ] + project.glob(DOC_GLOB)
+        findings: list[Finding] = []
+        for const, module in SCHEMA_CONSTS:
+            findings.extend(
+                self._check_const(project, const, module, test_paths,
+                                  doc_paths)
+            )
+        return findings
+
+    def _check_const(
+        self, project: Project, const: str, module: str,
+        test_paths: list[str], doc_paths: list[str],
+    ) -> Iterable[Finding]:
+        src = project.file(module)
+        if src is None or src.tree is None:
+            return
+        assign = module_int_assign(src.tree, const)
+        if assign is None:
+            yield self.finding(
+                src, 1, 0,
+                f"expected module-level int {const} in {module}",
+                hint="update SCHEMA_CONSTS in the schema-pins checker",
+            )
+            return
+        value, def_line = assign
+
+        pinned = False
+        for test_path in test_paths:
+            test_src = project.file(test_path)
+            if test_src is None or test_src.tree is None:
+                continue
+            for literal, line in _test_pins(test_src.tree, const):
+                pinned = True
+                if literal != value:
+                    yield self.finding(
+                        test_src, line, 0,
+                        f"test pins {const} == {literal} but the "
+                        f"constant is {value} ({module}:{def_line})",
+                    )
+        if not pinned and test_paths:
+            yield self.finding(
+                src, def_line, 0,
+                f"no test pins a literal value for {const}: a silent "
+                f"bump would pass the suite",
+                hint=f"assert doc['schema'] == {const} == {value} in a "
+                     f"regression test",
+            )
+
+        documented = False
+        # explicit value statements only: "NAME = 3", "NAME: 3",
+        # "NAME` (currently 3)" — prose numbers near the name don't count
+        name_re = re.compile(
+            re.escape(const)
+            + r"`?(?:\s*(?:=|==|:)\s*|\s*\(currently\s+)`?(\d+)"
+        )
+        for doc_path in doc_paths:
+            text = project.read_text(doc_path)
+            if text is None:
+                continue
+            for line_no, line in enumerate(text.splitlines(), start=1):
+                if const not in line:
+                    continue
+                documented = True
+                for match in name_re.finditer(line):
+                    if int(match.group(1)) != value:
+                        yield self.finding(
+                            doc_path, line_no, 0,
+                            f"doc states {const} as {match.group(1)} but "
+                            f"the constant is {value}",
+                        )
+        if not documented and doc_paths:
+            yield self.finding(
+                src, def_line, 0,
+                f"{const} is not mentioned in README.md or docs/ — "
+                f"external consumers cannot discover the pinned shape",
+            )

@@ -1,0 +1,58 @@
+"""task-leak: fire-and-forget asyncio tasks must be owned by someone.
+
+``asyncio.create_task(...)`` whose result is discarded (an expression
+statement) is a leak twice over: the event loop holds only a weak
+reference, so the task can be garbage-collected mid-flight, and its
+exception — if it ever fails — is reported to nobody.  Every task in
+this codebase is either awaited, stored on an owner (with a done
+callback discarding it from the owning set), or cancelled at close;
+this checker keeps it that way.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+from typing import ClassVar
+
+from repro.devtools.astutil import call_name, last_segment
+from repro.devtools.checkers import Checker
+from repro.devtools.findings import Finding
+from repro.devtools.source import SourceFile
+
+SPAWN_CALLS = frozenset({"create_task", "ensure_future"})
+
+
+class TaskLeak(Checker):
+    id: ClassVar[str] = "task-leak"
+    description: ClassVar[str] = (
+        "asyncio.create_task()/ensure_future() result discarded: the "
+        "task is neither stored, awaited, nor callback-attached"
+    )
+    hint: ClassVar[str] = (
+        "keep a strong reference (store it, add_done_callback into an "
+        "owning set) or await it"
+    )
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        if src.tree is None:
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Expr):
+                continue
+            value = node.value
+            if isinstance(value, ast.Await):
+                continue   # awaited: result ownership is explicit
+            if (
+                isinstance(value, ast.Call)
+                and last_segment(call_name(value)) in SPAWN_CALLS
+            ):
+                name = call_name(value) or "create_task"
+                findings.append(self.finding(
+                    src, value.lineno, value.col_offset,
+                    f"{name}(...) result discarded — the spawned task "
+                    f"can be garbage-collected mid-flight and its "
+                    f"failure is silent",
+                ))
+        return findings

@@ -1,0 +1,77 @@
+"""The finding record every checker emits, and its stable identity.
+
+A finding's *fingerprint* deliberately ignores the line number: it
+hashes the checker id, the file's path, the stripped text of the
+flagged line, and an occurrence index (for identical lines in one
+file).  Edits elsewhere in a file shift line numbers but leave
+fingerprints alone, so the committed baseline
+(:mod:`repro.devtools.baseline`) keeps matching old findings without
+constant regeneration.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location."""
+
+    checker: str        #: checker id, e.g. ``"monotonic-clock"``
+    path: str           #: posix path relative to the project root
+    line: int           #: 1-based line of the flagged node
+    col: int            #: 0-based column of the flagged node
+    message: str        #: what is wrong, concretely
+    hint: str = ""      #: how to fix it (or how to suppress legitimately)
+    #: assigned by the runner: sha1 of (checker, path, line text, index)
+    fingerprint: str = ""
+    #: True when the committed baseline already contains this finding
+    baselined: bool = field(default=False, compare=False)
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.checker)
+
+    def format(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: {self.checker}: " \
+               f"{self.message}"
+        if self.hint:
+            text += f"  [hint: {self.hint}]"
+        return text
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "checker": self.checker,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+            "fingerprint": self.fingerprint,
+            "baselined": self.baselined,
+        }
+
+
+def assign_fingerprints(
+    findings: list[Finding], line_text: dict[tuple[str, int], str]
+) -> None:
+    """Fill :attr:`Finding.fingerprint` for a full run's findings.
+
+    ``line_text`` maps ``(path, line)`` to that line's source text (an
+    empty string when unavailable, e.g. an unreadable file).  Identical
+    (checker, path, line-text) triples are disambiguated by occurrence
+    order, counted in :meth:`Finding.sort_key` order so the numbering
+    is deterministic.
+    """
+    seen: dict[tuple[str, str, str], int] = {}
+    for finding in sorted(findings, key=Finding.sort_key):
+        text = line_text.get((finding.path, finding.line), "").strip()
+        key = (finding.checker, finding.path, text)
+        index = seen.get(key, 0)
+        seen[key] = index + 1
+        digest = hashlib.sha1(
+            f"{finding.checker}|{finding.path}|{text}|{index}".encode()
+        ).hexdigest()
+        finding.fingerprint = digest[:16]

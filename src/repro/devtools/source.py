@@ -1,0 +1,254 @@
+"""Parsed source files, suppression pragmas, and the project view.
+
+Pragma syntax (checked — a malformed pragma is itself a finding)::
+
+    x = blocking_call()   # repro: ignore[blocking-call-in-async] -- why
+
+    # repro: ignore[monotonic-clock] -- justification on its own line
+    t = time.time()
+
+    # repro: ignore-file[unseeded-rng] -- whole-file suppression
+
+A pragma on its own line suppresses findings on the *next* line; a
+trailing pragma suppresses findings on its own line.  The
+justification after ``--`` is mandatory: a suppression without a
+recorded reason is exactly the review-comment rot this tool exists to
+prevent.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*(?P<kind>ignore(?:-file)?)"
+    r"(?:\[(?P<ids>[^\]]*)\])?"
+    r"\s*(?:--\s*(?P<why>.*\S))?\s*$"
+)
+
+#: Checker ids the framework itself emits (always valid in pragmas).
+FRAMEWORK_CHECKERS = ("bad-pragma", "parse-error")
+
+
+@dataclass
+class Pragma:
+    """One parsed ``# repro: ignore[...]`` comment."""
+
+    ids: frozenset[str]
+    justification: str
+    line: int
+    file_level: bool
+    own_line: bool      #: comment is the only thing on its line
+
+    def covers(self, checker_id: str) -> bool:
+        return checker_id in self.ids
+
+
+@dataclass
+class SourceFile:
+    """One parsed python file plus its pragmas."""
+
+    path: Path                      #: absolute path on disk
+    rel: str                        #: posix path relative to project root
+    text: str
+    lines: list[str]
+    tree: ast.Module | None
+    parse_error: str | None = None
+    pragmas: dict[int, Pragma] = field(default_factory=dict)
+    file_pragmas: list[Pragma] = field(default_factory=list)
+    #: (line, message) pairs for malformed pragma comments
+    bad_pragmas: list[tuple[int, str]] = field(default_factory=list)
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def imports_module(self, module: str) -> bool:
+        """True when the file's top-level imports include ``module``."""
+        if self.tree is None:
+            return False
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                if any(a.name.split(".")[0] == module for a in node.names):
+                    return True
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and node.module.split(".")[0] == module:
+                    return True
+        return False
+
+    def suppressed(self, checker_id: str, line: int) -> Pragma | None:
+        """The pragma that suppresses ``checker_id`` at ``line``, if any."""
+        for pragma in self.file_pragmas:
+            if pragma.covers(checker_id):
+                return pragma
+        trailing = self.pragmas.get(line)
+        if trailing is not None and trailing.covers(checker_id):
+            return trailing
+        # an own-line pragma covers the next statement; it may sit at the
+        # top of a contiguous comment block (justifications wrap lines)
+        probe = line - 1
+        while probe >= 1 and self.line_text(probe).lstrip().startswith("#"):
+            preceding = self.pragmas.get(probe)
+            if (
+                preceding is not None
+                and preceding.own_line
+                and preceding.covers(checker_id)
+            ):
+                return preceding
+            probe -= 1
+        return None
+
+
+def _scan_pragmas(src: SourceFile, known_ids: frozenset[str]) -> None:
+    try:
+        tokens = list(
+            tokenize.generate_tokens(io.StringIO(src.text).readline)
+        )
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return   # a parse-error finding already covers this file
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        if "repro:" not in tok.string:
+            continue
+        line_no, col = tok.start
+        match = PRAGMA_RE.match(tok.string.strip())
+        if match is None:
+            src.bad_pragmas.append(
+                (line_no, f"unparseable repro pragma: {tok.string.strip()!r}")
+            )
+            continue
+        if match.group("ids") is None:
+            src.bad_pragmas.append(
+                (line_no,
+                 "pragma needs explicit checker ids: "
+                 "# repro: ignore[checker-id] -- reason")
+            )
+            continue
+        ids = frozenset(
+            part.strip() for part in match.group("ids").split(",")
+            if part.strip()
+        )
+        if not ids:
+            src.bad_pragmas.append((line_no, "pragma lists no checker ids"))
+            continue
+        unknown = sorted(ids - known_ids)
+        if unknown:
+            src.bad_pragmas.append(
+                (line_no, f"pragma names unknown checker(s): "
+                          f"{', '.join(unknown)}")
+            )
+            continue
+        why = match.group("why") or ""
+        if not why:
+            src.bad_pragmas.append(
+                (line_no,
+                 "pragma needs a justification: "
+                 "# repro: ignore[...] -- <why this is safe>")
+            )
+            continue
+        own_line = src.line_text(line_no)[:col].strip() == ""
+        pragma = Pragma(
+            ids=ids, justification=why, line=line_no,
+            file_level=match.group("kind") == "ignore-file",
+            own_line=own_line,
+        )
+        if pragma.file_level:
+            src.file_pragmas.append(pragma)
+        else:
+            src.pragmas[line_no] = pragma
+
+
+def load_source(path: Path, root: Path, known_ids: frozenset[str]) -> SourceFile:
+    """Read + parse one file; parse failures are recorded, not raised."""
+    rel = path.resolve().relative_to(root.resolve()).as_posix()
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return SourceFile(
+            path=path, rel=rel, text="", lines=[], tree=None,
+            parse_error=f"unreadable: {exc}",
+        )
+    src = SourceFile(
+        path=path, rel=rel, text=text, lines=text.splitlines(), tree=None,
+    )
+    try:
+        src.tree = ast.parse(text, filename=str(path))
+    except SyntaxError as exc:
+        src.parse_error = f"syntax error: {exc.msg} (line {exc.lineno})"
+        return src
+    _scan_pragmas(src, known_ids)
+    return src
+
+
+def find_root(start: Path) -> Path:
+    """The enclosing project root: nearest ancestor with pyproject.toml."""
+    probe = start.resolve()
+    if probe.is_file():
+        probe = probe.parent
+    for candidate in (probe, *probe.parents):
+        if (candidate / "pyproject.toml").exists():
+            return candidate
+    return probe
+
+
+class Project:
+    """The file set one run analyzes, plus on-demand access to the rest
+    of the tree (cross-file checkers read wire definitions, pinning
+    tests, and docs that may sit outside the target paths)."""
+
+    def __init__(
+        self, root: Path, paths: list[Path], known_ids: frozenset[str]
+    ) -> None:
+        self.root = root.resolve()
+        self.known_ids = known_ids
+        self.files: list[SourceFile] = []
+        self._by_rel: dict[str, SourceFile | None] = {}
+        for target in paths:
+            for path in self._expand(target):
+                src = load_source(path, self.root, known_ids)
+                self.files.append(src)
+                self._by_rel[src.rel] = src
+
+    def _expand(self, target: Path) -> list[Path]:
+        if target.is_dir():
+            return sorted(
+                p for p in target.rglob("*.py")
+                if "__pycache__" not in p.parts
+            )
+        if target.suffix == ".py" and target.exists():
+            return [target]
+        return []
+
+    def file(self, rel: str) -> SourceFile | None:
+        """The parsed file at ``rel`` (project-root relative), loading it
+        on demand; ``None`` when it does not exist."""
+        if rel not in self._by_rel:
+            path = self.root / rel
+            self._by_rel[rel] = (
+                load_source(path, self.root, self.known_ids)
+                if path.exists() else None
+            )
+        return self._by_rel[rel]
+
+    def glob(self, pattern: str) -> list[str]:
+        """Project-root-relative posix paths matching ``pattern``."""
+        return sorted(
+            p.resolve().relative_to(self.root).as_posix()
+            for p in self.root.glob(pattern)
+            if "__pycache__" not in p.parts
+        )
+
+    def read_text(self, rel: str) -> str | None:
+        """Raw text of any project file (docs included), or ``None``."""
+        path = self.root / rel
+        try:
+            return path.read_text(encoding="utf-8")
+        except OSError:
+            return None

@@ -157,6 +157,8 @@ async def _run_fleet(
         finally:
             await store.close()
     finally:
+        # repro: ignore[blocking-call-in-async] -- benchmark teardown:
+        # the store is closed and no sessions run on this loop anymore
         shutil.rmtree(data_dir, ignore_errors=True)
 
 

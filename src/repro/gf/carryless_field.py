@@ -50,7 +50,7 @@ class CarrylessField(GF2mField):
             except KeyError:
                 raise ParameterError(
                     f"no stock polynomial for m={m}; pass one explicitly"
-                )
+                ) from None
         if poly >> m != 1:
             raise ParameterError(f"polynomial {poly:#x} does not have degree {m}")
         self.poly = poly

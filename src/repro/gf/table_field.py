@@ -38,7 +38,9 @@ class TableField(GF2mField):
             try:
                 poly = PRIMITIVE_POLYS[m]
             except KeyError:
-                raise ParameterError(f"no stock primitive polynomial for m={m}")
+                raise ParameterError(
+                    f"no stock primitive polynomial for m={m}"
+                ) from None
         self.poly = poly
 
         order = self.order

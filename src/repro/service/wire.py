@@ -441,6 +441,9 @@ def retry_delay(base_s: float, attempt: int, rng=None) -> float:
     burst of shed clients does not return as the same thundering herd
     that was just shed.
     """
+    # repro: ignore[unseeded-rng] -- production backoff jitter is
+    # deliberately nondeterministic; deterministic callers (tests, the
+    # loadgen driver) inject their own seeded rng
     rng = rng if rng is not None else random
     delay = min(MAX_BACKOFF_S, max(0.001, base_s) * (2 ** attempt))
     return delay * (0.5 + rng.random())

@@ -88,7 +88,7 @@ class TestBerlekampMassey:
             assert P.evaluate(locator, gf8.inv(e), gf8) == 0
 
     def test_random_error_sets(self, gf7, rng):
-        for trial in range(30):
+        for _trial in range(30):
             k = int(rng.integers(0, 8))
             errors = list(
                 rng.choice(np.arange(1, 128), size=k, replace=False)

@@ -102,7 +102,7 @@ class TestMovePlan:
     def test_diff_on_shrink_moves_only_removed_shards_sets(self):
         names = _names(2000)
         old, new = HashRing(range(5)), HashRing(range(3))
-        for name, (src, dst) in old.diff(new, names).items():
+        for _name, (src, dst) in old.diff(new, names).items():
             assert src in (3, 4)      # only evicted shards lose sets
             assert dst in (0, 1, 2)
 

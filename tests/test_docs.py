@@ -13,7 +13,8 @@ REPO = Path(__file__).resolve().parents[1]
 
 def test_docs_exist_and_are_linked():
     readme = (REPO / "README.md").read_text()
-    for doc in ("docs/architecture.md", "docs/operations.md"):
+    for doc in ("docs/architecture.md", "docs/operations.md",
+                "docs/development.md"):
         assert (REPO / doc).exists(), doc
         assert doc in readme, f"README does not link {doc}"
 
@@ -32,4 +33,4 @@ def test_check_docs_passes():
     )
     assert proc.returncode == 0, f"{proc.stdout}\n{proc.stderr}"
     # the checker really exercised something, not vacuously passed
-    assert "5 CLI modes exercised" in proc.stdout, proc.stdout
+    assert "6 CLI modes exercised" in proc.stdout, proc.stdout

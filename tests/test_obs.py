@@ -505,7 +505,7 @@ class TestWindowedMetrics:
         hist.record(0.030)
         window = wm.tick({"sessions": 16}, {"lat": hist},
                          now_unix=1005.0, now_mono=55.0)
-        assert window["schema"] == WINDOW_SCHEMA
+        assert window["schema"] == WINDOW_SCHEMA == 1
         assert window["deltas"]["sessions"] == 6.0
         assert window["rates"]["sessions_per_s"] == pytest.approx(1.2)
         assert window["duration_s"] == pytest.approx(5.0)
@@ -530,7 +530,7 @@ class TestWindowedMetrics:
         assert windows[-1]["index"] == 9
         assert [w["index"] for w in windows] == [6, 7, 8, 9]
         doc = wm.timeseries()
-        assert doc["schema"] == WINDOW_SCHEMA
+        assert doc["schema"] == WINDOW_SCHEMA == 1
         assert doc["interval_s"] == 1.0
         assert doc["windows"] == windows
         json.dumps(doc)
@@ -666,7 +666,7 @@ class TestTraceRotation:
     def test_unbounded_without_max_bytes(self, tmp_path):
         trc = Tracer(tmp_path, "nocap")
         ctx = trc.mint()
-        for i in range(200):
+        for _i in range(200):
             trc.emit("s", ctx, None, 0.0, 0.001)
         trc.close()
         assert len(list(tmp_path.glob("trace-*.jsonl"))) == 1
