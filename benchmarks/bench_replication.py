@@ -1,0 +1,23 @@
+"""Async vs quorum replication ack cost at R ∈ {0, 1, 2} (see
+``repro.evaluation.replication_bench``)."""
+
+from repro.evaluation import replication_bench
+from repro.evaluation.harness import scale_factor
+
+
+def test_replication_ack_cost(run_driver):
+    table = run_driver(replication_bench.run, "replication_ack_cost")
+    by = {(r["replicas"], r["mode"]): r for r in table.rows}
+    # every point produced a converged replica set and sane quantiles
+    assert all(r["converged"] for r in table.rows)
+    assert all(r["p99_ms"] >= r["p50_ms"] for r in table.rows)
+    assert (0, "async") in by and (2, "quorum") in by
+    if scale_factor() >= 1.0:
+        # the headline delta: a quorum ack waits for a follower's
+        # durable apply + cursor write, so its median cannot undercut
+        # the async ack at the same R
+        for replicas in (1, 2):
+            assert (
+                by[(replicas, "quorum")]["p50_ms"]
+                >= by[(replicas, "async")]["p50_ms"]
+            ), (replicas, by[(replicas, "quorum")], by[(replicas, "async")])

@@ -155,6 +155,26 @@ def build_serve_parser() -> argparse.ArgumentParser:
              "--storage' (or --rebalance here)",
     )
     parser.add_argument(
+        "--replicas", type=int, default=0, metavar="R",
+        help="keep R follower replicas per shard, fed by logical-op log "
+             "shipping from the primary (requires --data-dir; default 0 "
+             "= no replication).  A primary that stays down past its "
+             "respawn budget fails over to its most-advanced follower",
+    )
+    parser.add_argument(
+        "--replication", choices=("async", "quorum"), default="async",
+        help="durability mode with --replicas: 'async' acks a mutation "
+             "once the primary's own commit is durable (default); "
+             "'quorum' holds the ack until a majority of the R+1 "
+             "replicas hold it durably",
+    )
+    parser.add_argument(
+        "--promote-after", type=int, default=2, metavar="N",
+        help="with --replicas, fail a shard over to a follower after N "
+             "consecutive failed respawns of its primary worker "
+             "(default 2)",
+    )
+    parser.add_argument(
         "--max-sessions", type=int, default=0, metavar="N",
         help="cap concurrent sessions per shard; excess is shed with a "
              "RETRY frame (default 0 = unlimited)",
@@ -554,6 +574,25 @@ def cmd_serve(argv: list[str]) -> int:
         print("error: --storage requires --data-dir", file=sys.stderr)
         return 2
     storage = args.storage if args.storage is not None else "journal"
+    if args.replicas < 0:
+        print(f"error: --replicas must be >= 0, got {args.replicas}",
+              file=sys.stderr)
+        return 2
+    if args.replicas and args.data_dir is None:
+        # a follower IS a directory; without one there is nothing to
+        # replicate into
+        print("error: --replicas requires --data-dir", file=sys.stderr)
+        return 2
+    if args.replication != "async" and not args.replicas:
+        # a quorum of one (the primary alone) would silently promise
+        # replicated durability while providing none
+        print("error: --replication quorum requires --replicas >= 1",
+              file=sys.stderr)
+        return 2
+    if args.promote_after < 1:
+        print(f"error: --promote-after must be >= 1, got "
+              f"{args.promote_after}", file=sys.stderr)
+        return 2
     if args.rebalance:
         if args.data_dir is None:
             print("error: --rebalance requires --data-dir", file=sys.stderr)
@@ -594,6 +633,9 @@ def cmd_serve(argv: list[str]) -> int:
                 storage=storage,
                 fsync=args.fsync,
                 executor="subprocess" if args.workers == "proc" else "inline",
+                replicas=args.replicas,
+                replication=args.replication,
+                promote_after=args.promote_after,
                 worker_window_s=args.window_ms / 1000.0,
                 worker_coalesce=not args.no_coalesce,
             ),
@@ -654,9 +696,12 @@ def cmd_serve(argv: list[str]) -> int:
 
     def _health() -> tuple[bool, dict]:
         """Liveness for /healthz: every shard must be able to take new
-        sessions.  Storage tail errors are *reported* (they describe
-        what recovery truncated) but do not fail health — a shard that
-        healed from a torn journal tail is serving correctly."""
+        sessions, and — under quorum replication — able to reach a
+        write quorum (a shard that would time out every mutation is not
+        healthy even though its worker is up).  Storage tail errors are
+        *reported* (they describe what recovery truncated) but do not
+        fail health — a shard that healed from a torn journal tail is
+        serving correctly."""
         detail: dict = {
             "status": "ok",
             "active_sessions": server.metrics.active_sessions,
@@ -668,11 +713,16 @@ def cmd_serve(argv: list[str]) -> int:
         for entry in store.cluster_stats()["per_shard"]:
             shard_id = entry.get("shard", -1)
             available = store.shard_available(shard_id)
-            shard_list.append({
+            item = {
                 "shard": shard_id,
                 "available": available,
                 "tail_error": entry.get("tail_error", ""),
-            })
+            }
+            repl = entry.get("replication")
+            if repl is not None:
+                item["quorum_ok"] = repl["quorum_ok"]
+                available = available and repl["quorum_ok"]
+            shard_list.append(item)
             ok = ok and available
         detail["shards"] = shard_list
         if not ok:

@@ -35,6 +35,11 @@ Pieces (bottom up):
   workers as child processes speaking the service framing as an
   internal RPC, so BCH decode CPU scales across cores
   (``repro serve --workers proc``);
+* :mod:`repro.cluster.replication` — per-shard follower replicas fed by
+  logical-op log shipping with optional quorum acks
+  (``repro serve --replicas R --replication quorum``), durable replica
+  cursors, and cursor-based follower promotion when a primary stays
+  down;
 * :mod:`repro.cluster.admission` — per-shard session/decode caps that
   shed overload with the service's RETRY frame.
 """
@@ -47,6 +52,7 @@ from repro.cluster.admission import (
 from repro.cluster.config import (
     CONFIG_FIELDS,
     EXECUTORS,
+    REPLICATION_MODES,
     ClusterConfig,
     open_cluster,
 )
@@ -82,6 +88,16 @@ from repro.cluster.rebalance import (
     RebalanceResult,
     rebalance,
 )
+from repro.cluster.replication import (
+    QuorumTimeoutError,
+    ReplicationError,
+    ShardReplication,
+    elect_replica,
+    probe_replica,
+    quorum_size,
+    read_cursor,
+    write_cursor,
+)
 from repro.cluster.ring import DEFAULT_VNODES, HashRing
 from repro.cluster.router import ClusterStore
 from repro.cluster.sqlite import SqliteBackend
@@ -109,9 +125,13 @@ __all__ = [
     "JournalCorruptError",
     "MANIFEST_NAME",
     "ManifestError",
+    "QuorumTimeoutError",
+    "REPLICATION_MODES",
     "RebalanceAborted",
     "RebalanceResult",
     "Record",
+    "ReplicationError",
+    "ShardReplication",
     "ShardStorage",
     "SqliteBackend",
     "StorageBackend",
@@ -121,6 +141,7 @@ __all__ = [
     "WorkerSupervisor",
     "WorkerUnavailableError",
     "backend_class",
+    "elect_replica",
     "encode_create",
     "encode_diff",
     "fork_safe_cpu_count",
@@ -128,11 +149,15 @@ __all__ = [
     "load_manifest",
     "open_backend",
     "open_cluster",
+    "probe_replica",
+    "quorum_size",
+    "read_cursor",
     "read_records",
     "rebalance",
     "replay_shard",
     "retry_delay",
     "snapshot_filename",
+    "write_cursor",
     "write_manifest",
     "write_snapshot",
 ]

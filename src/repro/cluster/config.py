@@ -34,6 +34,11 @@ from repro.cluster.storage import BACKEND_NAMES
 #: ``subprocess`` (one worker child per shard).
 EXECUTORS = ("inline", "subprocess")
 
+#: Replication durability modes: ``async`` ships the log to followers
+#: after the primary ack (default), ``quorum`` withholds the ack until
+#: a majority of replicas is durable (:mod:`repro.cluster.replication`).
+REPLICATION_MODES = ("async", "quorum")
+
 
 @dataclass(frozen=True)
 class ClusterConfig:
@@ -59,6 +64,16 @@ class ClusterConfig:
     worker_window_s: float = DEFAULT_WINDOW_S
     worker_coalesce: bool = True
     restart_backoff_s: float = DEFAULT_RESTART_BACKOFF_S
+    # -- replication --
+    #: follower replicas per shard (0 = replication off; requires a
+    #: data dir — replication ships durable state, so there must be
+    #: durable state to ship)
+    replicas: int = 0
+    #: ack durability mode: ``async`` or ``quorum``
+    replication: str = "async"
+    #: consecutive failed primary-worker respawns before the
+    #: supervisor promotes the most-advanced follower (proc executor)
+    promote_after: int = 2
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -83,6 +98,23 @@ class ClusterConfig:
             raise ValueError(
                 f"restart_backoff_s must be >= 0, got "
                 f"{self.restart_backoff_s}"
+            )
+        if self.replicas < 0:
+            raise ValueError(f"replicas must be >= 0, got {self.replicas}")
+        if self.replication not in REPLICATION_MODES:
+            raise ValueError(
+                f"replication must be one of {REPLICATION_MODES}, "
+                f"got {self.replication!r}"
+            )
+        if self.replication == "quorum" and self.replicas < 1:
+            raise ValueError(
+                "replication='quorum' needs at least one follower "
+                "(replicas >= 1); with no followers a quorum is just "
+                "the primary, which is the async mode's guarantee"
+            )
+        if self.promote_after < 1:
+            raise ValueError(
+                f"promote_after must be >= 1, got {self.promote_after}"
             )
 
     def storage_kwargs(self) -> dict:

@@ -257,6 +257,8 @@ class JournalBackend(StorageBackend):
     concurrent_writes = True
     compact_from_entries = True
     TUNING = frozenset({"fsync", "compact_min_bytes", "compact_factor"})
+    #: every epoch's ``snapshot-eN.bin`` / ``journal-eN.log`` variants
+    FILE_PREFIXES = ("snapshot", "journal")
 
     def __init__(
         self,

@@ -40,12 +40,14 @@ from repro.errors import ReproError
 MANIFEST_NAME = "manifest.json"
 
 #: Manifest schema version (bump on incompatible layout changes).
-#: Format 2 (PR 6) added the ``storage`` backend field; format-1 files
-#: are still read, with ``storage`` defaulting to ``"journal"`` (the
-#: only backend that existed when they were written).
-MANIFEST_FORMAT = 2
+#: Format 2 (PR 6) added the ``storage`` backend field; format 3
+#: (PR 10) added the replication fields (``replicas``,
+#: ``primary_replica``, ``cursors``).  Older formats are still read,
+#: with the newer fields defaulting to their pre-replication values
+#: (no followers, every shard served from its ``shard-NN`` root).
+MANIFEST_FORMAT = 3
 
-_READABLE_FORMATS = (1, 2)
+_READABLE_FORMATS = (1, 2, 3)
 
 _SHARD_DIR_RE = re.compile(r"^shard-(\d+)$")
 
@@ -78,6 +80,29 @@ def shard_dirname(shard: int) -> str:
     return f"shard-{shard:02d}"
 
 
+def follower_dirname(replica: int) -> str:
+    """The directory name of follower replica ``replica`` (>= 1),
+    nested inside the shard's ``shard-NN`` directory."""
+    if replica < 1:
+        raise ManifestError(f"follower replicas are numbered from 1, "
+                            f"got {replica}")
+    return f"follower-{replica:02d}"
+
+
+def replica_dir(data_dir: str | Path, shard: int, replica: int) -> Path:
+    """The on-disk directory holding one replica of one shard.
+
+    Replica 0 is the ``shard-NN`` root itself (the historical primary
+    location); replicas >= 1 live in ``shard-NN/follower-KK``
+    subdirectories — the rebalance sweep only ever unlinks *files*
+    inside a shard root, so follower directories survive it untouched.
+    """
+    root = Path(data_dir) / shard_dirname(shard)
+    if replica == 0:
+        return root
+    return root / follower_dirname(replica)
+
+
 @dataclass
 class ClusterManifest:
     """The committed layout of one cluster data directory.
@@ -102,6 +127,19 @@ class ClusterManifest:
     #: storage backend name the shard files were written by
     #: (:data:`repro.cluster.storage.BACKEND_NAMES`)
     storage: str = "journal"
+    #: follower replicas per shard (0 = replication off)
+    replicas: int = 0
+    #: which replica directory is each shard's current primary
+    #: (0 = the ``shard-NN`` root, k = ``shard-NN/follower-KK``);
+    #: rewritten atomically by a failover promotion — this field *is*
+    #: the promotion's commit point
+    primary_replica: list[int] = field(default_factory=list)
+    #: best-effort replication cursor per shard: the last shipped
+    #: sequence number persisted at clean shutdown / promotion, so a
+    #: restarted primary resumes numbering monotonically (followers
+    #: re-bootstrap from a snapshot regardless, see
+    #: :mod:`repro.cluster.replication`)
+    cursors: list[int] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -121,6 +159,30 @@ class ClusterManifest:
                 f"shard_epochs has {len(self.shard_epochs)} entries "
                 f"for {self.shards} shards"
             )
+        if self.replicas < 0:
+            raise ManifestError(
+                f"replicas must be >= 0, got {self.replicas}"
+            )
+        if not self.primary_replica:
+            self.primary_replica = [0] * self.shards
+        if len(self.primary_replica) != self.shards:
+            raise ManifestError(
+                f"primary_replica has {len(self.primary_replica)} entries "
+                f"for {self.shards} shards"
+            )
+        for shard, replica in enumerate(self.primary_replica):
+            if not 0 <= replica <= self.replicas:
+                raise ManifestError(
+                    f"shard {shard}: primary replica {replica} is outside "
+                    f"0..{self.replicas}"
+                )
+        if not self.cursors:
+            self.cursors = [0] * self.shards
+        if len(self.cursors) != self.shards:
+            raise ManifestError(
+                f"cursors has {len(self.cursors)} entries "
+                f"for {self.shards} shards"
+            )
 
     def shard_epoch(self, shard: int) -> int:
         return self.shard_epochs[shard]
@@ -133,6 +195,9 @@ class ClusterManifest:
             "epoch": self.epoch,
             "shard_epochs": list(self.shard_epochs),
             "storage": self.storage,
+            "replicas": self.replicas,
+            "primary_replica": list(self.primary_replica),
+            "cursors": list(self.cursors),
         }
 
     @classmethod
@@ -150,6 +215,11 @@ class ClusterManifest:
                 epoch=int(data["epoch"]),
                 shard_epochs=[int(e) for e in data["shard_epochs"]],
                 storage=str(data.get("storage", "journal")),
+                replicas=int(data.get("replicas", 0)),
+                primary_replica=[
+                    int(r) for r in data.get("primary_replica", [])
+                ],
+                cursors=[int(c) for c in data.get("cursors", [])],
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ManifestError(f"{source}: malformed manifest: {exc}") from None

@@ -167,6 +167,9 @@ class WorkerConfig:
     window_s: float = DEFAULT_WINDOW_S
     coalesce: bool = True      #: False = decode each session separately
     batch: bool = True         #: forwarded to decode_many
+    #: distinguishes replica children ("follower-01") from primaries
+    #: ("") in process names and trace roles
+    role: str = ""
     # -- observability, replicated from the parent process at spawn --
     log_level: str = "info"
     log_json: bool = False
@@ -190,8 +193,11 @@ def worker_main(config: WorkerConfig) -> None:
     if config.slow_op_s is not None:
         set_slow_op_threshold(config.slow_op_s)
     if config.trace_dir:
+        role = f"worker-{config.shard_id}"
+        if config.role:
+            role = f"{role}-{config.role}"
         configure_tracing(
-            config.trace_dir, role=f"worker-{config.shard_id}",
+            config.trace_dir, role=role,
             max_bytes=config.trace_max_bytes,
         )
     try:
@@ -648,14 +654,17 @@ class WorkerSupervisor:
         waiter.set_result((reader, writer, entries, stats))
 
     async def spawn(
-        self, shard_id: int, shard_dir: str | None, epoch: int, on_death
+        self, shard_id: int, shard_dir: str | None, epoch: int, on_death,
+        *, role: str = "",
     ) -> tuple[WorkerHandle, list, dict]:
         """Start one worker and wait for its authenticated READY.
 
         Returns ``(handle, entries, stats)`` where ``entries`` is the
         child's post-recovery ``SetStore.items()`` dump (the parent
         seeds its read mirror from it) and ``stats`` the recovery
-        counters.
+        counters.  ``role`` tags replica children (``"follower-01"``)
+        so primaries and followers are distinguishable in ``ps`` output
+        and per-process trace files.
         """
         await self.start()
         # spawn, not fork: the parent runs executor threads (journal
@@ -685,6 +694,7 @@ class WorkerSupervisor:
             window_s=self.window_s,
             coalesce=self.coalesce,
             batch=self.batch,
+            role=role,
             log_level=log_level,
             log_json=log_json,
             slow_op_s=slow_op_threshold_s(),
@@ -694,9 +704,11 @@ class WorkerSupervisor:
         loop = asyncio.get_running_loop()
         waiter: asyncio.Future = loop.create_future()
         self._waiting[generation] = waiter
+        name = f"repro-shard-{shard_id}"
+        if role:
+            name = f"{name}-{role}"
         process = ctx.Process(
-            target=worker_main, args=(cfg,),
-            name=f"repro-shard-{shard_id}", daemon=True,
+            target=worker_main, args=(cfg,), name=name, daemon=True,
         )
         process.start()
         # race READY against child death: a worker that crashes during

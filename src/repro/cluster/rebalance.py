@@ -56,6 +56,7 @@ from repro.cluster.manifest import (
     discover_shard_dirs,
     infer_legacy_manifest,
     load_manifest,
+    replica_dir,
     shard_dirname,
     write_manifest,
 )
@@ -178,14 +179,17 @@ def _sweep_stale(data_dir: Path, manifest: ClusterManifest) -> list[str]:
 
 
 def _iter_committed_shard(
-    data_dir: Path, shard: int, epoch: int, storage: str
+    data_dir: Path, shard: int, epoch: int, storage: str, replica: int = 0
 ):
     """Read-only ``(name, values, version)`` iteration of one committed
     shard directory through its backend; an absent shard (no directory,
-    or no backend files at ``epoch``) yields nothing.  Side-effect free
-    on the directory tree: backends open with ``create=False`` and torn
-    journal tails are skipped, not truncated."""
-    directory = data_dir / shard_dirname(shard)
+    or no backend files at ``epoch``) yields nothing.  ``replica`` is
+    the shard's committed active replica — after a failover promotion
+    the authoritative files live in a ``follower-KK`` subdirectory, not
+    the shard root.  Side-effect free on the directory tree: backends
+    open with ``create=False`` and torn journal tails are skipped, not
+    truncated."""
+    directory = replica_dir(data_dir, shard, replica)
     cls = backend_class(storage)
     if not any((directory / fn).exists() for fn in cls.data_filenames(epoch)):
         return
@@ -280,7 +284,8 @@ def rebalance(
     location: dict[str, int] = {}      # name -> source shard
     for source in range(manifest.shards):
         for name, values, version in _iter_committed_shard(
-            data_dir, source, manifest.shard_epoch(source), old_storage
+            data_dir, source, manifest.shard_epoch(source), old_storage,
+            replica=manifest.primary_replica[source],
         ):
             if name in location:
                 raise ReproError(
@@ -316,6 +321,14 @@ def rebalance(
     if converting:
         # every surviving shard's files are rewritten in the new format
         affected.update(range(shards))
+    # a shard served from a promoted follower directory is rewritten at
+    # its root: the new manifest resets every primary back to replica 0,
+    # so the authoritative bytes must move there in the same commit
+    affected.update(
+        shard
+        for shard in range(min(manifest.shards, shards))
+        if manifest.primary_replica[shard] != 0
+    )
 
     # 3. stage: complete new state per affected surviving shard, written
     # by the *new* backend under the next epoch's file names (the
@@ -346,6 +359,15 @@ def rebalance(
             for shard in range(shards)
         ],
         storage=new_storage,
+        # replication survives the resize: the replica count carries
+        # over, every primary returns to its shard root (promoted data
+        # was staged there above), and surviving shards keep their ship
+        # cursors so sequence numbering stays monotonic
+        replicas=manifest.replicas,
+        cursors=[
+            manifest.cursors[shard] if shard < manifest.shards else 0
+            for shard in range(shards)
+        ],
     )
     write_manifest(data_dir, new_manifest, fsync=fsync)
     if crash_at == "after-commit":

@@ -54,7 +54,12 @@ from pathlib import Path
 import numpy as np
 
 from repro.cluster.config import CONFIG_FIELDS, EXECUTORS, ClusterConfig
-from repro.cluster.manifest import ClusterManifest, load_or_adopt, shard_dirname
+from repro.cluster.manifest import (
+    ClusterManifest,
+    load_or_adopt,
+    replica_dir,
+    write_manifest,
+)
 from repro.cluster.proc import (
     RpcType,
     WorkerHandle,
@@ -62,6 +67,16 @@ from repro.cluster.proc import (
     WorkerUnavailableError,
 )
 from repro.cluster.rebalance import RebalanceResult, rebalance
+from repro.cluster.replication import (
+    InlineApplier,
+    ProcApplier,
+    ReplicationError,
+    ShardReplication,
+    elect_replica,
+    has_data,
+    probe_replica,
+    read_cursor,
+)
 from repro.cluster.ring import HashRing
 from repro.cluster.storage import (
     StorageBackend,
@@ -70,9 +85,12 @@ from repro.cluster.storage import (
     open_backend,
 )
 from repro.errors import ReproError
+from repro.obs.logs import get_logger
 from repro.service.store import SetStore, Snapshot
 
 __all__ = ["EXECUTORS", "ClusterStore"]
+
+log = get_logger("cluster")
 
 
 @dataclass
@@ -93,6 +111,10 @@ class _Shard:
     applies: int = 0
     creates: int = 0
     compact_error: str = ""       #: last failed background compaction
+    # -- replication (both executors; requires a data dir) --
+    #: the shard's primary-side replication state: ship sequence,
+    #: follower drivers, quorum accounting (None = replication off)
+    repl: ShardReplication | None = None
     # -- subprocess executor only --
     worker: WorkerHandle | None = None
     restarts: int = 0             #: successful respawns after worker death
@@ -231,17 +253,29 @@ class ClusterStore:
         """
         if self._started:
             return
+        if self.config.replicas > 0 and self.data_dir is None:
+            raise ReproError(
+                "replication (replicas > 0) requires a data dir: "
+                "followers replicate durable state, and a memory-only "
+                "cluster has none"
+            )
         if self.data_dir is not None:
             self.manifest = load_or_adopt(
                 self.data_dir, len(self._shards), self.ring.vnodes,
                 storage=self.config.storage,
             )
+            if self.config.replicas > 0 or any(self.manifest.primary_replica):
+                # blocking (probes every replica directory): off the loop
+                await asyncio.get_running_loop().run_in_executor(
+                    None, self._prepare_replication_sync
+                )
         if self.executor == "subprocess":
             # _closing drops *before* the spawns: a worker that comes up
             # and dies again inside this window must schedule a restart
             # (the death callback ignores deaths only while closing)
             self._closing = False
             await self._start_proc()
+            self._start_replication()
             self._started = True
             self._close_done = None
             return
@@ -253,7 +287,7 @@ class ClusterStore:
                 if self.data_dir is not None:
                     shard.storage = open_backend(
                         self.config.storage,
-                        self.data_dir / shard_dirname(shard.shard_id),
+                        self._shard_dir(shard.shard_id),
                         epoch=self.manifest.shard_epoch(shard.shard_id),
                         **self._storage_kwargs,
                     )
@@ -263,6 +297,7 @@ class ClusterStore:
                 shard.task = asyncio.create_task(
                     self._worker(shard), name=f"shard-{shard.shard_id}"
                 )
+            self._start_replication()
         except BaseException:
             # partial recovery (e.g. one corrupt shard): unwind the shards
             # already started so nothing leaks a worker task or journal fd
@@ -329,15 +364,214 @@ class ClusterStore:
                         # keep the closed storage around: its stats stay
                         # readable after close; start() replaces it anyway
                         shard.storage.close()
+                await self._stop_replication()
             self._started = False
         finally:
             self._close_done.set()
+
+    # -- replication -----------------------------------------------------------
+    def _prepare_replication_sync(self) -> None:
+        """Blocking startup pass (runs in an executor thread): reconcile
+        the manifest's replication fields with the config, fail over any
+        shard whose active replica directory is unreadable — or blank
+        while a follower holds state (a replaced disk comes up empty,
+        not corrupt) — and seed each shard's ship cursor above every
+        durable cursor on disk, so stale follower cursors from an
+        earlier run can never outrank a freshly bootstrapped follower
+        at election time."""
+        manifest = self.manifest
+        changed = False
+        # never shrink below a committed promotion target: a manifest
+        # that says "shard 2's primary is follower-01" must stay valid
+        # even if the operator restarts with --replicas 0
+        replicas = max(self.config.replicas, max(manifest.primary_replica))
+        if manifest.replicas != replicas:
+            manifest.replicas = replicas
+            changed = True
+        for shard_id in range(manifest.shards):
+            epoch = manifest.shard_epoch(shard_id)
+            active = manifest.primary_replica[shard_id]
+            active_dir = replica_dir(self.data_dir, shard_id, active)
+            if self.config.replicas > 0 and (
+                not probe_replica(active_dir, epoch, self.config.storage)
+                or not has_data(active_dir, epoch, self.config.storage)
+            ):
+                # the election includes the active replica: if every
+                # directory is blank (a brand-new cluster) it wins its
+                # own tie and nothing changes, but damage or emptiness
+                # loses to any follower with a durable cursor
+                elected = elect_replica(
+                    self.data_dir, shard_id, epoch, self.config.storage,
+                    manifest.replicas,
+                )
+                if elected != active:
+                    log.warning(
+                        "startup failover: shard %d primary replica "
+                        "%d -> %d", shard_id, active, elected,
+                    )
+                    manifest.primary_replica[shard_id] = elected
+                    changed = True
+            floor = manifest.cursors[shard_id]
+            for replica in range(manifest.replicas + 1):
+                floor = max(floor, read_cursor(
+                    replica_dir(self.data_dir, shard_id, replica)
+                ))
+            if manifest.cursors[shard_id] != floor:
+                manifest.cursors[shard_id] = floor
+                changed = True
+        if changed:
+            write_manifest(self.data_dir, manifest)
+
+    def _start_replication(self) -> None:
+        """Build and start each shard's follower set (post worker start)."""
+        if self.config.replicas < 1 or self.data_dir is None:
+            return
+        for shard in self._shards:
+            self._open_shard_replication(shard)
+
+    def _open_shard_replication(
+        self, shard: _Shard, seq0: int | None = None, promotions: int = 0
+    ) -> None:
+        """Wire one shard's :class:`ShardReplication`: a follower driver
+        per non-active replica directory, applied in-process under the
+        inline executor and through a worker child (the same token-
+        authenticated RPC as primaries) under the subprocess executor."""
+        active = self.manifest.primary_replica[shard.shard_id]
+        repl = ShardReplication(
+            shard_id=shard.shard_id,
+            replicas=self.config.replicas,
+            mode=self.config.replication,
+            # attribute lookup at call time: shard.store is replaced on
+            # worker respawn, and bootstraps must snapshot the current one
+            entries_fn=lambda s=shard: s.store.items(),
+            active_replica=active,
+            seq0=(
+                self.manifest.cursors[shard.shard_id]
+                if seq0 is None else seq0
+            ),
+            storage_kwargs=self._storage_kwargs,
+            backoff_s=self.restart_backoff_s,
+        )
+        repl.promotions = promotions
+        epoch = self._shard_epoch(shard.shard_id)
+        for replica in range(self.config.replicas + 1):
+            if replica == active:
+                continue
+            directory = replica_dir(self.data_dir, shard.shard_id, replica)
+            if self.executor == "subprocess":
+                applier = ProcApplier(
+                    self._supervisor, shard.shard_id, directory, epoch,
+                    self.config.storage, self._storage_kwargs,
+                )
+                follower = repl.add_follower(replica, directory, applier)
+                applier.on_death = (
+                    lambda f=follower: f.mark_dead("follower worker died")
+                )
+            else:
+                repl.add_follower(replica, directory, InlineApplier(
+                    directory, epoch, self.config.storage,
+                    self._storage_kwargs,
+                ))
+        shard.repl = repl
+        repl.start()
+
+    async def _stop_replication(self) -> None:
+        """Stop every follower (draining live queues first) and persist
+        the ship cursors in the manifest, so a restarted primary resumes
+        numbering above everything it ever shipped."""
+        changed = False
+        for shard in self._shards:
+            repl = shard.repl
+            if repl is None:
+                continue
+            await repl.stop(graceful=True)
+            if (
+                self.manifest is not None
+                and shard.shard_id < len(self.manifest.cursors)
+                and self.manifest.cursors[shard.shard_id] != repl.seq
+            ):
+                self.manifest.cursors[shard.shard_id] = repl.seq
+                changed = True
+        if changed and self.data_dir is not None:
+            await asyncio.get_running_loop().run_in_executor(
+                None, write_manifest, self.data_dir, self.manifest,
+            )
+
+    async def _promote(self, shard: _Shard) -> bool:
+        """Fail one shard over to its most-advanced readable follower.
+
+        Stops the follower set (draining live queues — that maximizes
+        the electable cursors), elects offline by durable cursor,
+        commits by atomically rewriting ``manifest.primary_replica``
+        (the *only* commit point a promotion has), respawns the worker
+        on the promoted directory, and rebuilds the follower set — the
+        demoted directory rejoins as a follower and is wiped on its
+        first bootstrap.  Returns whether the shard came back up; on
+        ``False`` the caller keeps retrying (a later pass may promote
+        again among the survivors).
+        """
+        repl = shard.repl
+        if repl is None or self.manifest is None or self.data_dir is None:
+            return False
+        shard.repl = None
+        await repl.stop(graceful=True)
+        epoch = self._shard_epoch(shard.shard_id)
+        old_active = self.manifest.primary_replica[shard.shard_id]
+        loop = asyncio.get_running_loop()
+        try:
+            elected = await loop.run_in_executor(
+                None, elect_replica, self.data_dir, shard.shard_id,
+                epoch, self.config.storage, self.manifest.replicas,
+                frozenset({old_active}),
+            )
+        except ReplicationError as exc:
+            shard.restart_error = f"{type(exc).__name__}: {exc}"
+            self._open_shard_replication(
+                shard, seq0=repl.seq, promotions=repl.promotions
+            )
+            return False
+        self.manifest.primary_replica[shard.shard_id] = elected
+        self.manifest.cursors[shard.shard_id] = repl.seq
+        await loop.run_in_executor(
+            None, write_manifest, self.data_dir, self.manifest,
+        )
+        log.warning(
+            "promoted shard %d: primary replica %d -> %d (seq %d)",
+            shard.shard_id, old_active, elected, repl.seq,
+        )
+        try:
+            handle, entries, stats = await self._supervisor.spawn(
+                shard.shard_id,
+                self._shard_dir(shard.shard_id),
+                epoch,
+                self._on_worker_death,
+            )
+        except Exception as exc:
+            shard.restart_error = f"{type(exc).__name__}: {exc}"
+            self._open_shard_replication(
+                shard, seq0=repl.seq, promotions=repl.promotions + 1
+            )
+            return False
+        shard.store = self._mirror_from(entries)
+        shard.worker = handle
+        shard.last_storage_stats = dict(stats)
+        shard.restarts += 1
+        shard.restart_error = ""
+        self._open_shard_replication(
+            shard, seq0=repl.seq, promotions=repl.promotions + 1
+        )
+        return True
 
     # -- subprocess executor lifecycle -----------------------------------------
     def _shard_dir(self, shard_id: int) -> Path | None:
         if self.data_dir is None:
             return None
-        return self.data_dir / shard_dirname(shard_id)
+        replica = (
+            self.manifest.primary_replica[shard_id]
+            if self.manifest is not None
+            else 0
+        )
+        return replica_dir(self.data_dir, shard_id, replica)
 
     def _shard_epoch(self, shard_id: int) -> int:
         return (
@@ -420,6 +654,9 @@ class ClusterStore:
                     # the post-close journal counters stay readable,
                     # like the inline executor's closed ShardStorage
                     shard.last_storage_stats = dict(stats)
+        # after the primaries: their final acks have shipped by now, so
+        # a graceful follower drain catches everything
+        await self._stop_replication()
         if self._supervisor is not None:
             await self._supervisor.close()
             self._supervisor = None
@@ -448,8 +685,12 @@ class ClusterStore:
         """Respawn a dead worker after a backoff; the child replays its
         journal and the mirror is rebuilt from the replayed state (which
         may include journaled-but-unacked mutations from the crash — the
-        standard at-least-once WAL outcome)."""
+        standard at-least-once WAL outcome).  With replication on, a
+        worker that stays down past ``promote_after`` consecutive failed
+        respawns (its directory is gone, not just its process) is failed
+        over to the most-advanced follower via :meth:`_promote`."""
         backoff = self.restart_backoff_s
+        failures = 0
         while True:
             await asyncio.sleep(backoff)
             if (
@@ -480,12 +721,49 @@ class ClusterStore:
                 # spawn failures) must be diagnosable while it sheds
                 shard.restart_error = f"{type(exc).__name__}: {exc}"
                 backoff = min(backoff * 2, 5.0)
+                failures += 1
+                if (
+                    shard.repl is not None
+                    and failures >= self.config.promote_after
+                ):
+                    if await self._promote(shard):
+                        return
+                    # promotion did not bring the shard up (no electable
+                    # replica, or the promoted spawn failed too); reset
+                    # the budget so a later pass may promote again
+                    failures = 0
+                continue
+            if (
+                shard.repl is not None
+                and shard.repl.seq > 0
+                and not entries
+                and any(f.acked_seq > 0 for f in shard.repl.followers)
+            ):
+                # The respawned child recovered *nothing* while a
+                # follower holds shipped state: the primary's files were
+                # lost outright (a wiped directory or a fully-torn
+                # journal recovers empty rather than corrupt, so the
+                # spawn "succeeds").  Resyncing followers from this
+                # empty mirror would destroy acked data — fail over to
+                # the most-advanced follower instead.
+                await handle.close(graceful=False)
+                shard.restart_error = "respawn recovered empty behind followers"
+                if await self._promote(shard):
+                    return
+                failures = 0
                 continue
             shard.store = self._mirror_from(entries)
             shard.worker = handle
             shard.last_storage_stats = dict(stats)
             shard.restarts += 1
             shard.restart_error = ""
+            if shard.repl is not None:
+                # the replayed journal may contain a mutation that was
+                # never acked — so never shipped; the rebuilt mirror is
+                # ahead of the ship stream and every follower must
+                # resync from a fresh snapshot
+                for follower in shard.repl.followers:
+                    follower.mark_dead("primary restarted; resyncing")
             return
 
     def shard_available(self, shard_id: int) -> bool:
@@ -756,47 +1034,74 @@ class ClusterStore:
             raise WorkerUnavailableError(
                 f"shard {shard.shard_id} worker is down (restarting)"
             )
+        # capture the repl for the whole RPC: ship and quorum wait must
+        # hit the same object even if a promotion swaps shard.repl
+        repl = shard.repl
         trace_t = tuple(trace) if trace is not None else None
         if op == "apply":
             name, add, remove = args
+            shipped: list[int] = []
 
             def on_apply(body):
                 shard.store.apply_diff(name, add=add, remove=remove)
                 shard.applies += 1
                 self._ack(shard, body)
+                # inside the reader callback = synchronously with the
+                # child's durable ack, in ack order — the ship stream
+                # and bootstrap_source() stay consistent (empty diffs
+                # are not persisted by the child, so not shipped)
+                if repl is not None and (len(add) or len(remove)):
+                    shipped.append(
+                        repl.ship("apply", (name, add, remove))
+                    )
 
             result = (await worker.call(
                 RpcType.APPLY, ((name, add, remove), trace_t),
                 on_ok=on_apply,
             ))[0]
+            if shipped:
+                await repl.wait_durable(shipped[0])
             return result
         if op == "create":
             (name, values) = args
+            shipped = []
 
             def on_create(body):
                 shard.store.create(name, values)
                 shard.creates += 1
                 self._ack(shard, body)
+                if repl is not None:
+                    shipped.append(repl.ship("create", (name, values, 0)))
 
             await worker.call(
                 RpcType.CREATE, ((name, values, 0), trace_t),
                 on_ok=on_create,
             )
+            if shipped:
+                await repl.wait_durable(shipped[0])
             return None
         await worker.call(RpcType.SYNC, (None, None))   # "sync" barrier
         return None
 
     async def _proc_restore(self, shard: _Shard, name, values, version) -> None:
         """Versioned create through the child (in-memory resize path)."""
+        repl = shard.repl
+        shipped: list[int] = []
 
         def on_restore(body):
             shard.store.create(name, values, version=version)
             self._ack(shard, body)
+            if repl is not None:
+                shipped.append(
+                    repl.ship("restore", (name, values, version))
+                )
 
         await shard.worker.call(
             RpcType.RESTORE, ((name, values, version), None),
             on_ok=on_restore,
         )
+        if shipped:
+            await repl.wait_durable(shipped[0])
 
     async def decode_remote(self, shard_id: int, codec, deltas, trace=None):
         """Decode sketch deltas on the shard's worker process (proc mode).
@@ -865,11 +1170,26 @@ class ClusterStore:
                     shard.applies += 1
                 elif op == "create":
                     shard.creates += 1
+                # ship synchronously with the durable apply — no await
+                # between apply_mutation resolving and ship(), so
+                # bootstrap_source() snapshots are consistent by
+                # construction; ship exactly what was persisted (empty
+                # diffs were not, sync barriers carry nothing)
+                seq = None
+                if shard.repl is not None and (
+                    op in ("create", "restore")
+                    or (op == "apply" and (len(args[1]) or len(args[2])))
+                ):
+                    seq = shard.repl.ship(op, args)
                 compact_error = await compact_if_due(
                     shard.store, shard.storage
                 )
                 if compact_error is not None:
                     shard.compact_error = compact_error
+                if seq is not None:
+                    # quorum mode blocks here until a majority of
+                    # replicas is durable; async mode returns at once
+                    await shard.repl.wait_durable(seq)
                 if not future.done():
                     future.set_result(result)
             except Exception as exc:  # surfaced to the awaiting session
@@ -914,7 +1234,7 @@ class ClusterStore:
         worker-local ``coalescer`` counters; journal stats come from the
         child's last acknowledgement.
         """
-        return {
+        out = {
             "shards": self.n_shards,
             "executor": self.executor,
             "layout": (
@@ -925,6 +1245,15 @@ class ClusterStore:
             "worker_restarts": sum(s.restarts for s in self._shards),
             "per_shard": [self._shard_stats(shard) for shard in self._shards],
         }
+        repls = [s.repl for s in self._shards if s.repl is not None]
+        if repls:
+            out["replication"] = {
+                "replicas": self.config.replicas,
+                "mode": self.config.replication,
+                "promotions": sum(r.promotions for r in repls),
+                "quorum_ok": all(r.quorum_ok() for r in repls),
+            }
+        return out
 
     def _shard_stats(self, shard: _Shard) -> dict:
         entry = {
@@ -958,6 +1287,8 @@ class ClusterStore:
                 entry["obs"] = shard.last_obs
         elif shard.storage is not None:
             entry.update(shard.storage.stats())
+        if shard.repl is not None:
+            entry["replication"] = shard.repl.stats()
         if hasattr(shard.store, "cache_stats"):
             # inline SQLite shard: the LazySetStore's LRU hit rate (in
             # proc mode the child ships it inside last_storage_stats)

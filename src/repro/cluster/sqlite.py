@@ -105,6 +105,8 @@ class SqliteBackend(StorageBackend):
     TUNING = frozenset(
         {"fsync", "compact_min_bytes", "compact_factor", "cache_sets"}
     )
+    #: every epoch's ``store[-eN].sqlite`` plus the WAL/SHM sidecars
+    FILE_PREFIXES = ("store",)
 
     def __init__(
         self,

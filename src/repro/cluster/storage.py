@@ -107,6 +107,15 @@ class StorageBackend(ABC):
     #: Constructor tuning keys this backend understands.
     TUNING: ClassVar[frozenset]
 
+    #: File-name prefixes of every durable file this backend may write
+    #: in a shard directory, across *all* epochs (``data_filenames`` is
+    #: the exact per-epoch name set; the prefixes also cover stale
+    #: epochs and sidecars).  :meth:`discard` and the follower
+    #: re-bootstrap in :mod:`repro.cluster.replication` delete by
+    #: these, so a prefix must never collide with files the backend
+    #: does not own.
+    FILE_PREFIXES: ClassVar[tuple]
+
     epoch: int
     directory: Path
 
@@ -185,7 +194,31 @@ class StorageBackend(ABC):
         """Write ``(name, values, version)`` entries as a complete,
         atomically-installed shard state at ``epoch`` next to whatever
         else the directory holds; returns the staged byte size.  Used by
-        the rebalance to stage a new layout before the manifest commit."""
+        the rebalance to stage a new layout before the manifest commit,
+        and by follower bootstrap to install the primary's snapshot."""
+
+    @classmethod
+    def discard(cls, directory) -> int:
+        """Delete every file this backend owns in ``directory``.
+
+        Only *files* matching :attr:`FILE_PREFIXES` (or ``.tmp``
+        leftovers) are unlinked; subdirectories — including nested
+        follower replica dirs — are never touched.  Returns the number
+        of files removed.  This is how a follower replica is reset
+        before a fresh snapshot bootstrap: stale state must never be
+        double-applied on top of."""
+        directory = Path(directory)
+        if not directory.exists():
+            return 0
+        removed = 0
+        for entry in directory.iterdir():
+            if entry.is_file() and (
+                entry.name.startswith(cls.FILE_PREFIXES)
+                or entry.name.endswith(".tmp")
+            ):
+                entry.unlink()
+                removed += 1
+        return removed
 
 
 def backend_class(name: str) -> type:

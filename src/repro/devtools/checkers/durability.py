@@ -4,12 +4,17 @@ The cluster tier's contract (``docs/architecture.md``, "durable before
 ack") says a client-visible acknowledgement may only be sent after the
 corresponding storage write (``record_create``/``record_diff``, or the
 shared :func:`repro.cluster.storage.apply_mutation` path that wraps
-them) has returned.  This checker walks every function in ``cluster/``
-modules: when a function contains both an ack-style send and a durable
-write, the first ack must come lexically *after* the first durable
-write.  Purely lexical by design — it catches the cheap, common
-regression (a reply hoisted above the storage call during a refactor),
-not every interleaving a control-flow analysis could prove.
+them) has returned.  The replication tier (PR-10) adds two more edges
+of the same contract: a follower's replication cursor may only be
+written after its durable apply/bootstrap (the cursor must never
+overstate the applied prefix — elections trust it), and under quorum
+mode the primary may only resolve a mutation's future after the quorum
+count (``wait_durable``) returns.  This checker walks every function in
+``cluster/`` modules: when a function contains both an ack-style send
+and a durable write, the first ack must come lexically *after* the
+first durable write.  Purely lexical by design — it catches the cheap,
+common regression (a reply hoisted above the storage call during a
+refactor), not every interleaving a control-flow analysis could prove.
 """
 
 from __future__ import annotations
@@ -23,14 +28,20 @@ from repro.devtools.checkers import Checker
 from repro.devtools.findings import Finding
 from repro.devtools.source import SourceFile
 
-#: Callee names (last segment) that make a mutation durable.
+#: Callee names (last segment) that make a mutation durable:
+#: the storage writes, a follower's durable apply/bootstrap
+#: (``restart``), and the primary's quorum count (``wait_durable``).
 DURABLE_CALLS = frozenset({
     "record_create", "record_diff", "apply_mutation",
+    "apply", "restart", "wait_durable",
 })
 
-#: Callee names (last segment) that acknowledge a mutation to a peer.
+#: Callee names (last segment) that acknowledge a mutation to a peer:
+#: wire replies, a resolved mutation future (``set_result``), and a
+#: follower's replication-cursor write (the ack an election trusts).
 ACK_CALLS = frozenset({
     "send_frame", "_reply_ok", "reply_ok", "_send",
+    "set_result", "write_cursor", "_write_cursor",
 })
 
 

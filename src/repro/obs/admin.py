@@ -194,6 +194,57 @@ def prometheus_text(
                     labeled("shard_set_cache_hit_rate",
                             {"shard": entry.get("shard", "?")},
                             cache.get("hit_rate", 0.0))
+        if any("replication" in entry for entry in per_shard):
+            lines.append(
+                "# HELP repro_replication_seq Logical operations shipped "
+                "by the shard's primary."
+            )
+            lines.append("# TYPE repro_replication_seq counter")
+            lines.append(
+                "# HELP repro_replication_durable_seq Highest sequence "
+                "durable on a write quorum of the shard's replicas."
+            )
+            lines.append("# TYPE repro_replication_durable_seq counter")
+            lines.append(
+                "# HELP repro_replication_quorum_ok 1 while the shard "
+                "can reach a write quorum (always 1 in async mode)."
+            )
+            lines.append("# TYPE repro_replication_quorum_ok gauge")
+            lines.append(
+                "# HELP repro_replication_promotions_total Follower "
+                "promotions (primary failovers) on the shard."
+            )
+            lines.append("# TYPE repro_replication_promotions_total counter")
+            lines.append(
+                "# HELP repro_replication_follower_alive 1 while the "
+                "follower replica is live and applying, else 0."
+            )
+            lines.append("# TYPE repro_replication_follower_alive gauge")
+            lines.append(
+                "# HELP repro_replication_lag Shipped operations the "
+                "follower replica has not yet acked."
+            )
+            lines.append("# TYPE repro_replication_lag gauge")
+            for entry in per_shard:
+                repl = entry.get("replication")
+                if repl is None:
+                    continue
+                shard = entry.get("shard", "?")
+                labeled("replication_seq", {"shard": shard},
+                        repl.get("seq", 0))
+                labeled("replication_durable_seq", {"shard": shard},
+                        repl.get("durable_seq", 0))
+                labeled("replication_quorum_ok", {"shard": shard},
+                        1 if repl.get("quorum_ok") else 0)
+                labeled("replication_promotions_total", {"shard": shard},
+                        repl.get("promotions", 0))
+                for follower in repl.get("followers", []):
+                    labels = {"shard": shard,
+                              "replica": follower.get("replica", "?")}
+                    labeled("replication_follower_alive", labels,
+                            1 if follower.get("alive") else 0)
+                    labeled("replication_lag", labels,
+                            follower.get("lag", 0))
 
     slo = snapshot.get("slo")
     if slo:

@@ -36,7 +36,9 @@ SESSION_HISTORY = 64
 #: removed or renamed, and update the pinning regression test.
 #: v3: optional ``timeseries`` (windowed metrics ring) and ``slo``
 #: (objective burn state) blocks.
-SNAPSHOT_SCHEMA = 3
+#: v4: the ``cluster`` block grows a ``replication`` summary (and
+#: per-shard ``replication`` entries) when ``--replicas`` is on.
+SNAPSHOT_SCHEMA = 4
 
 
 def merged_histograms(cluster_stats: dict | None = None) -> dict:

@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import os
+import signal
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -60,6 +64,122 @@ def make_cluster(storage_backend):
 
     factory.storage = storage_backend
     return factory
+
+
+# -- deterministic fault injection ---------------------------------------------
+
+class CrashPoint(Exception):
+    """Raised by :meth:`FaultPlan.reached` when an armed point fires
+    with no explicit action — the simulated crash itself."""
+
+
+class FaultPlan:
+    """A deterministic, seeded schedule of injected faults.
+
+    One plan holds everything a fault drill needs, so every schedule
+    replays bit-for-bit from its seed:
+
+    * **named crash points** — ``arm("point", action, at_hit=N)``
+      schedules a fault for the *N*-th time the driver passes
+      ``reached("point")``; with no action the plan raises
+      :class:`CrashPoint` (a simulated crash), otherwise it runs the
+      action (e.g. :meth:`sigkill`).  ``arm_random`` picks the hit
+      number from the plan's own rng.
+    * **torn writes / short reads** — :meth:`torn_write` appends a
+      record minus its tail (a crash mid-append), :meth:`short_read`
+      truncates a file (the next reader sees a short read); both draw
+      cut points from the seeded rng when not pinned.
+    * **wire corruption** — :meth:`flip_bit` flips one (seeded) bit.
+    * **SIGKILL-at-step** — :meth:`sigkill` wraps a pid (or a callable
+      resolving one at fire time) into an action for ``arm``.
+
+    ``fired`` logs every fault the plan actually injected, so a drill
+    can assert its schedule happened rather than silently testing the
+    happy path.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self._armed: dict[str, tuple[int, object]] = {}
+        self._hits: dict[str, int] = {}
+        self.fired: list[tuple[str, int]] = []
+
+    # -- crash-point scheduling --
+    def arm(self, point: str, action=None, at_hit: int = 1) -> None:
+        """Schedule ``action`` for the ``at_hit``-th pass of ``point``
+        (default: raise :class:`CrashPoint` there)."""
+        if at_hit < 1:
+            raise ValueError(f"at_hit must be >= 1, got {at_hit}")
+        self._armed[point] = (at_hit, action)
+
+    def arm_random(self, point: str, max_hits: int, action=None) -> int:
+        """Arm ``point`` at a seeded-random hit in ``[1, max_hits]``;
+        returns the chosen hit for the drill's log."""
+        at_hit = int(self.rng.integers(1, max_hits + 1))
+        self.arm(point, action, at_hit=at_hit)
+        return at_hit
+
+    def reached(self, point: str) -> bool:
+        """The driver passes a named point; fires the armed fault when
+        the schedule says so.  Returns whether a fault fired."""
+        hit = self._hits.get(point, 0) + 1
+        self._hits[point] = hit
+        armed = self._armed.get(point)
+        if armed is None or hit != armed[0]:
+            return False
+        del self._armed[point]
+        self.fired.append((point, hit))
+        action = armed[1]
+        if action is None:
+            raise CrashPoint(point)
+        action()
+        return True
+
+    @staticmethod
+    def sigkill(pid):
+        """An ``arm`` action: SIGKILL ``pid`` (a pid, or a callable
+        resolving one when the point fires) — the no-cleanup death."""
+        def action() -> None:
+            os.kill(pid() if callable(pid) else pid, signal.SIGKILL)
+        return action
+
+    # -- file surgery --
+    def torn_write(self, path, record: bytes, cut: int | None = None) -> int:
+        """Append ``record`` minus its last ``cut`` bytes (seeded when
+        not pinned): a crash mid-append.  Returns the cut size."""
+        path = Path(path)
+        if cut is None:
+            cut = int(self.rng.integers(1, max(2, len(record))))
+        path.write_bytes(path.read_bytes() + record[: len(record) - cut])
+        return cut
+
+    def short_read(self, path, keep: int | None = None) -> int:
+        """Truncate ``path`` to ``keep`` bytes (seeded when not
+        pinned): the next reader sees a short read.  Returns ``keep``."""
+        path = Path(path)
+        data = path.read_bytes()
+        if keep is None:
+            keep = int(self.rng.integers(0, max(1, len(data))))
+        path.write_bytes(data[:keep])
+        return keep
+
+    # -- wire corruption --
+    def flip_bit(self, data: bytes, bit: int | None = None) -> bytes:
+        """Flip one bit of ``data`` (seeded when not pinned)."""
+        arr = bytearray(data)
+        if bit is None:
+            bit = int(self.rng.integers(0, 8 * len(arr)))
+        arr[bit // 8] ^= 1 << (bit % 8)
+        return bytes(arr)
+
+
+@pytest.fixture()
+def fault_plan():
+    """A :class:`FaultPlan` factory: ``fault_plan(seed)`` builds one
+    deterministic fault schedule; call it once per drill/example so
+    shrinking and replay stay exact."""
+    return FaultPlan
 
 
 @pytest.fixture()

@@ -220,11 +220,14 @@ class TestWorkerCrashDrill:
         # fast failure: the child's death is noticed, not timed out
         assert time.monotonic() - start < 30.0
 
-    def test_sigkill_retry_shed_restart_replay(self, tmp_path, make_cluster):
+    def test_sigkill_retry_shed_restart_replay(
+        self, tmp_path, make_cluster, fault_plan
+    ):
         """SIGKILL one worker mid-load: in-flight work fails fast, new
         sessions are shed with RETRY while the shard is down, and the
         restarted worker recovers to the exact acked state (surfaced in
         cluster_stats as a worker restart) — on every backend."""
+        plan = fault_plan(0)
 
         async def inner():
             a = set(range(1, 400))
@@ -246,7 +249,11 @@ class TestWorkerCrashDrill:
 
                     shard_id = store.shard_for("inv")
                     stats = store.cluster_stats()["per_shard"][shard_id]
-                    os.kill(stats["worker"]["pid"], signal.SIGKILL)
+                    # SIGKILL-at-step: armed for the first pass of the
+                    # post-sync point, no cleanup, no warning
+                    plan.arm("after-first-sync",
+                             plan.sigkill(stats["worker"]["pid"]))
+                    assert plan.reached("after-first-sync")
                     # EOF propagation is near-immediate on loopback
                     for _ in range(100):
                         if not store.shard_available(shard_id):

@@ -122,7 +122,7 @@ class TestRecovery:
         assert recovered_versions == versions
 
     def test_killed_shard_mid_write_recovers_to_last_complete_record(
-        self, tmp_path
+        self, tmp_path, fault_plan
     ):
         """The ISSUE's crash drill: torn journal tail, restart, reconcile.
         Journal-specific file surgery (SQLite's torn-WAL twin lives in
@@ -139,8 +139,8 @@ class TestRecovery:
         # half-written record follows the last durable one
         shard_dir = tmp_path / f"shard-{store.shard_for('crash'):02d}"
         journal = shard_dir / "journal.log"
-        torn = encode_diff("crash", add=[9999])
-        journal.write_bytes(journal.read_bytes() + torn[: len(torn) - 4])
+        fault_plan(0).torn_write(journal, encode_diff("crash", add=[9999]),
+                                 cut=4)
 
         async def phase2():
             async with _cluster(2, tmp_path) as again:

@@ -199,6 +199,49 @@ class TestDurableBeforeAck:
         )
         assert findings == []
 
+    def test_replication_cursor_before_durable_apply(self, tmp_path):
+        """The follower's cursor is the ack an election trusts: writing
+        it before the durable apply overstates the replica."""
+        findings = run_one(
+            DurableBeforeAck(), tmp_path,
+            {"src/repro/cluster/repl.py": """
+                async def _apply_one(self, op, args, seq):
+                    await self._write_cursor(seq)
+                    await self.applier.apply(op, args)
+            """},
+        )
+        assert len(findings) == 1
+        assert "before its durable write" in findings[0].message
+
+    def test_quorum_reply_before_wait_durable(self, tmp_path):
+        """Quorum mode: resolving the mutation future before the quorum
+        count acks data a lost-primary election may not hold."""
+        findings = run_one(
+            DurableBeforeAck(), tmp_path,
+            {"src/repro/cluster/w.py": """
+                async def _worker(self, shard):
+                    future.set_result(result)
+                    await shard.repl.wait_durable(seq)
+            """},
+        )
+        assert len(findings) == 1
+
+    def test_quorum_count_then_reply_is_fine(self, tmp_path):
+        findings = run_one(
+            DurableBeforeAck(), tmp_path,
+            {"src/repro/cluster/w.py": """
+                async def _worker(self, shard):
+                    apply_mutation(store, storage, op, args, trace)
+                    await shard.repl.wait_durable(seq)
+                    future.set_result(result)
+
+                async def _bootstrap(self):
+                    await self.applier.restart(entries)
+                    await self._write_cursor(seq)
+            """},
+        )
+        assert findings == []
+
 
 FRAMES_FIXTURE = {
     "src/repro/service/wire.py": """

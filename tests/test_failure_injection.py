@@ -9,7 +9,6 @@ the last case the common one.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -24,12 +23,6 @@ from repro.utils.bitio import BitReader
 from repro.workloads.generator import SetPairGenerator
 
 
-def _flip_bit(data: bytes, bit_index: int) -> bytes:
-    arr = bytearray(data)
-    arr[bit_index // 8] ^= 1 << (bit_index % 8)
-    return bytes(arr)
-
-
 class TestCorruptedSketchMessages:
     """Flip bits in Alice's round-1 sketch and drive the round."""
 
@@ -42,12 +35,11 @@ class TestCorruptedSketchMessages:
         return pair, params, alice, bob
 
     @pytest.mark.parametrize("trial", range(6))
-    def test_no_silent_wrong_difference(self, trial):
+    def test_no_silent_wrong_difference(self, trial, fault_plan):
         pair, params, alice, bob = self._setup(trial)
         msg = alice.build_sketch_message(1)
         wire = msg.serialize(params.t, params.m)
-        rng = np.random.default_rng(trial)
-        corrupted = _flip_bit(wire, int(rng.integers(0, 8 * len(wire))))
+        corrupted = fault_plan(trial).flip_bit(wire)
         try:
             tampered = SketchMessage.deserialize(corrupted, params.t, params.m)
             reply = bob.handle_sketch_message(tampered)
@@ -69,18 +61,18 @@ class TestCorruptedSketchMessages:
 
 
 class TestCorruptedReplies:
-    def test_random_reply_bytes_never_verify_wrongly(self):
+    def test_random_reply_bytes_never_verify_wrongly(self, fault_plan):
         gen = SetPairGenerator(seed=7)
         pair = gen.generate(size_a=1500, d=25)
         params = PBSParams.from_d(25)
-        rng = np.random.default_rng(0)
+        plan = fault_plan(0)
         for trial in range(6):
             alice = AliceSession(pair.a, params, seed=trial)
             bob = BobSession(pair.b, params, seed=trial)
             msg = alice.build_sketch_message(1)
             reply = bob.handle_sketch_message(msg)
             wire = reply.serialize(params.t, params.m, params.log_u)
-            corrupted = _flip_bit(wire, int(rng.integers(0, 8 * len(wire))))
+            corrupted = plan.flip_bit(wire)
             try:
                 tampered = ReplyMessage.deserialize(
                     corrupted, params.t, params.m, params.log_u

@@ -328,7 +328,7 @@ class TestTracer:
 # -- snapshot schema -----------------------------------------------------------
 
 class TestSnapshotSchema:
-    #: The pinned top-level key set of snapshot schema 3.  If this test
+    #: The pinned top-level key set of snapshot schema 4.  If this test
     #: fails, you changed the snapshot shape: bump SNAPSHOT_SCHEMA and
     #: update this pin (and docs/operations.md) in the same change.
     ALWAYS = {
@@ -349,7 +349,7 @@ class TestSnapshotSchema:
         session.success = True
         metrics.close_session(session)
         snap = metrics.snapshot()
-        assert snap["schema"] == SNAPSHOT_SCHEMA == 3
+        assert snap["schema"] == SNAPSHOT_SCHEMA == 4
         assert set(snap) == self.ALWAYS
         full = metrics.snapshot(
             store_stats={}, admission_stats={},
